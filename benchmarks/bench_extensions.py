@@ -1,0 +1,60 @@
+"""Benchmarks for the extension experiments: χ(V(D, n)) computation, the
+exhaustive decoder sub-universe, the universal O(n²) scheme, and the
+asynchronous engine."""
+
+from repro.core import UniversalLCP
+from repro.experiments import run_experiment
+from repro.graphs import grid_graph, cycle_graph
+from repro.graphs.coloring import chromatic_number
+from repro.local import Instance
+from repro.local.async_simulator import simulate_views_async
+from repro.neighborhood import hiding_verdict_up_to
+
+
+def test_ext_chromatic_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_chromatic"), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_ext_decoder_universe_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ext_decoder_universe"), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_chromatic_number_of_neighborhood_graph(benchmark):
+    from repro.core import DegreeOneLCP
+
+    verdict = hiding_verdict_up_to(DegreeOneLCP(), 4)
+    graph = verdict.ngraph.to_graph()
+    chi = benchmark(lambda: chromatic_number(graph, max_k=6))
+    assert chi == 3
+
+
+def test_universal_prover_grid(benchmark):
+    lcp = UniversalLCP()
+    instance = Instance.build(grid_graph(4, 6))
+    labeling = benchmark(lambda: lcp.prover.certify(instance))
+    assert len(labeling.nodes()) == 24
+
+
+def test_universal_verification_grid(benchmark):
+    lcp = UniversalLCP()
+    instance = Instance.build(grid_graph(4, 6))
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+    result = benchmark(lambda: lcp.check(labeled))
+    assert result.unanimous
+
+
+def test_async_flooding_radius2(benchmark):
+    instance = Instance.build(cycle_graph(24))
+
+    def run():
+        return simulate_views_async(instance, 2, seed=5)
+
+    views, stats = benchmark(run)
+    assert len(views) == 24
+    assert stats.events_processed == stats.messages_sent

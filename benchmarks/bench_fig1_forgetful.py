@@ -1,0 +1,43 @@
+"""Benchmark for the Fig. 1 / Lemma 2.1 experiment: r-forgetful checks.
+
+Times the full family sweep (both modes, r in {1, 2}) plus the raw
+escape-path search on the largest catalog graphs, asserting the paper's
+shape: large cycles pass the escape reading, grids/trees fail at
+boundaries, and the literal reading is empty at r = 2.
+"""
+
+from repro.experiments import run_experiment
+from repro.graphs import cycle_graph, grid_graph, toroidal_grid_graph
+from repro.graphs.forgetful import forgetful_report, is_r_forgetful
+
+
+def test_fig1_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig1"), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_escape_path_search_cycle(benchmark):
+    graph = cycle_graph(40)
+    report = benchmark(lambda: forgetful_report(graph, 2))
+    assert report.is_forgetful
+
+
+def test_escape_path_search_torus(benchmark):
+    graph = toroidal_grid_graph(6, 6)
+    report = benchmark(lambda: forgetful_report(graph, 1))
+    assert report.is_forgetful
+
+
+def test_grid_defect_detection(benchmark):
+    graph = grid_graph(6, 6)
+    report = benchmark(lambda: forgetful_report(graph, 1))
+    assert not report.is_forgetful
+    assert report.defect_count > 0
+
+
+def test_strict_mode_r2_emptiness(benchmark):
+    graph = cycle_graph(24)
+    verdict = benchmark(lambda: is_r_forgetful(graph, 2, mode="strict"))
+    assert verdict is False

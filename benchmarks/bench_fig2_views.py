@@ -1,0 +1,41 @@
+"""Benchmark for Fig. 2: view extraction, canonicalization, and the
+invisible-boundary-edge semantics, across radii and graph sizes."""
+
+from repro.experiments import run_experiment
+from repro.graphs import cycle_graph, grid_graph
+from repro.local import Instance, extract_all_views, extract_view
+
+
+def test_fig2_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig2"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_single_view_extraction_radius2(benchmark):
+    instance = Instance.build(grid_graph(6, 6))
+    view = benchmark(lambda: extract_view(instance, 14, 2))
+    assert view.dist[0] == 0
+    assert view.size == 13  # interior diamond of the grid
+
+
+def test_all_views_radius1_grid(benchmark):
+    instance = Instance.build(grid_graph(6, 6))
+    views = benchmark(lambda: extract_all_views(instance, 1))
+    assert len(views) == 36
+
+
+def test_all_views_radius3_cycle(benchmark):
+    instance = Instance.build(cycle_graph(48))
+    views = benchmark(lambda: extract_all_views(instance, 3))
+    assert all(view.size == 7 for view in views.values())
+
+
+def test_view_hashing_throughput(benchmark):
+    instance = Instance.build(grid_graph(5, 5))
+    views = list(extract_all_views(instance, 2).values())
+
+    def hash_all():
+        return len({hash(v) for v in views})
+
+    distinct = benchmark(hash_all)
+    assert distinct == 25

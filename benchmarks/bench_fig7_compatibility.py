@@ -1,0 +1,43 @@
+"""Benchmark for Fig. 7 (Section 5.1): view-compatibility checks."""
+
+from repro.experiments import run_experiment
+from repro.graphs import grid_graph, path_graph
+from repro.local import Instance, extract_view
+from repro.realizability import node_compatible_with
+from repro.realizability.compatibility import identifiers_in, occurrences_of_identifier
+
+
+def test_fig7_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig7"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_compatibility_check_paths(benchmark):
+    inst_a = Instance.build(path_graph(5), id_bound=9)
+    inst_b = Instance.build(path_graph(7), id_bound=9)
+    view_a = extract_view(inst_a, 2, 2)
+    view_b = extract_view(inst_b, 3, 2)
+    u_local = view_a.ids.index(4)
+    verdict = benchmark(lambda: node_compatible_with(view_a, u_local, view_b))
+    assert verdict
+
+
+def test_all_pairs_compatibility_grid(benchmark):
+    """Compatibility of every identifier occurrence across two views of
+    one grid instance — the inner loop of realizability checking."""
+    instance = Instance.build(grid_graph(3, 4), id_bound=12)
+    va = extract_view(instance, 5, 2)
+    vb = extract_view(instance, 6, 2)
+    shared = sorted(identifiers_in(va) & identifiers_in(vb))
+
+    def check_all():
+        count = 0
+        for ident in shared:
+            target = extract_view(instance, instance.ids.node_of(ident), 2)
+            for u_local in occurrences_of_identifier(va, ident):
+                if node_compatible_with(va, u_local, target):
+                    count += 1
+        return count
+
+    compatible = benchmark(check_all)
+    assert compatible == len(shared)

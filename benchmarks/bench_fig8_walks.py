@@ -1,0 +1,40 @@
+"""Benchmark for Fig. 8 (Lemmas 5.4/5.5): escape walks, surgery, and the
+odd-walk composition."""
+
+from repro.experiments import run_experiment
+from repro.graphs import cycle_graph, theta_graph
+from repro.local import Instance
+from repro.realizability import (
+    debacktrack_odd_cycle,
+    escape_walk,
+    is_non_backtracking,
+    walk_length,
+)
+
+
+def test_fig8_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("fig8"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_escape_walk_cycle(benchmark):
+    instance = Instance.build(cycle_graph(40))
+    walk = benchmark(lambda: escape_walk(instance, 0, 1, 1))
+    assert walk_length(walk) % 2 == 0
+
+
+def test_escape_walk_theta(benchmark):
+    instance = Instance.build(theta_graph(6, 6, 8))
+    walk = benchmark(lambda: escape_walk(instance, 0, 2, 1))
+    assert walk_length(walk) % 2 == 0
+
+
+def test_debacktrack_surgery(benchmark):
+    instance = Instance.build(theta_graph(4, 4, 6))
+    bad = [3, 2, 0, 2, 3]
+
+    def surgery():
+        return debacktrack_odd_cycle(instance, list(bad))
+
+    fixed = benchmark(surgery)
+    assert is_non_backtracking(fixed)

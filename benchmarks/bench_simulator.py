@@ -1,0 +1,58 @@
+"""Benchmark for the model-validation table: flooding simulation vs
+direct view extraction, and message-complexity scaling."""
+
+from repro.core import EvenCycleLCP
+from repro.experiments import run_experiment
+from repro.graphs import cycle_graph, grid_graph
+from repro.local import Instance, run_algorithm_distributed, simulate_views
+
+
+def test_tbl_sim_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("tbl_sim"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_flooding_radius1_grid(benchmark):
+    instance = Instance.build(grid_graph(6, 6))
+    views, stats = benchmark(lambda: simulate_views(instance, 1))
+    assert len(views) == 36
+    assert stats.total_messages == 2 * instance.graph.size
+
+
+def test_flooding_radius3_cycle(benchmark):
+    instance = Instance.build(cycle_graph(40))
+    views, stats = benchmark(lambda: simulate_views(instance, 3))
+    assert len(views) == 40
+    assert stats.total_messages == 3 * 2 * 40
+
+
+def test_distributed_verification_end_to_end(benchmark):
+    lcp = EvenCycleLCP()
+    instance = Instance.build(cycle_graph(48))
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+
+    def run():
+        votes, stats = run_algorithm_distributed(lcp.decoder, labeled)
+        return votes
+
+    votes = benchmark(run)
+    assert all(votes.values())
+
+
+def test_tbl_hiding_fraction_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl_hiding_fraction"), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_tbl_resilience_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl_resilience"), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_lem62_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("lem62"), rounds=1, iterations=1)
+    assert result.ok

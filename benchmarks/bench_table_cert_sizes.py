@@ -1,0 +1,50 @@
+"""Benchmark for the certificate-size table (Section 1.3's implicit
+results table): prover throughput and measured bits across the n-sweep."""
+
+from repro.core import all_lcps
+from repro.experiments import run_experiment
+from repro.graphs import cycle_graph, path_graph, spider_graph
+from repro.local import Instance
+
+
+def test_tbl_cert_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("tbl_cert"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_certificate_sizes_full_sweep(benchmark):
+    """Certify every scheme on its canonical instance and collect the
+    per-scheme maximum certificate size — the table's data row."""
+    schemes = all_lcps()
+
+    def sweep():
+        rows = {}
+        for name, lcp in schemes.items():
+            graph = cycle_graph(16) if name == "even-cycle" else path_graph(16)
+            instance = Instance.build(graph)
+            labeling = lcp.prover.certify(instance)
+            rows[name] = lcp.labeling_bits(labeling, instance.n, instance.id_bound)
+        return rows
+
+    rows = benchmark(sweep)
+    assert rows["revealing"] == 1
+    assert rows["degree-one"] == 2
+    assert rows["even-cycle"] == 4
+    assert rows["union"] == 5
+    assert rows["watermelon"] > rows["union"]
+
+
+def test_shatter_certificate_sizes_delta_sweep(benchmark):
+    """The Δ² component term of Theorem 1.3's bound."""
+    lcp = all_lcps()["shatter"]
+
+    def sweep():
+        out = []
+        for legs in (3, 6, 9):
+            instance = Instance.build(spider_graph(legs, 2))
+            labeling = lcp.prover.certify(instance)
+            out.append(lcp.labeling_bits(labeling, instance.n, instance.id_bound))
+        return out
+
+    bits = benchmark(sweep)
+    assert bits[0] < bits[-1]

@@ -1,0 +1,52 @@
+"""Benchmark for Theorem 1.3: the shatter-point scheme end to end."""
+
+from repro.core import ShatterLCP
+from repro.experiments import run_experiment
+from repro.experiments.theorems import (
+    _check_rogue_type1_counterexample,
+    shatter_hiding_witnesses,
+)
+from repro.graphs import grid_graph, path_graph, spider_graph
+from repro.local import Instance
+from repro.neighborhood import hiding_verdict_from_instances
+
+
+def test_thm13_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("thm13"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_shatter_prover_long_path(benchmark):
+    lcp = ShatterLCP()
+    instance = Instance.build(path_graph(40))
+    labeling = benchmark(lambda: lcp.prover.certify(instance))
+    assert len(labeling.nodes()) == 40
+
+
+def test_shatter_prover_many_components(benchmark):
+    lcp = ShatterLCP()
+    instance = Instance.build(spider_graph(6, 2))
+    labeling = benchmark(lambda: lcp.prover.certify(instance))
+    kinds = {labeling.of(v)[0] for v in instance.graph.nodes}
+    assert kinds == {"shatter", "nbr", "comp"}
+
+
+def test_shatter_verification_grid(benchmark):
+    lcp = ShatterLCP()
+    instance = Instance.build(grid_graph(3, 8))
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+    result = benchmark(lambda: lcp.check(labeled))
+    assert result.unanimous
+
+
+def test_hiding_via_p1_p2(benchmark):
+    lcp = ShatterLCP()
+    inst1, inst2 = shatter_hiding_witnesses()
+    verdict = benchmark(lambda: hiding_verdict_from_instances(lcp, [inst1, inst2]))
+    assert verdict.hiding is True
+
+
+def test_rogue_attack_rejected(benchmark):
+    lcp = ShatterLCP()
+    broken = benchmark(lambda: _check_rogue_type1_counterexample(lcp))
+    assert not broken

@@ -1,0 +1,43 @@
+"""Benchmark for Theorem 1.4: the watermelon scheme end to end."""
+
+from repro.core import WatermelonLCP
+from repro.experiments import run_experiment
+from repro.experiments.theorems import watermelon_hiding_witnesses
+from repro.graphs import watermelon_decomposition, watermelon_graph
+from repro.local import Instance
+from repro.neighborhood import hiding_verdict_from_instances
+
+
+def test_thm14_experiment(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("thm14"), rounds=1, iterations=1)
+    assert result.ok
+
+
+def test_watermelon_recognition(benchmark):
+    graph = watermelon_graph([4] * 10)
+    decomp = benchmark(lambda: watermelon_decomposition(graph))
+    assert decomp is not None
+    assert decomp.path_count == 10
+
+
+def test_watermelon_prover(benchmark):
+    lcp = WatermelonLCP()
+    instance = Instance.build(watermelon_graph([4] * 8))
+    labeling = benchmark(lambda: lcp.prover.certify(instance))
+    assert len(labeling.nodes()) == instance.n
+
+
+def test_watermelon_verification(benchmark):
+    lcp = WatermelonLCP()
+    instance = Instance.build(watermelon_graph([6] * 6))
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+    result = benchmark(lambda: lcp.check(labeled))
+    assert result.unanimous
+
+
+def test_hiding_via_reflected_ids(benchmark):
+    lcp = WatermelonLCP()
+    inst1, inst2 = watermelon_hiding_witnesses()
+    verdict = benchmark(lambda: hiding_verdict_from_instances(lcp, [inst1, inst2]))
+    assert verdict.hiding is True
+    assert (len(verdict.odd_cycle) - 1) % 2 == 1  # the Section 7.2 walk is length 7

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (figure/table/theorem) and
+asserts the reproduced shape before/while timing it, so `pytest
+benchmarks/ --benchmark-only` doubles as a full reproduction run.
+"""

@@ -1,0 +1,60 @@
+"""Adversarial soundness attacks, and why they fail on the paper's LCPs.
+
+A malicious prover tries to get a non-2-colorable graph accepted — or,
+against *strong* soundness, to get any set of accepting nodes to induce
+an odd cycle.  This example runs the exhaustive adversary against the
+degree-one scheme, shows the deliberately weakened decoder (missing the
+common-color check at ⊤ nodes) being broken, and shows the repaired
+shatter decoder resisting the two hand-built attacks from the
+reproduction notes.
+
+Run:  python examples/adversary_attack.py
+"""
+
+from repro.certification import ExhaustiveAdversary, check_strong_soundness
+from repro.core import DegreeOneLCP, ShatterLCP
+from repro.experiments.theorems import (
+    _check_common_color_counterexample,
+    _check_rogue_type1_counterexample,
+)
+from repro.graphs import complete_graph, cycle_graph, pan_graph
+
+
+def main() -> None:
+    adversary = ExhaustiveAdversary()
+    targets = [complete_graph(3), cycle_graph(5), pan_graph(3, 1)]
+
+    print("=== Exhaustive attack on the degree-one LCP ===")
+    report = check_strong_soundness(DegreeOneLCP(), targets, adversary, port_limit=2)
+    print(report.summary())
+    assert report.passed
+
+    print("\n=== The same attack on the weakened decoder (no common-β) ===")
+    weak = DegreeOneLCP(require_common_beta=False)
+    report = check_strong_soundness(weak, [pan_graph(5, 1)], adversary, port_limit=1)
+    print(report.summary())
+    assert not report.passed
+    violation = report.violations[0]
+    print(f"accepted odd cycle: {list(violation.witness)}")
+    print("certificates of the violating labeling:")
+    for v in violation.instance.graph.nodes:
+        print(f"  node {v}: {violation.labeling.of(v)!r}")
+
+    print("\n=== Hand-built attacks against the shatter decoder ===")
+    for flag, attack, name in [
+        (ShatterLCP(anchored_type0_id=False), _check_rogue_type1_counterexample,
+         "rogue type-1 (anchor check disabled)"),
+        (ShatterLCP(common_touch_color=False), _check_common_color_counterexample,
+         "two-sided touch (common-color check disabled)"),
+    ]:
+        broken = attack(flag)
+        print(f"{name}: attack succeeds = {broken}")
+        assert broken
+    repaired = ShatterLCP()
+    print("repaired decoder resists both attacks:",
+          not _check_rogue_type1_counterexample(repaired)
+          and not _check_common_color_counterexample(repaired))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Impossibility probe (Theorem 1.2): the strong-vs-hiding dichotomy.
+
+The paper proves no r-round LCP on a class containing an r-forgetful,
+min-degree-2, non-cycle graph can be simultaneously strongly sound and
+hiding.  This probe makes the prediction concrete: every candidate
+decoder in a catalog — including randomly generated ones — is either
+revealed (no hiding witness among its accepted views) or refuted (an
+adversarial labeling makes the accepting nodes induce an odd cycle).
+
+Run:  python examples/impossibility_probe.py [num_random_decoders]
+"""
+
+import random
+import sys
+
+from repro.certification import (
+    ConstantDecoder,
+    EnumerativeLCP,
+    ExhaustiveAdversary,
+    FunctionDecoder,
+    check_strong_soundness,
+)
+from repro.graphs import complete_graph, cycle_graph, is_bipartite, theta_graph
+from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
+
+
+def random_decoder(seed: int):
+    """A random anonymous one-round decoder over a 2-symbol alphabet.
+
+    Decisions are a deterministic hash of (own label, sorted neighbor
+    labels, degree) seeded by *seed* — a draw from the space Theorem 1.2
+    quantifies over.
+    """
+    rng = random.Random(seed)
+    table: dict[tuple, bool] = {}
+
+    def decide(view) -> bool:
+        key = (
+            view.center_label,
+            tuple(sorted(map(repr, (view.label_of(w) for w in view.neighbors_in_view(0))))),
+            view.center_degree,
+        )
+        if key not in table:
+            table[key] = rng.random() < 0.7
+        return table[key]
+
+    return FunctionDecoder(decide, anonymous=True, name=f"random-{seed}")
+
+
+def main() -> None:
+    num_random = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    theta = theta_graph(4, 4, 6)  # r-forgetful, min degree 2, two cycles
+    no_instances = [complete_graph(3), cycle_graph(5), theta_graph(2, 2, 3)]
+
+    candidates = [
+        EnumerativeLCP(ConstantDecoder(True, anonymous=True), ["c"],
+                       promise_fn=is_bipartite, name="accept-all"),
+    ]
+    for seed in range(num_random):
+        candidates.append(
+            EnumerativeLCP(random_decoder(seed), ["a", "b"],
+                           promise_fn=is_bipartite, name=f"random-{seed}")
+        )
+
+    print(f"{'decoder':14s} {'complete':9s} {'hiding?':8s} {'strong?':8s} verdict")
+    print("-" * 60)
+    dichotomy_holds = True
+    for lcp in candidates:
+        try:
+            labeled = list(labeled_yes_instances(lcp, [theta], port_limit=1,
+                                                 id_bound=theta.order))
+        except Exception:
+            labeled = []
+        complete = bool(labeled)
+        hiding = None
+        if labeled:
+            ngraph = build_neighborhood_graph(lcp, labeled[:40])
+            hiding = ngraph.find_odd_cycle() is not None
+        strong = check_strong_soundness(
+            lcp, no_instances, ExhaustiveAdversary(max_labelings=100_000), port_limit=1
+        ).passed
+        both = complete and strong and hiding is True
+        dichotomy_holds = dichotomy_holds and not both
+        verdict = "VIOLATES THEOREM" if both else "consistent with Thm 1.2"
+        print(f"{lcp.name:14s} {str(complete):9s} {str(hiding):8s} {str(strong):8s} {verdict}")
+
+    print("-" * 60)
+    print(f"dichotomy holds on the whole catalog: {dichotomy_holds}")
+    assert dichotomy_holds
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Walkthrough of the Theorem 1.5 lower-bound machinery (Section 5).
+
+Follows the proof's storyline on concrete objects:
+
+1. take a hiding decoder and an r-forgetful yes-instance;
+2. find an odd closed walk in the accepting neighborhood graph
+   (Lemma 3.2's witness);
+3. build the escape walk ``W_e`` (Fig. 8) and compose it into the odd
+   walk (Lemma 5.4) — still odd, still closed, now non-backtracking;
+4. show the other side of the coin: for the paper's *strongly sound*
+   watermelon scheme, the odd walk of views cannot be realized as a
+   ``G_bad`` (Lemma 5.1's merge fails), which is exactly why strong
+   soundness survives there.
+
+Run:  python examples/lower_bound_walkthrough.py
+"""
+
+from repro.certification import ConstantDecoder, EnumerativeLCP
+from repro.core import WatermelonLCP
+from repro.graphs import is_bipartite, theta_graph
+from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
+from repro.realizability import (
+    candidates_from_witnesses,
+    compose_with_escape_walks,
+    escape_walk,
+    is_non_backtracking,
+    realize_views,
+    walk_length,
+)
+from repro.local import Instance
+
+
+def main() -> None:
+    # --- 1. A hiding (but not strongly sound) decoder on B(Δ, r) -------
+    accept_all = EnumerativeLCP(
+        ConstantDecoder(True, anonymous=True), ["c"],
+        promise_fn=is_bipartite, name="accept-all",
+    )
+    theta = theta_graph(4, 4, 6)   # r-forgetful, min degree 2, two cycles
+    print(f"yes-instance: θ(4,4,6), n={theta.order}")
+
+    # --- 2. Odd closed walk in V(D, n) ---------------------------------
+    labeled = list(
+        labeled_yes_instances(accept_all, [theta], port_limit=1, id_bound=theta.order)
+    )
+    ngraph = build_neighborhood_graph(accept_all, labeled)
+    odd = ngraph.find_odd_cycle()
+    assert odd is not None
+    print(f"V(D, n): {ngraph.order} views; odd closed walk of {len(odd) - 1} edge(s)")
+
+    # --- 3. The escape walk and the Lemma 5.4 composition --------------
+    instance = Instance.build(theta)
+    w_e = escape_walk(instance, 0, 2, radius=1)
+    print(f"W_e from edge (0,2): length {walk_length(w_e)} "
+          f"(even={walk_length(w_e) % 2 == 0}, "
+          f"non-backtracking={is_non_backtracking(w_e)})")
+    composed = compose_with_escape_walks(accept_all, ngraph, odd)
+    print(f"composed walk: {composed.length()} edges "
+          f"(odd={composed.length() % 2 == 1}, closed={composed.is_closed()})")
+
+    # --- 4. Strong soundness blocks realization ------------------------
+    lcp = WatermelonLCP()
+    from repro.experiments.theorems import watermelon_hiding_witnesses
+
+    inst1, inst2 = watermelon_hiding_witnesses()
+    wng = build_neighborhood_graph(lcp, [inst1, inst2])
+    wodd = wng.find_odd_cycle()
+    assert wodd is not None
+    walk_views = list(dict.fromkeys(wodd))
+    candidates = candidates_from_witnesses(
+        walk_views, list(wng.view_witness.values()), lcp.radius
+    )
+    result = realize_views(lcp, walk_views, candidates, id_bound=8)
+    print(f"\nwatermelon scheme: odd walk of {len(wodd) - 1} views found "
+          f"(the scheme IS hiding)")
+    print(f"Lemma 5.1 merge of that walk: realized={result.realized}")
+    if result.failures:
+        print(f"  first obstruction: {result.failures[0]}")
+    assert not (result.realized and result.all_centers_accepted)
+    print("strong soundness holds precisely because the walk cannot be "
+          "realized as a G_bad.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Message-passing simulation of distributed verification.
+
+Runs the even-cycle LCP through the synchronous flooding engine instead
+of direct view extraction: nodes exchange knowledge for r rounds,
+reconstruct their views, and verify — with message accounting, a
+demonstration that the reconstruction matches the model exactly,
+certificate-erasure fault injection, and the same protocol over an
+*asynchronous* network through an α-synchronizer.
+
+Run:  python examples/simulator_demo.py
+"""
+
+from repro import Instance
+from repro.core import EvenCycleLCP
+from repro.graphs import cycle_graph
+from repro.local import (
+    extract_all_views,
+    run_algorithm_distributed,
+    simulate_views,
+    simulate_views_async,
+)
+
+
+def main() -> None:
+    graph = cycle_graph(10)
+    lcp = EvenCycleLCP()
+    instance = Instance.build(graph)
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+
+    # 1. Run the decoder through the flooding engine.
+    votes, stats = run_algorithm_distributed(lcp.decoder, labeled)
+    print(f"C10 verification: all accept = {all(votes.values())}")
+    print(f"messages sent: {stats.total_messages} "
+          f"(= 2m per round = {2 * graph.size} for r=1)")
+    assert all(votes.values())
+
+    # 2. Simulated views are exactly the model's views, at any radius.
+    for radius in (1, 2, 3):
+        simulated, s = simulate_views(labeled, radius, include_ids=False)
+        direct = extract_all_views(labeled, radius, include_ids=False)
+        match = simulated == direct
+        print(f"radius {radius}: simulated == direct: {match}; "
+              f"record units moved: {s.total_record_units}")
+        assert match
+
+    # 3. Fault injection: erase two certificates; the neighbors notice.
+    views, _ = simulate_views(labeled, 1, include_ids=False, erased_nodes={0, 5})
+    votes = {v: lcp.decoder.decide(view) for v, view in views.items()}
+    rejecting = sorted(v for v, vote in votes.items() if not vote)
+    print(f"after erasing certificates at nodes 0 and 5, rejecting: {rejecting}")
+    assert rejecting
+
+    # 4. Asynchrony: adversarial message delays + an α-synchronizer give
+    #    back the exact same views — LOCAL semantics survive asynchrony.
+    for seed in (1, 2, 3):
+        async_views, stats = simulate_views_async(labeled, 2, seed=seed)
+        assert async_views == extract_all_views(labeled, 2)
+        print(f"async schedule {seed}: views identical; "
+              f"{stats.events_processed} deliveries, "
+              f"max round skew {stats.max_round_skew}")
+
+
+if __name__ == "__main__":
+    main()

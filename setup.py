@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` in offline environments lacking
+the `wheel` package (pip falls back to legacy `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

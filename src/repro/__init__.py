@@ -1,0 +1,50 @@
+"""repro — Strong and Hiding Distributed Certification of k-Coloring.
+
+An executable model of the LCP (locally checkable proof) framework and a
+full reproduction of the constructions in Modanese, Montealegre &
+Rios-Wilson, *Brief Announcement: Strong and Hiding Distributed
+Certification of k-Coloring*, PODC 2025.
+
+Quickstart::
+
+    from repro import Instance, graphs
+    from repro.core import DegreeOneLCP
+
+    g = graphs.path_graph(6)
+    lcp = DegreeOneLCP()
+    instance = Instance.build(g)
+    labeling = lcp.prover.certify(instance)
+    verdict = lcp.check(instance.with_labeling(labeling))
+    assert verdict.unanimous
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from . import graphs, local
+from .errors import ReproError
+from .graphs import Graph
+from .local import (
+    IdentifierAssignment,
+    Instance,
+    Labeling,
+    PortAssignment,
+    View,
+    extract_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "IdentifierAssignment",
+    "Instance",
+    "Labeling",
+    "PortAssignment",
+    "ReproError",
+    "View",
+    "__version__",
+    "extract_view",
+    "graphs",
+    "local",
+]

@@ -1,0 +1,52 @@
+"""Certification framework: LCP abstraction, provers, decoders,
+property checkers, and adversarial labeling search."""
+
+from .adversary import (
+    Adversary,
+    ExhaustiveAdversary,
+    GreedyAdversary,
+    RandomAdversary,
+    harvest_certificate_pool,
+)
+from .checkers import (
+    FastVerifier,
+    check_completeness,
+    check_soundness,
+    check_strong_soundness,
+    find_strong_soundness_violation,
+    instances_for,
+)
+from .decoder import ACCEPT, REJECT, ConstantDecoder, Decoder, FunctionDecoder
+from .enumeration import EnumerativeLCP, SearchProver
+from .lcp import LCP, AcceptanceResult
+from .prover import FunctionProver, Prover, reject_promise
+from .reports import CheckKind, CheckReport, Violation
+
+__all__ = [
+    "ACCEPT",
+    "AcceptanceResult",
+    "Adversary",
+    "CheckKind",
+    "CheckReport",
+    "ConstantDecoder",
+    "Decoder",
+    "EnumerativeLCP",
+    "ExhaustiveAdversary",
+    "FastVerifier",
+    "FunctionDecoder",
+    "FunctionProver",
+    "GreedyAdversary",
+    "LCP",
+    "Prover",
+    "REJECT",
+    "RandomAdversary",
+    "SearchProver",
+    "Violation",
+    "check_completeness",
+    "check_soundness",
+    "check_strong_soundness",
+    "find_strong_soundness_violation",
+    "harvest_certificate_pool",
+    "instances_for",
+    "reject_promise",
+]

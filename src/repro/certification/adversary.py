@@ -1,0 +1,182 @@
+"""Adversarial provers: labeling generators attacking (strong) soundness.
+
+Soundness quantifies over *every* labeling, so checking it is an
+adversarial search problem.  Three strategies are provided:
+
+* :class:`ExhaustiveAdversary` — every labeling over a finite alphabet
+  (a proof, not just evidence, for constant-size LCPs on small graphs);
+* :class:`RandomAdversary` — i.i.d. samples from a certificate pool;
+* :class:`GreedyAdversary` — hill climbing that maximizes the number of
+  accepting nodes, restarted from random labelings; certificates are
+  drawn from a pool, which by default is harvested from the prover's own
+  certificates on related yes-instances (the "stitching" attack that the
+  paper's lower bound formalizes via realizability, Section 5).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from ..graphs.graph import Graph
+from ..local.instance import Instance
+from ..local.labeling import Certificate, Labeling, all_labelings
+from .lcp import LCP
+
+
+class Adversary(ABC):
+    """Produces candidate labelings for an instance."""
+
+    @abstractmethod
+    def labelings(self, lcp: LCP, instance: Instance) -> Iterator[Labeling]:
+        """Candidate certificate assignments to test against the decoder."""
+
+    #: Whether the produced stream covers the whole labeling space.
+    exhaustive: bool = False
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class ExhaustiveAdversary(Adversary):
+    """Every labeling over the LCP's finite alphabet.
+
+    Only usable when :meth:`LCP.certificate_alphabet` returns a finite
+    alphabet; the stream has ``|alphabet| ** n`` elements.
+    """
+
+    exhaustive = True
+
+    def __init__(self, max_labelings: int | None = None) -> None:
+        self.max_labelings = max_labelings
+
+    def labelings(self, lcp: LCP, instance: Instance) -> Iterator[Labeling]:
+        alphabet = lcp.certificate_alphabet(instance.graph)
+        if alphabet is None:
+            raise ValueError(
+                f"{lcp.name} has no finite certificate alphabet; "
+                "use a sampling adversary instead"
+            )
+        count = 0
+        for labeling in all_labelings(instance.graph, alphabet):
+            if self.max_labelings is not None and count >= self.max_labelings:
+                return
+            count += 1
+            yield labeling
+
+
+def harvest_certificate_pool(lcp: LCP, instance: Instance, extra_graphs: list[Graph] = ()) -> list[Certificate]:
+    """Collect plausible certificates for adversarial use.
+
+    The pool contains (a) the LCP's finite alphabet if any, and (b) every
+    certificate the honest prover emits on the given yes-instance graphs —
+    the raw material for stitching attacks.
+    """
+    pool: list[Certificate] = []
+    seen: set[Certificate] = set()
+
+    def add(certificate: Certificate) -> None:
+        if certificate not in seen:
+            seen.add(certificate)
+            pool.append(certificate)
+
+    alphabet = lcp.certificate_alphabet(instance.graph)
+    if alphabet is not None:
+        for certificate in alphabet:
+            add(certificate)
+    for graph in list(extra_graphs):
+        if not lcp.is_yes_instance(graph):
+            continue
+        donor = Instance.build(graph, id_bound=max(instance.id_bound, graph.order))
+        try:
+            labeling = lcp.prover.certify(donor)
+        except Exception:
+            continue
+        for v in labeling.nodes():
+            add(labeling.of(v))
+    return pool
+
+
+class RandomAdversary(Adversary):
+    """I.i.d. random labelings from a certificate pool."""
+
+    exhaustive = False
+
+    def __init__(self, samples: int, seed: int, pool_graphs: list[Graph] = ()) -> None:
+        self.samples = samples
+        self.seed = seed
+        self.pool_graphs = list(pool_graphs)
+
+    def labelings(self, lcp: LCP, instance: Instance) -> Iterator[Labeling]:
+        pool = harvest_certificate_pool(lcp, instance, self.pool_graphs)
+        if not pool:
+            return
+        rng = random.Random(self.seed)
+        nodes = instance.graph.nodes
+        for _ in range(self.samples):
+            yield Labeling({v: rng.choice(pool) for v in nodes})
+
+
+class GreedyAdversary(Adversary):
+    """Hill climbing on the number of accepting nodes.
+
+    Starting from random labelings, repeatedly try single-node certificate
+    swaps that increase (or keep) the count of accepting nodes; emit every
+    improving labeling so the checker can inspect near-misses too.
+    """
+
+    exhaustive = False
+
+    def __init__(
+        self,
+        restarts: int = 8,
+        sweeps: int = 4,
+        seed: int = 0,
+        pool_graphs: list[Graph] = (),
+    ) -> None:
+        self.restarts = restarts
+        self.sweeps = sweeps
+        self.seed = seed
+        self.pool_graphs = list(pool_graphs)
+
+    def labelings(self, lcp: LCP, instance: Instance) -> Iterator[Labeling]:
+        from ..local.views import extract_view_layouts, relabel_view
+
+        pool = harvest_certificate_pool(lcp, instance, self.pool_graphs)
+        if not pool:
+            return
+        rng = random.Random(self.seed)
+        nodes = instance.graph.nodes
+        layouts = extract_view_layouts(
+            instance.without_labeling(), lcp.radius, include_ids=not lcp.anonymous
+        )
+
+        def score(labeling: Labeling) -> int:
+            decide = lcp.decoder.decide
+            return sum(
+                decide(relabel_view(template, order, labeling))
+                for template, order in layouts.values()
+            )
+
+        for _restart in range(self.restarts):
+            labeling = Labeling({v: rng.choice(pool) for v in nodes})
+            best = score(labeling)
+            yield labeling
+            for _sweep in range(self.sweeps):
+                improved = False
+                for v in nodes:
+                    current = labeling.of(v)
+                    for certificate in pool:
+                        if certificate == current:
+                            continue
+                        candidate = labeling.with_label(v, certificate)
+                        candidate_score = score(candidate)
+                        if candidate_score > best:
+                            labeling, best = candidate, candidate_score
+                            improved = True
+                            yield labeling
+                            break
+                if not improved:
+                    break

@@ -1,0 +1,67 @@
+"""Binary decoders — the distributed verifier side of an LCP (Section 2.2).
+
+A decoder is an ``r``-round local algorithm whose input views carry
+certificates and whose output is accept (``True``) or reject (``False``).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from ..graphs.graph import Node
+from ..local.algorithms import LocalAlgorithm
+from ..local.instance import Instance
+from ..local.views import View
+
+ACCEPT = True
+REJECT = False
+
+
+class Decoder(LocalAlgorithm):
+    """A binary decoder: accepts or rejects based on the local view."""
+
+    @abstractmethod
+    def decide(self, view: View) -> bool:
+        """Accept (``True``) or reject (``False``) the certificate layout."""
+
+    def run(self, view: View) -> bool:
+        return self.decide(view)
+
+    def decide_all(self, instance: Instance) -> dict[Node, bool]:
+        """Run the decoder at every node of a labeled instance."""
+        return self.run_on(instance)
+
+
+class FunctionDecoder(Decoder):
+    """Wrap a plain predicate ``View -> bool`` as a decoder."""
+
+    def __init__(self, fn, radius: int = 1, anonymous: bool = False, name: str | None = None):
+        self._fn = fn
+        self.radius = radius
+        self.anonymous = anonymous
+        self._name = name or getattr(fn, "__name__", "FunctionDecoder")
+
+    def decide(self, view: View) -> bool:
+        return bool(self._fn(view))
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class ConstantDecoder(Decoder):
+    """Accept (or reject) everything — degenerate baselines for the
+    impossibility probes: the always-accept decoder is trivially hiding
+    but violently unsound, the always-reject one is sound but incomplete."""
+
+    def __init__(self, verdict: bool, radius: int = 1, anonymous: bool = True):
+        self.verdict = verdict
+        self.radius = radius
+        self.anonymous = anonymous
+
+    def decide(self, view: View) -> bool:
+        return self.verdict
+
+    @property
+    def name(self) -> str:
+        return f"ConstantDecoder({self.verdict})"

@@ -1,0 +1,110 @@
+"""Wrapping bare decoders as LCPs via brute-force proving.
+
+The impossibility experiments (Theorem 1.2) quantify over decoders, not
+over full LCP schemes: a candidate decoder has no prover attached.
+:class:`EnumerativeLCP` turns any decoder with a finite certificate
+alphabet into an LCP whose "prover" simply searches the labeling space
+for unanimously accepted assignments — the existential quantifier of
+completeness made executable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import PromiseViolationError
+from ..graphs.graph import Graph
+from ..local.instance import Instance
+from ..local.labeling import Certificate, Labeling, all_labelings, count_labelings
+from ..local.views import extract_view_layouts, relabel_view
+from .decoder import Decoder
+from .lcp import LCP
+from .prover import Prover
+
+
+class SearchProver(Prover):
+    """Find accepted labelings by exhaustive search over an alphabet."""
+
+    def __init__(self, decoder: Decoder, alphabet: list[Certificate], search_limit: int = 300_000):
+        self._decoder = decoder
+        self._alphabet = list(alphabet)
+        self.search_limit = search_limit
+
+    def certify(self, instance: Instance) -> Labeling:
+        for labeling in self.all_certifications(instance):
+            return labeling
+        raise PromiseViolationError(
+            f"no labeling over {len(self._alphabet)} symbols is unanimously "
+            f"accepted on this {instance.n}-node instance"
+        )
+
+    def all_certifications(self, instance: Instance) -> Iterator[Labeling]:
+        if count_labelings(instance.graph, len(self._alphabet)) > self.search_limit:
+            raise PromiseViolationError(
+                f"labeling space exceeds the search limit ({self.search_limit})"
+            )
+        layouts = extract_view_layouts(
+            instance.without_labeling(),
+            self._decoder.radius,
+            include_ids=not self._decoder.anonymous,
+        )
+        for labeling in all_labelings(instance.graph, self._alphabet):
+            if all(
+                self._decoder.decide(relabel_view(template, order, labeling))
+                for template, order in layouts.values()
+            ):
+                yield labeling
+
+    @property
+    def name(self) -> str:
+        return f"SearchProver({self._decoder.name})"
+
+
+class EnumerativeLCP(LCP):
+    """An LCP assembled from a bare decoder and a finite alphabet.
+
+    *promise_fn* optionally restricts the promise class; *k* defaults
+    to 2.  Completeness of the result is whatever the search finds — the
+    impossibility experiments report incomplete candidates as such.
+    """
+
+    def __init__(
+        self,
+        decoder: Decoder,
+        alphabet: list[Certificate],
+        promise_fn=None,
+        k: int = 2,
+        name: str | None = None,
+        search_limit: int = 300_000,
+    ) -> None:
+        self.k = k
+        self.radius = decoder.radius
+        self.anonymous = decoder.anonymous
+        self._decoder = decoder
+        self._alphabet = list(alphabet)
+        self._prover = SearchProver(decoder, alphabet, search_limit=search_limit)
+        self._promise_fn = promise_fn
+        self._name = name or f"EnumerativeLCP({decoder.name})"
+
+    @property
+    def prover(self) -> Prover:
+        return self._prover
+
+    @property
+    def decoder(self) -> Decoder:
+        return self._decoder
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def promise(self, graph: Graph) -> bool:
+        if self._promise_fn is None:
+            return True
+        return bool(self._promise_fn(graph))
+
+    def certificate_alphabet(self, graph: Graph) -> list[Certificate]:
+        return list(self._alphabet)
+
+    def certificate_bits(self, certificate: Certificate, n: int, id_bound: int) -> int:
+        return max(1, (len(self._alphabet) - 1).bit_length())

@@ -1,0 +1,140 @@
+"""The LCP abstraction: prover + decoder + promise + certificate codec.
+
+An :class:`LCP` bundles everything the paper's Section 2 attaches to a
+locally checkable proof for ``k``-coloring:
+
+* the *language* parameter ``k`` (we focus on ``k = 2`` like the paper);
+* the verification radius ``r`` and whether the scheme is anonymous;
+* the *promise class* (a predicate on graphs) for promise problems
+  (Section 2.5);
+* the prover and the binary decoder;
+* a certificate codec used by the certificate-size experiments;
+* optionally a finite certificate alphabet enabling the exhaustive
+  strong-soundness adversary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..graphs.coloring import is_k_colorable
+from ..graphs.graph import Graph, Node
+from ..graphs.properties import is_bipartite
+from ..local.instance import Instance
+from ..local.labeling import Certificate, Labeling
+from .decoder import Decoder
+from .prover import Prover
+
+
+@dataclass(frozen=True)
+class AcceptanceResult:
+    """Per-node decoder verdicts on one labeled instance."""
+
+    votes: dict[Node, bool]
+
+    @property
+    def unanimous(self) -> bool:
+        """True iff every node accepts (the yes-side condition)."""
+        return all(self.votes.values())
+
+    @property
+    def accepting(self) -> set[Node]:
+        return {v for v, vote in self.votes.items() if vote}
+
+    @property
+    def rejecting(self) -> set[Node]:
+        return {v for v, vote in self.votes.items() if not vote}
+
+    def __repr__(self) -> str:
+        return f"AcceptanceResult(accepting={len(self.accepting)}, rejecting={len(self.rejecting)})"
+
+
+class LCP(ABC):
+    """A locally checkable proof scheme for ``k``-coloring."""
+
+    #: The coloring parameter of the language ``k-col``.
+    k: int = 2
+    #: Verification radius ``r``.
+    radius: int = 1
+    #: Whether the decoder may depend on identifiers.
+    anonymous: bool = False
+
+    @property
+    @abstractmethod
+    def prover(self) -> Prover:
+        """The certificate-assigning prover."""
+
+    @property
+    @abstractmethod
+    def decoder(self) -> Decoder:
+        """The distributed verifier."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    # Promise class
+    # ------------------------------------------------------------------
+
+    def promise(self, graph: Graph) -> bool:
+        """Membership in the promise class ``H`` (default: all graphs)."""
+        return True
+
+    def is_yes_instance(self, graph: Graph) -> bool:
+        """Yes-instances of the promise problem: ``H``-members that are
+        properly ``k``-colorable (for ``k = 2``: bipartite)."""
+        if self.k == 2:
+            return self.promise(graph) and is_bipartite(graph)
+        return self.promise(graph) and is_k_colorable(graph, self.k)
+
+    def is_no_instance(self, graph: Graph) -> bool:
+        """No-instances: graphs that are not ``k``-colorable at all
+        (promise problems leave the rest unconstrained, Section 2.5)."""
+        if self.k == 2:
+            return not is_bipartite(graph)
+        return not is_k_colorable(graph, self.k)
+
+    # ------------------------------------------------------------------
+    # Running the scheme
+    # ------------------------------------------------------------------
+
+    def check(self, instance: Instance) -> AcceptanceResult:
+        """Run the decoder at every node of a labeled instance."""
+        instance.require_labeling()
+        return AcceptanceResult(votes=self.decoder.decide_all(instance))
+
+    def accepts(self, instance: Instance) -> bool:
+        """True iff every node accepts."""
+        return self.check(instance).unanimous
+
+    def certify_and_check(self, instance: Instance) -> AcceptanceResult:
+        """Prover + decoder round trip on an unlabeled instance."""
+        labeling = self.prover.certify(instance)
+        return self.check(instance.with_labeling(labeling))
+
+    # ------------------------------------------------------------------
+    # Certificates
+    # ------------------------------------------------------------------
+
+    def certificate_alphabet(self, graph: Graph) -> list[Certificate] | None:
+        """The full finite certificate alphabet for instances on *graph*,
+        or ``None`` when the alphabet is too large to enumerate.
+
+        Constant-size LCPs return their (small) alphabet, enabling the
+        exhaustive adversary of the strong-soundness checks.
+        """
+        return None
+
+    @abstractmethod
+    def certificate_bits(self, certificate: Certificate, n: int, id_bound: int) -> int:
+        """Encoded size, in bits, of one certificate on an ``n``-node
+        instance with identifier bound ``N = id_bound``."""
+
+    def labeling_bits(self, labeling: Labeling, n: int, id_bound: int) -> int:
+        """The maximum certificate size across a labeling (the paper's
+        ``f(n)`` is a per-node bound)."""
+        return max(
+            self.certificate_bits(labeling.of(v), n, id_bound) for v in labeling.nodes()
+        )

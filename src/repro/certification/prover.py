@@ -1,0 +1,70 @@
+"""Provers — the omnipotent certificate-assigning side of an LCP.
+
+A prover maps a (yes-)instance to a labeling the decoder will accept
+unanimously.  Completeness often leaves the prover choices (which degree-1
+node hides the coloring, which of the two 2-colorings is used, which
+2-edge-coloring...), so provers can enumerate *all* canonical
+certifications; the neighborhood-graph builder feeds on that multiplicity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+
+from ..errors import PromiseViolationError
+from ..local.instance import Instance
+from ..local.labeling import Labeling
+
+
+class Prover(ABC):
+    """Assigns certificates to instances of its promise class."""
+
+    @abstractmethod
+    def certify(self, instance: Instance) -> Labeling:
+        """A canonical accepted labeling for a yes-instance.
+
+        Raises :class:`PromiseViolationError` when the instance is outside
+        the promise class (or not a yes-instance).
+        """
+
+    def all_certifications(self, instance: Instance) -> Iterator[Labeling]:
+        """Every canonical certification the prover can produce.
+
+        Default: just :meth:`certify`.  Override to expose prover freedom
+        — the accepting-view enumeration uses all of these.
+        """
+        yield self.certify(instance)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class FunctionProver(Prover):
+    """Wrap a function ``Instance -> Labeling`` as a prover."""
+
+    def __init__(self, fn, all_fn=None, name: str | None = None):
+        self._fn = fn
+        self._all_fn = all_fn
+        self._name = name or getattr(fn, "__name__", "FunctionProver")
+
+    def certify(self, instance: Instance) -> Labeling:
+        return self._fn(instance)
+
+    def all_certifications(self, instance: Instance) -> Iterator[Labeling]:
+        if self._all_fn is None:
+            yield self.certify(instance)
+        else:
+            yield from self._all_fn(instance)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+def reject_promise(instance: Instance, reason: str) -> PromiseViolationError:
+    """Build the standard promise-violation error for provers."""
+    return PromiseViolationError(
+        f"instance {instance!r} is outside the promise class: {reason}"
+    )

@@ -1,0 +1,95 @@
+"""Structured results for the certification checkers.
+
+Every checker returns a :class:`CheckReport`: machine-readable, with
+explicit counterexamples, so experiments can render paper-style summaries
+and tests can assert on precise failure contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..local.instance import Instance
+from ..local.labeling import Labeling
+
+
+class CheckKind(Enum):
+    """Which LCP property a report is about."""
+
+    COMPLETENESS = "completeness"
+    SOUNDNESS = "soundness"
+    STRONG_SOUNDNESS = "strong-soundness"
+    HIDING = "hiding"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A concrete counterexample to an LCP property.
+
+    * completeness: a yes-instance where some node rejects the prover's
+      certificates (*rejecting* holds the rejecting nodes);
+    * soundness: a no-instance plus labeling accepted unanimously;
+    * strong soundness: an instance plus labeling whose accepting nodes
+      induce a non-bipartite subgraph (*witness* holds an odd cycle).
+    """
+
+    kind: CheckKind
+    instance: Instance
+    labeling: Labeling
+    rejecting: tuple = ()
+    witness: tuple = ()
+    note: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"Violation({self.kind.value}, n={self.instance.n}, "
+            f"note={self.note!r})"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Aggregated result of one property check.
+
+    *passed* means no violation was found over everything enumerated;
+    for exhaustive enumerations this is a proof (for the covered sizes),
+    for sampled ones it is evidence — *exhaustive* records which.
+    """
+
+    kind: CheckKind
+    lcp_name: str
+    graphs_checked: int = 0
+    instances_checked: int = 0
+    labelings_checked: int = 0
+    exhaustive: bool = True
+    violations: list[Violation] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Combine two reports of the same kind (e.g. across graph sets)."""
+        if other.kind is not self.kind:
+            raise ValueError("cannot merge reports of different kinds")
+        return CheckReport(
+            kind=self.kind,
+            lcp_name=self.lcp_name,
+            graphs_checked=self.graphs_checked + other.graphs_checked,
+            instances_checked=self.instances_checked + other.instances_checked,
+            labelings_checked=self.labelings_checked + other.labelings_checked,
+            exhaustive=self.exhaustive and other.exhaustive,
+            violations=self.violations + other.violations,
+            notes=self.notes + other.notes,
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"FAIL ({len(self.violations)} violations)"
+        scope = "exhaustive" if self.exhaustive else "sampled"
+        return (
+            f"[{self.kind.value}] {self.lcp_name}: {status} — "
+            f"{self.graphs_checked} graphs, {self.instances_checked} instances, "
+            f"{self.labelings_checked} labelings ({scope})"
+        )

@@ -1,0 +1,164 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``repro list``
+    List every registered experiment with its paper reference.
+``repro run <exp_id> [...]``
+    Run one or more experiments (or ``all``) and print their reports.
+``repro schemes``
+    Show the LCP scheme catalog with paper references and size claims.
+``repro certify <scheme> <graph-spec>``
+    Round-trip a scheme on a generated graph, e.g.
+    ``repro certify degree-one path:8`` or
+    ``repro certify watermelon melon:2,3,3``.
+``repro views <scheme> <graph-spec>``
+    Print every node's certified view and its verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ._util import format_table
+from .core.registry import PAPER_REFERENCES, PAPER_SIZE_CLAIMS, make_lcp, scheme_names
+from .graphs import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    theta_graph,
+    watermelon_graph,
+)
+from .local.instance import Instance
+
+
+def parse_graph_spec(spec: str):
+    """Parse ``kind:args`` graph specifications used by ``certify``."""
+    kind, _, args = spec.partition(":")
+    params = [int(x) for x in args.split(",") if x] if args else []
+    if kind == "path":
+        return path_graph(*params)
+    if kind == "cycle":
+        return cycle_graph(*params)
+    if kind == "star":
+        return star_graph(*params)
+    if kind == "grid":
+        return grid_graph(*params)
+    if kind == "theta":
+        return theta_graph(*params)
+    if kind == "melon":
+        return watermelon_graph(params)
+    raise SystemExit(
+        f"unknown graph spec {spec!r}; use path:N, cycle:N, star:N, "
+        "grid:R,C, theta:A,B,C, or melon:L1,L2,..."
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    from .experiments import all_experiments
+
+    rows = [[e.exp_id, e.paper_ref, e.title] for e in all_experiments()]
+    print(format_table(["experiment", "paper ref", "title"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .experiments import all_experiments, render_results, run_experiment
+
+    if "all" in args.experiments:
+        results = [e.run() for e in all_experiments()]
+    else:
+        results = [run_experiment(exp_id) for exp_id in args.experiments]
+    print(render_results(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_schemes(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, PAPER_REFERENCES[name], PAPER_SIZE_CLAIMS[name]]
+        for name in scheme_names()
+    ]
+    print(format_table(["scheme", "paper result", "certificate size"], rows))
+    return 0
+
+
+def cmd_views(args: argparse.Namespace) -> int:
+    from .local.views import describe_view, extract_all_views
+
+    lcp = make_lcp(args.scheme)
+    graph = parse_graph_spec(args.graph)
+    instance = Instance.build(graph)
+    labeled = instance.with_labeling(lcp.prover.certify(instance))
+    views = extract_all_views(labeled, args.radius, include_ids=not lcp.anonymous)
+    for v, view in views.items():
+        verdict = "accept" if lcp.decoder.decide(view) else "reject"
+        print(f"node {v!r} [{verdict}]")
+        print(describe_view(view))
+        print()
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    lcp = make_lcp(args.scheme)
+    graph = parse_graph_spec(args.graph)
+    instance = Instance.build(graph)
+    labeling = lcp.prover.certify(instance)
+    result = lcp.check(instance.with_labeling(labeling))
+    print(f"scheme:   {lcp.name}  ({PAPER_REFERENCES[args.scheme]})")
+    print(f"graph:    {args.graph}  (n={graph.order}, m={graph.size})")
+    bits = lcp.labeling_bits(labeling, instance.n, instance.id_bound)
+    print(f"certificates: max {bits} bits/node")
+    verdict = "unanimously ACCEPTED" if result.unanimous else (
+        f"REJECTED at nodes {sorted(result.rejecting, key=repr)}"
+    )
+    print(f"verdict:  {verdict}")
+    if args.show_certificates:
+        for v in graph.nodes:
+            print(f"  node {v!r}: {labeling.of(v)!r}")
+    return 0 if result.unanimous else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Strong and hiding distributed certification of "
+        "k-coloring (PODC 2025) — experiment harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(fn=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run experiments and print reports")
+    run_parser.add_argument("experiments", nargs="+", help="experiment ids, or 'all'")
+    run_parser.set_defaults(fn=cmd_run)
+
+    sub.add_parser("schemes", help="show the LCP scheme catalog").set_defaults(
+        fn=cmd_schemes
+    )
+
+    certify_parser = sub.add_parser("certify", help="round-trip a scheme on a graph")
+    certify_parser.add_argument("scheme", choices=scheme_names())
+    certify_parser.add_argument("graph", help="graph spec, e.g. path:8 or melon:2,3,3")
+    certify_parser.add_argument(
+        "--show-certificates", action="store_true", help="print every certificate"
+    )
+    certify_parser.set_defaults(fn=cmd_certify)
+
+    views_parser = sub.add_parser("views", help="print every node's certified view")
+    views_parser.add_argument("scheme", choices=scheme_names())
+    views_parser.add_argument("graph", help="graph spec, e.g. path:4")
+    views_parser.add_argument("--radius", type=int, default=1)
+    views_parser.set_defaults(fn=cmd_views)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

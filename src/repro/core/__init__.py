@@ -1,0 +1,72 @@
+"""The paper's LCP schemes: the revealing baseline, the two anonymous
+constant-size schemes of Theorem 1.1, their union, and the non-anonymous
+schemes of Theorems 1.3 and 1.4."""
+
+from .degree_one import ALPHABET as DEGREE_ONE_ALPHABET
+from .degree_one import BOT, TOP, DegreeOneDecoder, DegreeOneLCP, DegreeOneProver
+from .even_cycle import EvenCycleDecoder, EvenCycleLCP, EvenCycleProver
+from .registry import (
+    PAPER_REFERENCES,
+    PAPER_SIZE_CLAIMS,
+    all_lcps,
+    make_lcp,
+    scheme_names,
+)
+from .shatter import (
+    ShatterDecoder,
+    ShatterLCP,
+    ShatterProver,
+    component_certificate,
+    neighbor_certificate,
+    shatter_certificate,
+)
+from .trivial import RevealingDecoder, RevealingLCP, RevealingProver
+from .universal import UniversalDecoder, UniversalLCP, UniversalProver, graph_map_of
+from .union import TAG_DEGREE_ONE, TAG_EVEN_CYCLE, UnionDecoder, UnionLCP, UnionProver
+from .watermelon import (
+    WatermelonDecoder,
+    WatermelonLCP,
+    WatermelonProver,
+    endpoint_certificate,
+    path_certificate,
+)
+
+__all__ = [
+    "BOT",
+    "DEGREE_ONE_ALPHABET",
+    "DegreeOneDecoder",
+    "DegreeOneLCP",
+    "DegreeOneProver",
+    "EvenCycleDecoder",
+    "EvenCycleLCP",
+    "EvenCycleProver",
+    "PAPER_REFERENCES",
+    "PAPER_SIZE_CLAIMS",
+    "RevealingDecoder",
+    "RevealingLCP",
+    "RevealingProver",
+    "ShatterDecoder",
+    "ShatterLCP",
+    "ShatterProver",
+    "TAG_DEGREE_ONE",
+    "TAG_EVEN_CYCLE",
+    "TOP",
+    "UnionDecoder",
+    "UniversalDecoder",
+    "UniversalLCP",
+    "UniversalProver",
+    "UnionLCP",
+    "UnionProver",
+    "WatermelonDecoder",
+    "WatermelonLCP",
+    "WatermelonProver",
+    "all_lcps",
+    "component_certificate",
+    "endpoint_certificate",
+    "graph_map_of",
+    "make_lcp",
+    "neighbor_certificate",
+    "path_certificate",
+    "scheme_names",
+    "shatter_certificate",
+]

@@ -1,0 +1,71 @@
+"""Catalog of the paper's LCP schemes, keyed by name.
+
+Used by the CLI, the experiment registry, and the certificate-size table
+so that every surface iterates over the same scheme list.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..certification.lcp import LCP
+from .degree_one import DegreeOneLCP
+from .even_cycle import EvenCycleLCP
+from .shatter import ShatterLCP
+from .trivial import RevealingLCP
+from .universal import UniversalLCP
+from .union import UnionLCP
+from .watermelon import WatermelonLCP
+
+_FACTORIES: dict[str, Callable[[], LCP]] = {
+    "revealing": RevealingLCP,
+    "degree-one": DegreeOneLCP,
+    "even-cycle": EvenCycleLCP,
+    "union": UnionLCP,
+    "shatter": ShatterLCP,
+    "watermelon": WatermelonLCP,
+    "universal": UniversalLCP,
+}
+
+#: Paper result each scheme reproduces, for reports.
+PAPER_REFERENCES: dict[str, str] = {
+    "revealing": "Section 1 (classic ⌈log k⌉-bit revealing LCP; non-hiding baseline)",
+    "degree-one": "Lemma 4.1 (class H1: δ(G) = 1)",
+    "even-cycle": "Lemma 4.2 (class H2: even cycles)",
+    "union": "Theorem 1.1 (H1 ∪ H2)",
+    "shatter": "Theorem 1.3 (graphs with a shatter point)",
+    "watermelon": "Theorem 1.4 (watermelon graphs)",
+    "universal": "Section 1.1 (classic O(n²) adjacency-matrix LCP; revealing baseline)",
+}
+
+#: Paper-claimed certificate size, for the certificate-size table.
+PAPER_SIZE_CLAIMS: dict[str, str] = {
+    "revealing": "⌈log k⌉ bits",
+    "degree-one": "O(1) bits",
+    "even-cycle": "O(1) bits",
+    "union": "O(1) bits",
+    "shatter": "O(min{Δ², n} + log n) bits",
+    "watermelon": "O(log n) bits",
+    "universal": "O(n²) bits",
+}
+
+
+def scheme_names() -> list[str]:
+    """All registered scheme names, in canonical order."""
+    return list(_FACTORIES)
+
+
+def make_lcp(name: str) -> LCP:
+    """Instantiate a scheme by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LCP scheme {name!r}; known: {', '.join(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_lcps() -> dict[str, LCP]:
+    """A fresh instance of every registered scheme."""
+    return {name: make_lcp(name) for name in _FACTORIES}

@@ -1,0 +1,175 @@
+"""The universal LCP (paper Section 1.1).
+
+"Every Turing-computable graph property P admits an LCP with certificates
+of size O(n²): simply provide the entire adjacency matrix of the input
+graph to every vertex, along with their corresponding node identifiers."
+
+Every node receives the *global map* — the claimed graph as a set of
+identifier pairs — and checks (1) all neighbors claim the same map,
+(2) the map is connected and contains its own identifier, (3) its own
+row of the map matches its actual neighborhood (visible at radius 1),
+and (4) the map satisfies the property.  On connected inputs this is
+complete and sound: if every node accepts, a BFS over the shared map
+shows it is isomorphic to the real graph, so the property really holds.
+
+The scheme is the paper's contrast case twice over: certificates are
+Θ(n²) bits (vs O(1)–O(log n) for the specialized schemes), and for
+``P = bipartiteness`` it is maximally revealing — the map hands every
+node a full coloring.  It is *not* strongly sound in general (an
+accepting subset certifies the map's property, not the subset's), which
+is exactly why the paper needs bespoke constructions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..certification.decoder import Decoder
+from ..certification.lcp import LCP
+from ..certification.prover import Prover, reject_promise
+from ..graphs.graph import Graph
+from ..graphs.properties import is_bipartite
+from ..graphs.traversal import is_connected
+from ..local.instance import Instance
+from ..local.labeling import Certificate, Labeling
+from ..local.views import View
+
+GraphMap = tuple[tuple[int, ...], tuple[tuple[int, int], ...]]
+"""A claimed graph: (sorted identifiers, sorted identifier-pair edges)."""
+
+
+def graph_map_of(instance: Instance) -> GraphMap:
+    """Encode an instance's graph as an identifier map."""
+    ids = instance.ids
+    nodes = tuple(sorted(ids.id_of(v) for v in instance.graph.nodes))
+    edges = tuple(
+        sorted(
+            (min(ids.id_of(u), ids.id_of(v)), max(ids.id_of(u), ids.id_of(v)))
+            for u, v in instance.graph.edges
+        )
+    )
+    return (nodes, edges)
+
+
+def _map_ok(candidate: object) -> bool:
+    if not (isinstance(candidate, tuple) and len(candidate) == 2):
+        return False
+    nodes, edges = candidate
+    if not (isinstance(nodes, tuple) and isinstance(edges, tuple)):
+        return False
+    if not all(isinstance(i, int) and i >= 1 for i in nodes):
+        return False
+    if len(set(nodes)) != len(nodes):
+        return False
+    node_set = set(nodes)
+    for e in edges:
+        if not (isinstance(e, tuple) and len(e) == 2):
+            return False
+        a, b = e
+        if a not in node_set or b not in node_set or a >= b:
+            return False
+    return len(set(edges)) == len(edges)
+
+
+def _map_to_graph(candidate: GraphMap) -> Graph:
+    nodes, edges = candidate
+    return Graph(nodes=nodes, edges=edges)
+
+
+class UniversalDecoder(Decoder):
+    """Check the shared map against the local truth and the property."""
+
+    def __init__(self, property_fn: Callable[[Graph], bool], property_name: str) -> None:
+        self.radius = 1
+        self.anonymous = False
+        self._property_fn = property_fn
+        self._property_name = property_name
+
+    def decide(self, view: View) -> bool:
+        candidate = view.center_label
+        if not _map_ok(candidate):
+            return False
+        nodes, edges = candidate
+        own = view.center_id
+        if own not in nodes:
+            return False
+        # (1) every neighbor carries the identical map.
+        for w in view.neighbors_in_view(0):
+            if view.label_of(w) != candidate:
+                return False
+        # (3) the map's row for this node matches the actual neighborhood.
+        claimed_neighbors = {b if a == own else a for a, b in edges if own in (a, b)}
+        actual_neighbors = {view.id_of(w) for w in view.neighbors_in_view(0)}
+        if claimed_neighbors != actual_neighbors:
+            return False
+        # (2) the map is connected (phantom components could smuggle in
+        # nodes whose rows nobody checks).
+        claimed_graph = _map_to_graph(candidate)
+        if not is_connected(claimed_graph):
+            return False
+        # (4) the property itself.
+        return bool(self._property_fn(claimed_graph))
+
+    @property
+    def name(self) -> str:
+        return f"UniversalDecoder({self._property_name})"
+
+
+class UniversalProver(Prover):
+    """Hand the true map to every node."""
+
+    def __init__(self, property_fn: Callable[[Graph], bool], property_name: str) -> None:
+        self._property_fn = property_fn
+        self._property_name = property_name
+
+    def certify(self, instance: Instance) -> Labeling:
+        if not is_connected(instance.graph):
+            raise reject_promise(instance, "universal scheme requires a connected graph")
+        if not self._property_fn(instance.graph):
+            raise reject_promise(instance, f"graph lacks property {self._property_name}")
+        return Labeling.uniform(instance.graph, graph_map_of(instance))
+
+    @property
+    def name(self) -> str:
+        return f"UniversalProver({self._property_name})"
+
+
+class UniversalLCP(LCP):
+    """The O(n²)-bit LCP for any decidable property (here: bipartiteness
+    by default, matching the paper's 2-col focus)."""
+
+    def __init__(
+        self,
+        property_fn: Callable[[Graph], bool] = is_bipartite,
+        property_name: str = "bipartite",
+        k: int = 2,
+    ) -> None:
+        self.k = k
+        self.radius = 1
+        self.anonymous = False
+        self._prover = UniversalProver(property_fn, property_name)
+        self._decoder = UniversalDecoder(property_fn, property_name)
+        self._property_name = property_name
+
+    @property
+    def prover(self) -> Prover:
+        return self._prover
+
+    @property
+    def decoder(self) -> Decoder:
+        return self._decoder
+
+    @property
+    def name(self) -> str:
+        return f"UniversalLCP({self._property_name})"
+
+    def promise(self, graph: Graph) -> bool:
+        """Connected graphs (the classical statement's setting)."""
+        return is_connected(graph)
+
+    def certificate_bits(self, certificate: Certificate, n: int, id_bound: int) -> int:
+        if not _map_ok(certificate):
+            raise ValueError(f"malformed universal certificate: {certificate!r}")
+        nodes, edges = certificate
+        id_bits = max(1, id_bound.bit_length())
+        return len(nodes) * id_bits + len(edges) * 2 * id_bits

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The sub-classes mirror the layers of
+the system: graph substrate, LOCAL-model substrate, and the certification
+framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or graph-level query."""
+
+
+class NodeNotFoundError(GraphError):
+    """A queried node is not present in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A queried edge is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires a connected graph got a disconnected one."""
+
+
+class PortAssignmentError(ReproError):
+    """A port assignment violates the model's constraints (Section 2.2)."""
+
+
+class IdentifierAssignmentError(ReproError):
+    """An identifier assignment is not injective or exceeds the id space."""
+
+
+class LabelingError(ReproError):
+    """A labeling (certificate assignment) is malformed."""
+
+
+class ViewError(ReproError):
+    """A view could not be extracted or canonicalized."""
+
+
+class PromiseViolationError(ReproError):
+    """A prover was asked to certify an instance outside its promise class."""
+
+
+class CertificationError(ReproError):
+    """A certification-framework invariant was violated."""
+
+
+class RealizabilityError(ReproError):
+    """A subgraph of the neighborhood graph could not be realized."""
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to run or produced inconsistent results."""

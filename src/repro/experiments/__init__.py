@@ -1,0 +1,25 @@
+"""Experiment harness: every figure/lemma/theorem of the paper as a
+registered, runnable experiment with structured results."""
+
+from .registry import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    experiment_ids,
+    get_experiment,
+    register,
+    run_experiment,
+)
+from .report import render_result, render_results
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "experiment_ids",
+    "get_experiment",
+    "register",
+    "render_result",
+    "render_results",
+    "run_experiment",
+]

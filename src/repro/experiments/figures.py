@@ -1,0 +1,381 @@
+"""Figure experiments: regenerate Figures 1–8 of the paper.
+
+Each experiment reconstructs the paper's figure as data (not pixels):
+the r-forgetful escape paths of Fig. 1, the compatible views of Figs. 2
+and 7, the odd view-cycles of Figs. 4 and 6 with their witness instances
+of Figs. 3 and 5, and the closed-walk construction of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from ..certification.decoder import ConstantDecoder
+from ..certification.enumeration import EnumerativeLCP
+from ..core.degree_one import DegreeOneLCP
+from ..core.even_cycle import EvenCycleLCP
+from ..graphs import (
+    binary_tree,
+    cycle_graph,
+    diameter,
+    grid_graph,
+    is_bipartite,
+    path_graph,
+    theta_graph,
+    toroidal_grid_graph,
+)
+from ..graphs.forgetful import forgetful_report
+from ..local.instance import Instance
+from ..local.simulator import simulate_views
+from ..local.views import extract_view
+from ..neighborhood.aviews import labeled_yes_instances
+from ..neighborhood.hiding import hiding_verdict_from_instances
+from ..realizability.compatibility import node_compatible_with
+from ..realizability.surgery import compose_with_escape_walks
+from ..realizability.walks import escape_walk, is_closed, is_non_backtracking, walk_length
+from .registry import ExperimentResult, register
+
+
+@register(
+    "fig1",
+    "r-forgetfulness across graph families, and Lemma 2.1",
+    "Fig. 1, Lemma 2.1",
+)
+def run_fig1() -> ExperimentResult:
+    """Check the r-forgetful property on the paper's example families.
+
+    Two readings are evaluated (see ``repro.graphs.forgetful``): the
+    literal 'strict' one — which the experiment shows is unsatisfiable
+    for r >= 2 on every catalog graph — and the intent-based 'escape'
+    one, under which large cycles satisfy the property while finite
+    grids and trees fail exactly at boundaries and leaves.  Lemma 2.1
+    (diam >= 2r+1) is machine-checked for every strict-mode success; for
+    escape mode the guaranteed bound is diam >= r+1 and C5 shows 2r+1
+    can fail, which the rows record.
+    """
+    catalog = [
+        ("C5", cycle_graph(5)),
+        ("C6", cycle_graph(6)),
+        ("C8", cycle_graph(8)),
+        ("C10", cycle_graph(10)),
+        ("C12", cycle_graph(12)),
+        ("grid4x4", grid_graph(4, 4)),
+        ("torus6x6", toroidal_grid_graph(6, 6)),
+        ("tree_h3", binary_tree(3)),
+        ("path8", path_graph(8)),
+        ("theta(4,4,6)", theta_graph(4, 4, 6)),
+    ]
+    rows = []
+    ok = True
+    strict_r2_all_fail = True
+    for name, graph in catalog:
+        diam = diameter(graph)
+        for radius in (1, 2):
+            for mode in ("strict", "escape"):
+                report = forgetful_report(graph, radius, mode=mode)
+                if mode == "strict" and radius >= 2 and report.is_forgetful:
+                    strict_r2_all_fail = False
+                lemma21 = diam >= 2 * radius + 1
+                if mode == "strict" and report.is_forgetful and not lemma21:
+                    ok = False  # Lemma 2.1 must hold in strict mode
+                rows.append(
+                    {
+                        "graph": name,
+                        "r": radius,
+                        "mode": mode,
+                        "forgetful": report.is_forgetful,
+                        "defects": report.defect_count,
+                        "diam": diam,
+                        "diam>=2r+1": lemma21,
+                    }
+                )
+    notes = [
+        "strict mode (paper-literal) unsatisfiable at r=2 on the whole catalog: "
+        + str(strict_r2_all_fail),
+        "escape-mode C5 at r=1 satisfies the property with diam=2 < 3=2r+1 — "
+        "Lemma 2.1 needs the strict reading",
+    ]
+    ok = ok and strict_r2_all_fail
+    # Escape-mode expectations: large cycles pass, finite grids/trees fail.
+    expectations = [
+        ("C12", 2, True),
+        ("C10", 2, True),
+        ("C6", 2, False),
+        ("grid4x4", 1, False),
+        ("tree_h3", 1, False),
+        ("theta(4,4,6)", 1, True),
+    ]
+    by_key = {(r["graph"], r["r"], r["mode"]): r["forgetful"] for r in rows}
+    for name, radius, expected in expectations:
+        if by_key[(name, radius, "escape")] != expected:
+            ok = False
+            notes.append(f"unexpected escape-mode verdict for {name} at r={radius}")
+    return ExperimentResult(
+        exp_id="fig1",
+        title="r-forgetfulness across graph families",
+        paper_claim="escape paths leave N^r(u) monotonically; diam >= 2r+1 (Lemma 2.1)",
+        ok=ok,
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register(
+    "fig2",
+    "Radius-2 views and invisible boundary edges",
+    "Fig. 2, Section 2.2",
+)
+def run_fig2() -> ExperimentResult:
+    """Reconstruct Fig. 2's phenomenon: an edge between two distance-2
+    nodes is invisible in a radius-2 view, and the message-passing
+    simulator reproduces exactly the same view."""
+    graph = cycle_graph(5)
+    instance = Instance.build(graph)
+    view = extract_view(instance, 0, 2)
+    visible_edges = len(view.edges)
+    total_edges = graph.size
+    simulated, stats = simulate_views(instance, 2)
+    rows = [
+        {
+            "graph": "C5",
+            "center": 0,
+            "radius": 2,
+            "visible_nodes": view.size,
+            "visible_edges": visible_edges,
+            "graph_edges": total_edges,
+            "invisible_edges": total_edges - visible_edges,
+            "simulator_matches": simulated[0] == view,
+            "messages": stats.total_messages,
+        }
+    ]
+    # The invisible edge is (2, 3): both endpoints at distance 2 from 0.
+    ok = (
+        view.size == 5
+        and visible_edges == 4
+        and simulated[0] == view
+        and all(simulated[v] == extract_view(instance, v, 2) for v in graph.nodes)
+    )
+    return ExperimentResult(
+        exp_id="fig2",
+        title="Radius-2 views and invisible boundary edges",
+        paper_claim="G_v^r omits edges between distance-r nodes; views are "
+        "what r flooding rounds reconstruct",
+        ok=ok,
+        rows=rows,
+    )
+
+
+def degree_one_witness_instances() -> list[Instance]:
+    """The Fig. 3 witness family: labeled P4 yes-instances of the
+    degree-one LCP, over *all* unanimously accepted labelings (the
+    paper's I1/I2 are two members of this family) — enough to close the
+    Fig. 4 odd cycle."""
+    lcp = DegreeOneLCP()
+    return list(
+        labeled_yes_instances(
+            lcp,
+            [path_graph(4)],
+            port_limit=8,
+            id_bound=4,
+            include_all_accepted_labelings=True,
+        )
+    )
+
+
+@register(
+    "fig3_4",
+    "Odd cycle in V(D, 4) for the degree-one LCP",
+    "Figs. 3-4, Lemma 4.1",
+)
+def run_fig3_4() -> ExperimentResult:
+    """Rebuild the Figs. 3–4 witness: labeled 4-node instances whose
+    accepting views close an odd cycle in ``V(D, 4)`` — the hiding proof
+    of Lemma 4.1."""
+    lcp = DegreeOneLCP()
+    witnesses = degree_one_witness_instances()
+    verdict = hiding_verdict_from_instances(lcp, witnesses)
+    odd_len = len(verdict.odd_cycle) - 1 if verdict.odd_cycle else None
+    rows = [
+        {
+            "witness_instances": len(witnesses),
+            "views": verdict.ngraph.order,
+            "compat_edges": verdict.ngraph.size,
+            "odd_cycle_len": odd_len,
+            "hiding": verdict.hiding,
+        }
+    ]
+    ok = verdict.hiding is True and odd_len is not None and odd_len % 2 == 1
+    return ExperimentResult(
+        exp_id="fig3_4",
+        title="Odd cycle in V(D, 4) for the degree-one LCP",
+        paper_claim="V(D, 4) contains an odd cycle built from two labeled "
+        "P4 instances (paper exhibits a 5-cycle)",
+        ok=ok,
+        rows=rows,
+    )
+
+
+def even_cycle_witness_instances() -> list[Instance]:
+    """The Fig. 5 instance family: labeled C4 and C6 yes-instances."""
+    lcp = EvenCycleLCP()
+    return list(
+        labeled_yes_instances(
+            lcp, [cycle_graph(4), cycle_graph(6)], port_limit=64, id_bound=6
+        )
+    )
+
+
+@register(
+    "fig5_6",
+    "Odd closed walk in V(D, 6) for the even-cycle LCP",
+    "Figs. 5-6, Lemma 4.2",
+)
+def run_fig5_6() -> ExperimentResult:
+    """Rebuild the Figs. 5–6 witness from edge-colored C4/C6 instances."""
+    lcp = EvenCycleLCP()
+    witnesses = even_cycle_witness_instances()
+    verdict = hiding_verdict_from_instances(lcp, witnesses)
+    odd_len = len(verdict.odd_cycle) - 1 if verdict.odd_cycle else None
+    rows = [
+        {
+            "witness_instances": len(witnesses),
+            "views": verdict.ngraph.order,
+            "compat_edges": verdict.ngraph.size,
+            "odd_cycle_len": odd_len,
+            "hiding": verdict.hiding,
+        }
+    ]
+    ok = verdict.hiding is True and odd_len is not None and odd_len % 2 == 1
+    return ExperimentResult(
+        exp_id="fig5_6",
+        title="Odd closed walk in V(D, 6) for the even-cycle LCP",
+        paper_claim="V(D, 6) contains an odd cycle from edge-colored even "
+        "cycles (paper exhibits a 3-cycle)",
+        ok=ok,
+        rows=rows,
+    )
+
+
+@register(
+    "fig7",
+    "View compatibility with respect to a shared-identifier node",
+    "Fig. 7, Section 5.1",
+)
+def run_fig7() -> ExperimentResult:
+    """Reconstruct Fig. 7's situation: two radius-2 views from different
+    instances that agree on the radius-1 surroundings of their shared
+    inner identifiers, hence are compatible — plus a negative case where
+    an inner disagreement breaks compatibility.
+
+    Instance A is the path 1-2-3-4-5; instance B is the longer path
+    1-2-3-4-5-6-7.  The radius-2 view of A's identifier-3 node and the
+    radius-2 view of B's identifier-4 node share the inner identifiers
+    {3, 4}; their radius-1 surroundings agree (boundary differences —
+    A's identifier-5 node is a leaf, B's is interior — are *allowed*,
+    exactly the point of Fig. 7)."""
+    from ..local.labeling import Labeling
+
+    a = path_graph(5)
+    inst_a = Instance.build(a, id_bound=9)
+    b = path_graph(7)
+    inst_b = Instance.build(b, id_bound=9)
+
+    view_a = extract_view(inst_a, 2, 2)  # center identifier 3, sees 1..5
+    view_b = extract_view(inst_b, 3, 2)  # center identifier 4, sees 2..6
+    assert view_a.ids is not None
+    u_local = view_a.ids.index(4)
+    compatible = node_compatible_with(view_a, u_local, view_b)
+
+    # Negative case: change B's labeling at the shared inner node.
+    inst_a2 = inst_a.with_labeling(Labeling({v: "x" for v in a.nodes}))
+    labels_b = {v: "x" for v in b.nodes}
+    labels_b[3] = "y"  # node with identifier 4 — inside both views
+    inst_b2 = inst_b.with_labeling(Labeling(labels_b))
+    view_a2 = extract_view(inst_a2, 2, 2)
+    view_b2 = extract_view(inst_b2, 3, 2)
+    u_local2 = view_a2.ids.index(4)
+    incompatible = not node_compatible_with(view_a2, u_local2, view_b2)
+
+    rows = [
+        {"case": "matching inner radius-1 views", "compatible": compatible},
+        {"case": "label mismatch at shared inner node", "compatible": not incompatible},
+    ]
+    ok = compatible and incompatible
+    return ExperimentResult(
+        exp_id="fig7",
+        title="View compatibility with respect to a shared-identifier node",
+        paper_claim="compatibility constrains only inner (distance < r) "
+        "shared identifiers, via their radius-1 views",
+        ok=ok,
+        rows=rows,
+    )
+
+
+@register(
+    "fig8",
+    "Escape-walk construction W_e and odd-walk composition",
+    "Fig. 8, Lemmas 5.4-5.5",
+)
+def run_fig8() -> ExperimentResult:
+    """Build the closed walk ``W_e`` on concrete r-forgetful instances and
+    compose an odd view-walk with escape walks (Lemma 5.4)."""
+    rows = []
+    ok = True
+    for name, graph in [("C12", cycle_graph(12)), ("theta(4,4,6)", theta_graph(4, 4, 6))]:
+        instance = Instance.build(graph)
+        u, v = 0, sorted(graph.neighbors(0), key=repr)[0]
+        walk = escape_walk(instance, u, v, 1)
+        rows.append(
+            {
+                "graph": name,
+                "edge": (u, v),
+                "walk_len": walk_length(walk),
+                "closed": is_closed(walk),
+                "even": walk_length(walk) % 2 == 0,
+                "non_backtracking": is_non_backtracking(walk),
+            }
+        )
+        ok = ok and is_closed(walk) and walk_length(walk) % 2 == 0 and is_non_backtracking(walk)
+
+    # Lemma 5.4 composition: an anonymous trivial LCP on a bipartite theta
+    # graph has view collisions (odd closed walk in V); insert L_e.
+    trivial = EnumerativeLCP(
+        ConstantDecoder(True, anonymous=True),
+        alphabet=["c"],
+        promise_fn=is_bipartite,
+        name="AcceptAll",
+    )
+    theta = theta_graph(4, 4, 6)
+    labeled = list(labeled_yes_instances(trivial, [theta], port_limit=1, id_bound=theta.order))
+    from ..neighborhood.ngraph import build_neighborhood_graph
+
+    ngraph = build_neighborhood_graph(trivial, labeled)
+    odd = ngraph.find_odd_cycle()
+    composed = None
+    if odd is not None:
+        composed = compose_with_escape_walks(trivial, ngraph, odd)
+    rows.append(
+        {
+            "graph": "theta(4,4,6) + AcceptAll",
+            "odd_cycle_len": (len(odd) - 1) if odd else None,
+            "composed_len": composed.length() if composed else None,
+            "composed_odd": (composed.length() % 2 == 1) if composed else None,
+            "composed_closed": composed.is_closed() if composed else None,
+            "segments_non_backtracking": composed.node_walks_non_backtracking()
+            if composed
+            else None,
+        }
+    )
+    ok = (
+        ok
+        and composed is not None
+        and composed.length() % 2 == 1
+        and composed.is_closed()
+        and composed.node_walks_non_backtracking()
+    )
+    return ExperimentResult(
+        exp_id="fig8",
+        title="Escape-walk construction W_e and odd-walk composition",
+        paper_claim="W_e is an even non-backtracking closed walk; inserting "
+        "L_e before each edge keeps the composed walk odd and closed",
+        ok=ok,
+        rows=rows,
+    )

@@ -1,0 +1,101 @@
+"""Experiment registry: every paper artifact mapped to runnable code.
+
+Each experiment regenerates one figure, lemma, or theorem of the paper
+and returns an :class:`ExperimentResult` with structured rows (rendered
+by :mod:`repro.experiments.report` and asserted on by the test suite and
+benchmarks).  ``ok`` means the paper's claim was machine-verified at the
+scales the experiment covers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment run."""
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    ok: bool
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def require_ok(self) -> "ExperimentResult":
+        if not self.ok:
+            raise ExperimentError(
+                f"experiment {self.exp_id} failed: {self.title}; notes={self.notes}"
+            )
+        return self
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[[], ExperimentResult]
+
+    def run(self) -> ExperimentResult:
+        return self.runner()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, paper_ref: str):
+    """Decorator registering an experiment runner under *exp_id*."""
+
+    def wrap(fn: Callable[[], ExperimentResult]) -> Callable[[], ExperimentResult]:
+        if exp_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {exp_id!r}")
+        _REGISTRY[exp_id] = Experiment(
+            exp_id=exp_id, title=title, paper_ref=paper_ref, runner=fn
+        )
+        return fn
+
+    return wrap
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> list[Experiment]:
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    return get_experiment(exp_id).run()
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import the experiment modules so their registrations execute."""
+    global _loaded
+    if _loaded:
+        return
+    from . import extensions, figures, tables, theorems  # noqa: F401  (side-effect imports)
+
+    _loaded = True

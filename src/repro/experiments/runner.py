@@ -1,0 +1,50 @@
+"""Batch runner: execute experiments and persist the report.
+
+Used by CI-style invocations (`python -m repro.experiments.runner`) and
+by anyone who wants the full reproduction written to disk in one call.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from .registry import ExperimentResult, all_experiments
+from .report import render_results
+
+
+def run_all(verbose: bool = True) -> list[ExperimentResult]:
+    """Run every registered experiment, in id order."""
+    results = []
+    for experiment in all_experiments():
+        start = time.perf_counter()
+        result = experiment.run()
+        elapsed = time.perf_counter() - start
+        if verbose:
+            status = "OK" if result.ok else "MISMATCH"
+            print(f"[{status}] {experiment.exp_id} ({elapsed:.1f}s)", file=sys.stderr)
+        result.notes.append(f"wall time: {elapsed:.2f}s")
+        results.append(result)
+    return results
+
+
+def run_all_and_save(path: str | Path, verbose: bool = True) -> bool:
+    """Run everything, write the rendered report to *path*.
+
+    Returns True iff every experiment reproduced OK.
+    """
+    results = run_all(verbose=verbose)
+    Path(path).write_text(render_results(results) + "\n", encoding="utf-8")
+    return all(r.ok for r in results)
+
+
+def main() -> int:
+    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_report.txt"
+    ok = run_all_and_save(target)
+    print(f"report written to {target}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""Table experiments: certificate sizes, simulator validation, and the
+quantified-hiding / erasure-resilience extensions.
+
+The brief announcement has no measured tables; its implicit results
+table is the certificate-size column of Section 1.3 (constant / constant
+/ ``O(min{Δ², n} + log n)`` / ``O(log n)``), which ``tbl_cert``
+regenerates with measured bit counts over an ``n``-sweep.  ``tbl_sim``
+validates the message-passing substrate, and the two extension tables
+implement the future-work directions named in Sections 1.1–1.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.degree_one import DegreeOneLCP
+from ..core.even_cycle import EvenCycleLCP
+from ..core.shatter import ShatterLCP
+from ..core.trivial import RevealingLCP
+from ..core.universal import UniversalLCP
+from ..core.union import UnionLCP
+from ..core.watermelon import WatermelonLCP
+from ..graphs import (
+    cycle_graph,
+    caterpillar_graph,
+    path_graph,
+    spider_graph,
+    watermelon_graph,
+)
+from ..local.instance import Instance
+from ..local.simulator import ERASED, simulate_views
+from ..local.views import extract_all_views
+from .registry import ExperimentResult, register
+
+
+def _certificate_row(lcp, graph, label):
+    instance = Instance.build(graph, id_bound=max(graph.order, 2))
+    labeling = lcp.prover.certify(instance)
+    bits = lcp.labeling_bits(labeling, instance.n, instance.id_bound)
+    return {
+        "lcp": lcp.name,
+        "graph": label,
+        "n": graph.order,
+        "max_degree": graph.max_degree(),
+        "bits": bits,
+        "log2_n": round(math.log2(graph.order), 2),
+    }
+
+
+@register(
+    "tbl_cert",
+    "Certificate sizes vs the paper's bounds",
+    "Section 1.3 (Theorems 1.1, 1.3, 1.4) + Section 1 baseline",
+)
+def run_tbl_cert() -> ExperimentResult:
+    """Measure per-node certificate bits over an ``n``-sweep and check
+    each scheme's growth against its claimed bound: constants stay flat,
+    the watermelon scheme grows like ``log n``, and the shatter scheme
+    is dominated by ``components + log n``."""
+    rows = []
+    revealing = RevealingLCP()
+    degree_one = DegreeOneLCP()
+    even_cycle = EvenCycleLCP()
+    union = UnionLCP()
+    shatter = ShatterLCP()
+    watermelon = WatermelonLCP()
+    universal = UniversalLCP()
+
+    sizes = [6, 10, 14, 18, 26, 34]
+    for n in sizes:
+        rows.append(_certificate_row(revealing, path_graph(n), f"P{n}"))
+        rows.append(_certificate_row(degree_one, path_graph(n), f"P{n}"))
+        rows.append(_certificate_row(even_cycle, cycle_graph(n), f"C{n}"))
+        rows.append(_certificate_row(union, path_graph(n), f"P{n}"))
+        rows.append(_certificate_row(shatter, path_graph(n), f"P{n}"))
+        rows.append(_certificate_row(watermelon, path_graph(n), f"P{n}"))
+        rows.append(_certificate_row(universal, path_graph(n), f"P{n}"))
+    # Shatter on a high-component graph: the Δ² term in action.
+    for legs in (3, 5, 8):
+        rows.append(
+            _certificate_row(shatter, spider_graph(legs, 2), f"spider({legs},2)")
+        )
+    # Watermelon with many paths.
+    rows.append(_certificate_row(watermelon, watermelon_graph([2] * 6), "melon(2^6)"))
+    rows.append(_certificate_row(watermelon, watermelon_graph([4] * 6), "melon(4^6)"))
+
+    by_scheme: dict[str, list[tuple[int, int]]] = {}
+    for row in rows:
+        by_scheme.setdefault(row["lcp"], []).append((row["n"], row["bits"]))
+    constant = lambda pts: len({b for _n, b in pts if _n in sizes}) <= 1  # noqa: E731
+    ok = True
+    notes = []
+    for name in ("RevealingLCP(k=2)", "DegreeOneLCP", "EvenCycleLCP", "UnionLCP"):
+        pts = [(n, b) for n, b in by_scheme[name]]
+        flat = len({b for _n, b in pts}) == 1
+        notes.append(f"{name}: constant-size = {flat}")
+        ok = ok and flat
+    melon_pts = sorted(by_scheme["WatermelonLCP"])
+    melon_growth = melon_pts[-1][1] - melon_pts[0][1]
+    melon_log_growth = math.log2(melon_pts[-1][0]) - math.log2(melon_pts[0][0])
+    melon_ok = 0 < melon_growth <= 6 * max(1.0, melon_log_growth)
+    notes.append(f"WatermelonLCP: grows by {melon_growth} bits over the sweep (O(log n))")
+    ok = ok and melon_ok
+    # Universal baseline: super-linear (≈ n per-edge terms × log n id bits).
+    universal_pts = sorted(
+        (n, b) for n, b in by_scheme["UniversalLCP(bipartite)"] if n in sizes
+    )
+    universal_ok = universal_pts[-1][1] > 4 * universal_pts[0][1]
+    notes.append(
+        f"UniversalLCP: {universal_pts[0][1]} -> {universal_pts[-1][1]} bits (O(n²) regime)"
+    )
+    ok = ok and universal_ok
+    _ = constant
+    return ExperimentResult(
+        exp_id="tbl_cert",
+        title="Certificate sizes vs the paper's bounds",
+        paper_claim="⌈log k⌉ / O(1) / O(1) / O(1) / O(min{Δ²,n}+log n) / "
+    "O(log n) / O(n²) bits",
+        ok=ok,
+        rows=rows,
+        notes=notes,
+    )
+
+
+@register(
+    "tbl_sim",
+    "Message-passing simulator vs direct view extraction",
+    "Section 2.2 (model validation)",
+)
+def run_tbl_sim() -> ExperimentResult:
+    """The flooding simulator must reconstruct exactly the views the
+    definition prescribes; rows record message complexity per graph and
+    radius."""
+    rows = []
+    ok = True
+    cases = [
+        ("P8", path_graph(8)),
+        ("C10", cycle_graph(10)),
+        ("caterpillar(5)", caterpillar_graph(5)),
+        ("spider(3,3)", spider_graph(3, 3)),
+    ]
+    from ..local.async_simulator import simulate_views_async
+
+    for name, graph in cases:
+        instance = Instance.build(graph)
+        for radius in (1, 2, 3):
+            simulated, stats = simulate_views(instance, radius)
+            direct = extract_all_views(instance, radius)
+            match = simulated == direct
+            async_views, async_stats = simulate_views_async(
+                instance, radius, seed=radius * 31
+            )
+            async_match = async_views == direct
+            ok = ok and match and async_match
+            rows.append(
+                {
+                    "graph": name,
+                    "radius": radius,
+                    "sync_match": match,
+                    "async_match": async_match,
+                    "messages": stats.total_messages,
+                    "record_units": stats.total_record_units,
+                    "async_round_skew": async_stats.max_round_skew,
+                }
+            )
+    return ExperimentResult(
+        exp_id="tbl_sim",
+        title="Message-passing simulator vs direct view extraction",
+        paper_claim="r flooding rounds reconstruct exactly view_r (incl. "
+        "invisible boundary edges); asynchrony + α-synchronizer changes nothing",
+        ok=ok,
+        rows=rows,
+    )
+
+
+@register(
+    "tbl_hiding_fraction",
+    "Quantified hiding: fraction of nodes whose color leaks",
+    "Section 1.1 (future-work direction, made executable)",
+)
+def run_tbl_hiding_fraction() -> ExperimentResult:
+    """How much of the coloring each scheme actually reveals.
+
+    For each scheme, run the *greedy structural extractor* — output a
+    color when the certificate plainly contains one, otherwise guess —
+    and measure the fraction of nodes whose output is locally consistent.
+    The paper's qualitative claims: the degree-one scheme hides the
+    coloring at a single node (fraction close to 1), the even-cycle
+    scheme hides it everywhere (fraction ~ a coin flip's worth).
+    """
+    from ..local.views import View
+
+    def structural_extract(view: View) -> int:
+        label = view.center_label
+        if isinstance(label, tuple) and len(label) == 2 and label[0] in ("H1", "H2"):
+            label = label[1]
+        if label in (0, 1):
+            return label
+        return 0  # forced guess
+
+    rows = []
+    cases = [
+        ("degree-one", DegreeOneLCP(), path_graph(9)),
+        ("even-cycle", EvenCycleLCP(), cycle_graph(10)),
+        ("revealing", RevealingLCP(), path_graph(9)),
+    ]
+    ok = True
+    for name, lcp, graph in cases:
+        instance = Instance.build(graph)
+        labeling = lcp.prover.certify(instance)
+        labeled = instance.with_labeling(labeling)
+        views = extract_all_views(labeled, 1, include_ids=False)
+        extracted = {v: structural_extract(view) for v, view in views.items()}
+        consistent = sum(
+            1
+            for v in graph.nodes
+            if all(extracted[v] != extracted[u] for u in graph.neighbors(v))
+        )
+        fraction = consistent / graph.order
+        rows.append({"lcp": name, "n": graph.order, "consistent_fraction": round(fraction, 3)})
+        if name == "revealing" and fraction < 1.0:
+            ok = False
+        if name == "degree-one" and not 0.5 < fraction < 1.0:
+            ok = False
+        if name == "even-cycle" and fraction > 0.9:
+            ok = False
+    return ExperimentResult(
+        exp_id="tbl_hiding_fraction",
+        title="Quantified hiding: fraction of nodes whose color leaks",
+        paper_claim="degree-one hides at one node; even-cycle hides "
+        "everywhere; revealing hides nowhere",
+        ok=ok,
+        rows=rows,
+    )
+
+
+@register(
+    "tbl_resilience",
+    "Certificate erasure: how verification degrades",
+    "Section 1.2 (resilient labeling schemes, contrast experiment)",
+)
+def run_tbl_resilience() -> ExperimentResult:
+    """Erase ``f`` certificates and count rejecting nodes.
+
+    The paper contrasts its soundness-side requirements with resilient
+    labeling schemes' completeness-side ones; this experiment quantifies
+    the contrast: the paper's schemes are *not* erasure-resilient — a
+    single erasure already trips the decoder — while strong soundness
+    keeps the accepting remainder 2-colorable throughout.
+    """
+    from ..graphs.properties import bipartition
+
+    rows = []
+    ok = True
+    cases = [
+        ("degree-one", DegreeOneLCP(), path_graph(8)),
+        ("even-cycle", EvenCycleLCP(), cycle_graph(8)),
+    ]
+    for name, lcp, graph in cases:
+        instance = Instance.build(graph)
+        labeling = lcp.prover.certify(instance)
+        labeled = instance.with_labeling(labeling)
+        for erased_count in (0, 1, 2):
+            erased = set(list(graph.nodes)[:erased_count])
+            views, _stats = simulate_views(labeled, 1, include_ids=False, erased_nodes=erased)
+            votes = {v: lcp.decoder.decide(view) for v, view in views.items()}
+            accepting = {v for v, vote in votes.items() if vote}
+            still_bipartite = bipartition(graph.induced_subgraph(accepting)).is_bipartite
+            rejecting = graph.order - len(accepting)
+            rows.append(
+                {
+                    "lcp": name,
+                    "erased": erased_count,
+                    "rejecting_nodes": rejecting,
+                    "accepting_still_bipartite": still_bipartite,
+                }
+            )
+            ok = ok and still_bipartite
+            if erased_count == 0 and rejecting != 0:
+                ok = False
+            if erased_count > 0 and rejecting == 0:
+                ok = False  # an erasure must be noticed by someone
+    notes = [f"erased certificates carry the sentinel {ERASED!r}"]
+    return ExperimentResult(
+        exp_id="tbl_resilience",
+        title="Certificate erasure: how verification degrades",
+        paper_claim="(contrast) erasures trip verification immediately, but "
+        "strong soundness keeps accepted remainders 2-colorable",
+        ok=ok,
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,104 @@
+"""Exact graph coloring for small graphs.
+
+Lemma 3.2 characterizes hiding via the ``k``-colorability of the accepting
+neighborhood graph, so we need an exact ``k``-coloring procedure (not a
+heuristic): a negative answer must be a proof.  Backtracking with
+saturation-first ordering (DSATUR-style) is exact and fast at the sizes
+the neighborhood graphs reach.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .graph import Graph, Node
+
+
+def k_coloring(graph: Graph, k: int) -> dict[Node, int] | None:
+    """A proper ``k``-coloring of *graph*, or ``None`` if none exists."""
+    if k < 0:
+        raise GraphError("k_coloring needs k >= 0")
+    if graph.has_loop():
+        return None
+    if graph.order == 0:
+        return {}
+    if k == 0:
+        return None
+    if k >= 2:
+        from .properties import bipartition
+
+        split = bipartition(graph)
+        if split.is_bipartite:
+            assert split.coloring is not None
+            return dict(split.coloring)
+        if k == 2:
+            return None
+
+    order = sorted(graph.nodes, key=lambda v: (-graph.degree(v), repr(v)))
+    coloring: dict[Node, int] = {}
+
+    def choose_next() -> Node | None:
+        best = None
+        best_key = None
+        for v in order:
+            if v in coloring:
+                continue
+            saturation = len({coloring[u] for u in graph.neighbors(v) if u in coloring})
+            key = (-saturation, -graph.degree(v), repr(v))
+            if best_key is None or key < best_key:
+                best, best_key = v, key
+        return best
+
+    def backtrack() -> bool:
+        v = choose_next()
+        if v is None:
+            return True
+        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        for color in range(k):
+            if color in used:
+                continue
+            coloring[v] = color
+            if backtrack():
+                return True
+            del coloring[v]
+            if color not in used and color > max(
+                (coloring[u] for u in coloring), default=-1
+            ):
+                # Symmetry breaking: trying a strictly larger fresh color
+                # than any used so far is equivalent to this one.
+                break
+        return False
+
+    return dict(coloring) if backtrack() else None
+
+
+def is_k_colorable(graph: Graph, k: int) -> bool:
+    """True iff *graph* admits a proper ``k``-coloring."""
+    return k_coloring(graph, k) is not None
+
+
+def chromatic_number(graph: Graph, max_k: int | None = None) -> int:
+    """The chromatic number, by trying ``k = 0, 1, 2, ...``.
+
+    *max_k* bounds the search (default: the number of nodes, which always
+    suffices for loop-free graphs).  Raises on graphs with loops.
+    """
+    if graph.has_loop():
+        raise GraphError("chromatic number undefined for graphs with loops")
+    bound = graph.order if max_k is None else max_k
+    for k in range(bound + 1):
+        if is_k_colorable(graph, k):
+            return k
+    raise GraphError(f"graph is not {bound}-colorable; raise max_k")
+
+
+def greedy_coloring(graph: Graph) -> dict[Node, int]:
+    """Greedy coloring in degree order — an upper-bound baseline used by
+    benchmarks to contrast exact and heuristic results."""
+    coloring: dict[Node, int] = {}
+    for v in sorted(graph.nodes, key=lambda v: (-graph.degree(v), repr(v))):
+        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        color = 0
+        while color in used:
+            color += 1
+        coloring[v] = color
+    return coloring

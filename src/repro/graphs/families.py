@@ -1,0 +1,165 @@
+"""Enumeration of small graph families.
+
+Lemma 3.1 constructs the accepting neighborhood graph ``V(D, n)`` by
+iterating over *all* labeled yes-instances on at most ``n`` nodes.  The
+enumerators here supply the graph part of that iteration: all connected
+graphs up to isomorphism, all bipartite ones, and the promise classes of
+the paper's theorems (minimum degree 1, even cycles, shatter-point graphs,
+watermelons).
+
+Enumeration is exact and deterministic: graphs on ``k`` labelled nodes are
+generated from edge subsets and deduplicated with the exact canonical form
+of :mod:`repro.graphs.encoding`.  Practical up to ``n = 7``; the
+neighborhood-graph builders keep ``n`` small anyway.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from itertools import combinations
+
+from .encoding import find_isomorphism
+from .graph import Graph
+from .properties import is_bipartite, is_even_cycle
+from .shatter import has_shatter_point
+from .traversal import is_connected
+from .watermelon import is_watermelon
+
+
+def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """All simple graphs on exactly *n* nodes, up to isomorphism.
+
+    Nodes are ``0..n-1``.  With *connected_only* the disconnected ones are
+    skipped.  Loops are not generated (a loop is never 2-colorable, and the
+    paper's instances are simple).
+    """
+    if n <= 0:
+        return
+    if n == 1:
+        yield Graph(nodes=[0])
+        return
+    possible_edges = list(combinations(range(n), 2))
+    # Bucket by a cheap invariant; settle collisions with an exact
+    # isomorphism test (much faster than full canonical forms at n <= 7).
+    buckets: dict[tuple, list[Graph]] = {}
+    for mask in range(1 << len(possible_edges)):
+        edges = [e for i, e in enumerate(possible_edges) if mask >> i & 1]
+        g = Graph(nodes=range(n), edges=edges)
+        if connected_only and not is_connected(g):
+            continue
+        prekey = _iso_invariant(g)
+        bucket = buckets.setdefault(prekey, [])
+        if any(find_isomorphism(g, other) is not None for other in bucket):
+            continue
+        bucket.append(g)
+        yield g
+
+
+def _iso_invariant(g: Graph) -> tuple:
+    """Cheap isomorphism invariant: per-node (degree, sorted neighbor
+    degrees), sorted."""
+    deg = {v: g.degree(v) for v in g.nodes}
+    profile = sorted(
+        (deg[v], tuple(sorted(deg[u] for u in g.neighbors(v)))) for v in g.nodes
+    )
+    return (g.order, g.size, tuple(profile))
+
+
+def all_graphs_up_to(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """All simple graphs on at most *n* nodes, up to isomorphism."""
+    for k in range(1, n + 1):
+        yield from all_graphs_exactly(k, connected_only=connected_only)
+
+
+def _filtered(n: int, predicate: Callable[[Graph], bool]) -> Iterator[Graph]:
+    for g in all_graphs_up_to(n):
+        if predicate(g):
+            yield g
+
+
+def bipartite_graphs_up_to(n: int) -> Iterator[Graph]:
+    """All connected bipartite graphs on at most *n* nodes (yes-instances)."""
+    return _filtered(n, is_bipartite)
+
+
+def non_bipartite_graphs_up_to(n: int) -> Iterator[Graph]:
+    """All connected non-bipartite graphs on at most *n* nodes (no-instances)."""
+    return _filtered(n, lambda g: not is_bipartite(g))
+
+
+def min_degree_one_graphs_up_to(n: int) -> Iterator[Graph]:
+    """Connected graphs with ``δ(G) = 1`` (class H1 of Theorem 1.1)."""
+    return _filtered(n, lambda g: g.order >= 2 and g.min_degree() == 1)
+
+
+def bipartite_min_degree_one_graphs_up_to(n: int) -> Iterator[Graph]:
+    """Bipartite members of H1 — the yes-instances of Lemma 4.1."""
+    return _filtered(
+        n, lambda g: g.order >= 2 and g.min_degree() == 1 and is_bipartite(g)
+    )
+
+
+def even_cycles_up_to(n: int) -> Iterator[Graph]:
+    """Even cycles ``C_4, C_6, ...`` up to *n* nodes (class H2).
+
+    Constructed directly (filtering the full graph family would be
+    exponential in ``n`` for no reason)."""
+    from .generators import cycle_graph
+
+    for m in range(4, n + 1, 2):
+        yield cycle_graph(m)
+
+
+def shatter_graphs_up_to(n: int) -> Iterator[Graph]:
+    """Connected graphs admitting a shatter point (class of Theorem 1.3)."""
+    return _filtered(n, has_shatter_point)
+
+
+def bipartite_shatter_graphs_up_to(n: int) -> Iterator[Graph]:
+    """Bipartite shatter-point graphs — yes-instances of Theorem 1.3."""
+    return _filtered(n, lambda g: has_shatter_point(g) and is_bipartite(g))
+
+
+def watermelon_graphs_up_to(n: int) -> Iterator[Graph]:
+    """Watermelon graphs on at most *n* nodes (class of Theorem 1.4)."""
+    return _filtered(n, is_watermelon)
+
+
+def count_family(family: Iterator[Graph]) -> int:
+    """Number of graphs in an enumerated family (consumes the iterator)."""
+    return sum(1 for _ in family)
+
+
+def watermelon_family_up_to(n: int) -> Iterator[Graph]:
+    """Watermelon graphs on at most *n* nodes by direct construction.
+
+    Equivalent to :func:`watermelon_graphs_up_to` (machine-checked in the
+    tests) but polynomial instead of filtering all ``2^(n choose 2)``
+    edge subsets: single paths, cycles, and every multiset of ``k >= 3``
+    path lengths that fits the node budget.
+    """
+    from .generators import cycle_graph, path_graph, watermelon_graph
+
+    # Single-path watermelons: paths with at least 2 edges.
+    for m in range(3, n + 1):
+        yield path_graph(m)
+    # Two-path watermelons: cycles of length >= 4 (each arc length >= 2).
+    for m in range(4, n + 1):
+        yield cycle_graph(m)
+    # k >= 3 internally disjoint paths: nodes used = 2 + sum(l_i - 1).
+    def length_multisets(budget: int, minimum: int, k_left: int):
+        if k_left == 0:
+            yield []
+            return
+        for first in range(minimum, budget - (k_left - 1) + 2):
+            if (first - 1) * k_left > budget:
+                break
+            for rest in length_multisets(budget - (first - 1), first, k_left - 1):
+                yield [first] + rest
+
+    for k in range(3, n):  # each path needs >= 1 internal node
+        budget = n - 2
+        if k > budget:
+            break
+        for lengths in length_multisets(budget, 2, k):
+            yield watermelon_graph(lengths)

@@ -1,0 +1,182 @@
+"""The ``r``-forgetful property (paper Section 1.3, Fig. 1, Lemma 2.1).
+
+A graph ``G`` is *r-forgetful* if for every node ``v`` and every neighbor
+``u`` of ``v`` there is a path ``P = (v_0 = v, v_1, ..., v_r)`` of length
+``r`` such that the distances from the path to everything ``u`` can see
+(``N^r(u)``) grow monotonically — the intuition being that, having arrived
+at ``v`` from ``u``, one can escape ``v`` without backtracking through
+``u``'s ``r``-neighborhood.
+
+Two formalizations are implemented, selected by *mode*:
+
+``"strict"``
+    The paper's literal text: for every ``w ∈ N^r(u)``, ``dist(v_i, w)``
+    is strictly increasing in ``i`` starting from ``i = 0``.  **This is
+    unsatisfiable for r >= 2**: the path's first step ``v_1`` lies in
+    ``N^r(u)`` (``dist(u, v_1) <= 2 <= r``) yet ``dist(v_1, v_1) = 0 <
+    dist(v_0, v_1)``.  For ``r = 1`` it matches the paper's examples.
+    The test suite machine-checks this impossibility; the Fig. 1
+    experiment reports it.
+
+``"escape"`` (default)
+    The intent-based reading that Lemma 2.1's proof actually uses:
+    ``dist(v_i, w)`` must be *strictly* increasing for ``w ∈ {u, v}``
+    (so the path walks straight away from the arrival edge, gaining one
+    hop per step) and non-decreasing for every other ``w ∈ N^r(u)``
+    that the path does not itself traverse (the path may cut straight
+    through ``N^r(u)`` — unavoidable, since every first step lands in
+    it — but it may never turn back toward a watched node it leaves
+    aside).  Under this reading the guaranteed diameter bound is
+    ``diam >= r + 1``, large cycles ``C_{~4r+}`` and tori are
+    r-forgetful, and boundary nodes of finite grids and leaves of trees
+    produce defects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..errors import GraphError
+from .graph import Graph, Node
+from .traversal import ball, bfs_distances
+
+ForgetfulMode = Literal["strict", "escape"]
+
+
+@dataclass(frozen=True)
+class ForgetfulReport:
+    """Result of an ``r``-forgetful check.
+
+    *escape_paths* maps each ordered pair ``(v, u)`` (``u`` a neighbor of
+    ``v``) to a witnessing escape path when one exists; *defects* lists
+    the pairs with no escape path.  The graph is r-forgetful iff *defects*
+    is empty.
+    """
+
+    radius: int
+    mode: ForgetfulMode
+    escape_paths: dict[tuple[Node, Node], tuple[Node, ...]] = field(default_factory=dict)
+    defects: list[tuple[Node, Node]] = field(default_factory=list)
+
+    @property
+    def is_forgetful(self) -> bool:
+        return not self.defects
+
+    @property
+    def defect_count(self) -> int:
+        return len(self.defects)
+
+
+class _DistanceCache:
+    """Per-graph BFS cache shared across escape-path searches."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._dist: dict[Node, dict[Node, int]] = {}
+
+    def dist(self, source: Node, target: Node) -> int:
+        if source not in self._dist:
+            self._dist[source] = bfs_distances(self.graph, source)
+        # Nodes outside the component count as infinitely far away.
+        return self._dist[source].get(target, self.graph.order + 1)
+
+
+def find_escape_path(
+    graph: Graph,
+    v: Node,
+    u: Node,
+    radius: int,
+    mode: ForgetfulMode = "escape",
+    cache: _DistanceCache | None = None,
+) -> tuple[Node, ...] | None:
+    """An escape path for the ordered pair ``(v, u)``, or ``None``.
+
+    *u* must be a neighbor of *v*.  See the module docstring for the two
+    monotonicity modes.
+    """
+    if not graph.has_edge(v, u):
+        raise GraphError(f"find_escape_path: {u!r} is not a neighbor of {v!r}")
+    if radius < 1:
+        raise GraphError("find_escape_path needs radius >= 1")
+    if cache is None:
+        cache = _DistanceCache(graph)
+    watched = sorted(ball(graph, u, radius), key=repr)
+
+    def step_ok(path: list[Node], nxt: Node) -> bool:
+        """Per-step pruning: distances to u and v must strictly grow."""
+        current = path[-1]
+        if mode == "strict":
+            return all(
+                cache.dist(w, nxt) > cache.dist(w, current) for w in watched
+            )
+        return (
+            cache.dist(u, nxt) > cache.dist(u, current)
+            and cache.dist(v, nxt) > cache.dist(v, current)
+        )
+
+    def complete_ok(path: list[Node]) -> bool:
+        """Escape-mode completion check: off-path watched nodes may never
+        get closer along the path (the path itself may cut through
+        N^r(u), but it must never turn back toward any part of it that
+        it does not traverse)."""
+        if mode == "strict":
+            return True  # fully enforced per step
+        interior = set(path[1:])
+        for w in watched:
+            if w in interior:
+                continue
+            for i in range(len(path) - 1):
+                if cache.dist(w, path[i + 1]) < cache.dist(w, path[i]):
+                    return False
+        return True
+
+    def extend(path: list[Node]) -> tuple[Node, ...] | None:
+        if len(path) == radius + 1:
+            return tuple(path) if complete_ok(path) else None
+        for nxt in sorted(graph.neighbors(path[-1]), key=repr):
+            if nxt in path:
+                continue
+            if step_ok(path, nxt):
+                found = extend(path + [nxt])
+                if found is not None:
+                    return found
+        return None
+
+    return extend([v])
+
+
+def forgetful_report(graph: Graph, radius: int, mode: ForgetfulMode = "escape") -> ForgetfulReport:
+    """Check every ``(v, u)`` pair; collect escape paths and defects."""
+    cache = _DistanceCache(graph)
+    report = ForgetfulReport(radius=radius, mode=mode)
+    for v in graph.nodes:
+        for u in sorted(graph.neighbors(v), key=repr):
+            path = find_escape_path(graph, v, u, radius, mode=mode, cache=cache)
+            if path is None:
+                report.defects.append((v, u))
+            else:
+                report.escape_paths[(v, u)] = path
+    return report
+
+
+def is_r_forgetful(graph: Graph, radius: int, mode: ForgetfulMode = "escape") -> bool:
+    """True iff *graph* is ``radius``-forgetful under the given *mode*."""
+    return forgetful_report(graph, radius, mode=mode).is_forgetful
+
+
+def forgetful_radius(graph: Graph, max_radius: int, mode: ForgetfulMode = "escape") -> int:
+    """Largest ``r <= max_radius`` with *graph* r-forgetful (0 if none).
+
+    Every graph is vacuously 0-forgetful (the empty escape path), so the
+    result is at least 0.  Under both modes the property is antitone in
+    ``r`` (a prefix of an escape path works for smaller ``r`` against a
+    smaller watched set), so the first failing radius ends the scan.
+    """
+    best = 0
+    for r in range(1, max_radius + 1):
+        if is_r_forgetful(graph, r, mode=mode):
+            best = r
+        else:
+            break
+    return best

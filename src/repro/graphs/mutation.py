@@ -1,0 +1,108 @@
+"""Graph mutations: controlled perturbations for adversarial testing.
+
+The soundness checkers need no-instance stock *near* yes-instances —
+graphs a malicious prover could hope to pass off as valid because most
+of the structure is honest.  These helpers produce such neighbors:
+odd-cycle insertions, edge swaps, and subdivisions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from ..errors import GraphError
+from .graph import Graph, Node
+from .properties import is_bipartite
+
+
+def with_edge_added(graph: Graph, u: Node, v: Node) -> Graph:
+    """A copy of *graph* with the edge ``{u, v}`` added."""
+    out = graph.copy()
+    out.add_edge(u, v)
+    return out
+
+
+def with_edge_removed(graph: Graph, u: Node, v: Node) -> Graph:
+    """A copy of *graph* with the edge ``{u, v}`` removed."""
+    out = graph.copy()
+    out.remove_edge(u, v)
+    return out
+
+
+def subdivide_edge(graph: Graph, u: Node, v: Node, new_node: Node) -> Graph:
+    """Replace the edge ``{u, v}`` by a path ``u - new_node - v``.
+
+    Subdividing an edge flips the parity of every cycle through it — a
+    single subdivision can turn a yes-instance into a no-instance.
+    """
+    if not graph.has_edge(u, v):
+        raise GraphError(f"cannot subdivide missing edge ({u!r}, {v!r})")
+    if graph.has_node(new_node):
+        raise GraphError(f"subdivision node {new_node!r} already exists")
+    out = graph.copy()
+    out.remove_edge(u, v)
+    out.add_edge(u, new_node)
+    out.add_edge(new_node, v)
+    return out
+
+
+def odd_cycle_neighbors(graph: Graph, limit: int | None = None) -> Iterator[Graph]:
+    """Non-bipartite graphs one edge-addition away from *graph*.
+
+    For a bipartite input these are exactly the additions joining two
+    same-side nodes — the closest no-instances a cheating prover could
+    target.
+    """
+    count = 0
+    nodes = graph.nodes
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            if graph.has_edge(u, v) or u == v:
+                continue
+            candidate = with_edge_added(graph, u, v)
+            if not is_bipartite(candidate):
+                yield candidate
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+
+
+def random_edge_swap(graph: Graph, seed: int, attempts: int = 50) -> Graph:
+    """Degree-preserving double edge swap: ``{a,b},{c,d} → {a,d},{c,b}``.
+
+    Returns a (possibly identical) copy if no valid swap is found within
+    *attempts* tries.
+    """
+    rng = random.Random(seed)
+    out = graph.copy()
+    edges = out.edges
+    if len(edges) < 2:
+        return out
+    for _ in range(attempts):
+        (a, b), (c, d) = rng.sample(edges, 2)
+        if len({a, b, c, d}) < 4:
+            continue
+        if out.has_edge(a, d) or out.has_edge(c, b):
+            continue
+        out.remove_edge(a, b)
+        out.remove_edge(c, d)
+        out.add_edge(a, d)
+        out.add_edge(c, b)
+        return out
+    return out
+
+
+def parity_attack_targets(graph: Graph, limit: int = 5) -> list[Graph]:
+    """A small stock of no-instances derived from a yes-instance, for
+    adversarial soundness sweeps: odd-cycle edge additions first, then a
+    subdivision if the graph has an edge on a cycle."""
+    targets = list(odd_cycle_neighbors(graph, limit=limit))
+    if len(targets) < limit:
+        for u, v in graph.edges:
+            candidate = subdivide_edge(graph, u, v, ("sub", u, v))
+            if not is_bipartite(candidate):
+                targets.append(candidate)
+                if len(targets) >= limit:
+                    break
+    return targets

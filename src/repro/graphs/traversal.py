@@ -1,0 +1,169 @@
+"""Breadth-first traversal primitives: distances, balls, shortest paths.
+
+These are the building blocks for views (``N^r(v)``), the ``r``-forgetful
+property, and diameter computations, so they are written for clarity and
+determinism: BFS visits neighbors in sorted order so that results are
+reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from ..errors import DisconnectedGraphError, NodeNotFoundError
+from .graph import Graph, Node
+
+
+def _sorted_neighbors(graph: Graph, v: Node) -> list[Node]:
+    return sorted(graph.neighbors(v), key=repr)
+
+
+def bfs_distances(graph: Graph, source: Node, limit: int | None = None) -> dict[Node, int]:
+    """Distances from *source* to every node within *limit* hops.
+
+    Unreachable nodes are omitted.  With ``limit=None`` the whole component
+    is explored.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    dist: dict[Node, int] = {source: 0}
+    queue: deque[Node] = deque([source])
+    while queue:
+        u = queue.popleft()
+        if limit is not None and dist[u] >= limit:
+            continue
+        for w in _sorted_neighbors(graph, u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    return dist
+
+
+def distance(graph: Graph, u: Node, v: Node) -> int:
+    """Hop distance between *u* and *v*; raises if disconnected."""
+    dist = bfs_distances(graph, u)
+    if v not in dist:
+        if v not in graph:
+            raise NodeNotFoundError(v)
+        raise DisconnectedGraphError(f"nodes {u!r} and {v!r} are in different components")
+    return dist[v]
+
+
+def ball(graph: Graph, center: Node, radius: int) -> set[Node]:
+    """The ball ``N^radius(center)``: nodes at distance at most *radius*."""
+    return set(bfs_distances(graph, center, limit=radius))
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> list[Node]:
+    """A deterministic shortest path from *source* to *target* (inclusive)."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    parent: dict[Node, Node | None] = {source: None}
+    queue: deque[Node] = deque([source])
+    while queue:
+        u = queue.popleft()
+        if u == target:
+            break
+        for w in _sorted_neighbors(graph, u):
+            if w not in parent:
+                parent[w] = u
+                queue.append(w)
+    if target not in parent:
+        raise DisconnectedGraphError(
+            f"nodes {source!r} and {target!r} are in different components"
+        )
+    path: list[Node] = []
+    cursor: Node | None = target
+    while cursor is not None:
+        path.append(cursor)
+        cursor = parent[cursor]
+    path.reverse()
+    return path
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Connected components, each a node set, in deterministic order."""
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for v in graph.nodes:
+        if v in seen:
+            continue
+        comp = set(bfs_distances(graph, v))
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for the empty graph and for graphs with a single component."""
+    if graph.order == 0:
+        return True
+    return len(bfs_distances(graph, graph.nodes[0])) == graph.order
+
+
+def eccentricity(graph: Graph, v: Node) -> int:
+    """Max distance from *v* to any node (graph must be connected)."""
+    dist = bfs_distances(graph, v)
+    if len(dist) != graph.order:
+        raise DisconnectedGraphError("eccentricity requires a connected graph")
+    return max(dist.values())
+
+
+def diameter(graph: Graph) -> int:
+    """``diam(G)``; raises on disconnected or empty graphs."""
+    if graph.order == 0:
+        raise DisconnectedGraphError("diameter of an empty graph")
+    return max(eccentricity(graph, v) for v in graph.nodes)
+
+
+def view_subgraph_nodes_and_edges(
+    graph: Graph, center: Node, radius: int
+) -> tuple[dict[Node, int], set[tuple[Node, Node]]]:
+    """Node distances and edge set of the paper's view graph ``G_v^r``.
+
+    ``G_v^r`` is the union of all paths of length at most *radius* starting
+    at *center*: its node set is ``N^radius(center)`` and its edges are the
+    edges with at least one endpoint at distance strictly less than
+    *radius* (an edge between two distance-``r`` nodes lies on no such
+    path and is therefore invisible; see Fig. 2 of the paper).
+    """
+    dist = bfs_distances(graph, center, limit=radius)
+    edges: set[tuple[Node, Node]] = set()
+    for u, v in graph.edges:
+        if u in dist and v in dist and min(dist[u], dist[v]) < radius:
+            edges.add((u, v))
+    return dist, edges
+
+
+def non_backtracking_walk(
+    graph: Graph, start: Node, length: int, avoid_immediate: Node | None = None
+) -> list[Node]:
+    """A deterministic non-backtracking walk of *length* edges from *start*.
+
+    Requires minimum degree at least 2 whenever the walk must turn (a
+    degree-1 node forces backtracking).  Used by the walk-surgery machinery
+    of Section 5.2.  ``avoid_immediate`` forbids the first step from going
+    to that node.
+    """
+    walk = [start]
+    previous = avoid_immediate
+    current = start
+    for _ in range(length):
+        candidates = [w for w in _sorted_neighbors(graph, current) if w != previous]
+        if not candidates:
+            raise DisconnectedGraphError(
+                f"non-backtracking walk stuck at {current!r} (degree-1 node)"
+            )
+        nxt = candidates[0]
+        walk.append(nxt)
+        previous, current = current, nxt
+    return walk
+
+
+def path_edges(path: Iterable[Node]) -> list[tuple[Node, Node]]:
+    """The consecutive edge list of a node path."""
+    nodes = list(path)
+    return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]

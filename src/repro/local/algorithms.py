@@ -1,0 +1,124 @@
+"""Local algorithms and decoders (paper Section 2.2).
+
+An ``r``-round local algorithm is a computable map from radius-``r`` views
+to outputs.  A *decoder* additionally reads certificates; a *binary
+decoder* outputs accept/reject.  The predicates here check anonymity and
+order-invariance the way the paper defines them — by quantifying over
+identifier assignments — and :class:`OrderInvariantLift` turns any decoder
+into an order-invariant one by normalizing identifiers to ranks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+from ..graphs.graph import Node
+from .identifiers import all_order_types
+from .instance import Instance
+from .views import View, extract_all_views, extract_view
+
+
+class LocalAlgorithm(ABC):
+    """An ``r``-round local algorithm: a pure function of the view.
+
+    Subclasses set :attr:`radius` and :attr:`anonymous`.  When *anonymous*
+    is true the harness hands the algorithm anonymized views, so it cannot
+    depend on identifiers even accidentally.
+    """
+
+    radius: int = 1
+    anonymous: bool = False
+
+    @abstractmethod
+    def run(self, view: View) -> Hashable:
+        """Output of the node whose view is *view*."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def view_of(self, instance: Instance, v: Node) -> View:
+        """The view this algorithm would receive at node *v*."""
+        return extract_view(instance, v, self.radius, include_ids=not self.anonymous)
+
+    def run_on(self, instance: Instance) -> dict[Node, Hashable]:
+        """Run the algorithm at every node of *instance*."""
+        views = extract_all_views(instance, self.radius, include_ids=not self.anonymous)
+        return {v: self.run(view) for v, view in views.items()}
+
+
+class FunctionAlgorithm(LocalAlgorithm):
+    """Wrap a plain function ``View -> output`` as a local algorithm."""
+
+    def __init__(self, fn, radius: int = 1, anonymous: bool = False, name: str | None = None):
+        self._fn = fn
+        self.radius = radius
+        self.anonymous = anonymous
+        self._name = name or getattr(fn, "__name__", "FunctionAlgorithm")
+
+    def run(self, view: View) -> Hashable:
+        return self._fn(view)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+
+class OrderInvariantLift(LocalAlgorithm):
+    """Force order-invariance: identifiers are replaced by ranks ``1..k``.
+
+    This is the executable form of the decoders produced by the Ramsey
+    reduction (Lemma 6.2): the lifted algorithm's output depends only on
+    the relative order of identifiers in the view.
+    """
+
+    def __init__(self, inner: LocalAlgorithm) -> None:
+        self._inner = inner
+        self.radius = inner.radius
+        self.anonymous = inner.anonymous
+
+    def run(self, view: View) -> Hashable:
+        if view.is_anonymous:
+            return self._inner.run(view)
+        return self._inner.run(view.order_normalized())
+
+    @property
+    def name(self) -> str:
+        return f"OrderInvariant({self._inner.name})"
+
+
+def is_anonymous_on(algorithm: LocalAlgorithm, instance: Instance, id_samples) -> bool:
+    """Empirical anonymity: outputs agree across the given id assignments."""
+    reference: dict[Node, Hashable] | None = None
+    for ids in id_samples:
+        candidate = instance.with_ids(ids)
+        outputs = {
+            v: algorithm.run(extract_view(candidate, v, algorithm.radius, include_ids=True))
+            for v in candidate.graph.nodes
+        }
+        if reference is None:
+            reference = outputs
+        elif outputs != reference:
+            return False
+    return True
+
+
+def is_order_invariant_on(algorithm: LocalAlgorithm, instance: Instance) -> bool:
+    """Empirical order-invariance over all order types of the instance.
+
+    Exhaustive over permutations of ``1..n`` — use on small instances.
+    Two assignments with the same relative order must produce identical
+    outputs; assignments of different order types may differ.
+    """
+    seen: dict[View, Hashable] = {}
+    for ids in all_order_types(instance.graph):
+        candidate = instance.with_ids(ids, id_bound=instance.graph.order)
+        for v in candidate.graph.nodes:
+            view = extract_view(candidate, v, algorithm.radius, include_ids=True)
+            key = view.order_normalized()
+            output = algorithm.run(view)
+            if key in seen and seen[key] != output:
+                return False
+            seen[key] = output
+    return True

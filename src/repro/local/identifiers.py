@@ -1,0 +1,132 @@
+"""Identifier assignments (paper Section 2.2).
+
+An identifier assignment is an injective map ``Id: V(G) -> [N]`` with
+``N = poly(n)``; nodes know ``N``.  Order-invariance (Section 6) only cares
+about the relative order of identifiers, so the module also provides
+order-pattern utilities and enumeration of assignments by order type.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from itertools import combinations, permutations
+
+from ..errors import IdentifierAssignmentError
+from ..graphs.graph import Graph, Node
+
+
+class IdentifierAssignment:
+    """An immutable injective assignment of integer identifiers to nodes."""
+
+    __slots__ = ("_ids", "_nodes")
+
+    def __init__(self, ids: dict[Node, int]) -> None:
+        if len(set(ids.values())) != len(ids):
+            raise IdentifierAssignmentError("identifier assignment is not injective")
+        for v, i in ids.items():
+            if not isinstance(i, int) or i < 1:
+                raise IdentifierAssignmentError(
+                    f"identifier of {v!r} must be a positive integer, got {i!r}"
+                )
+        self._ids = dict(ids)
+        self._nodes = {i: v for v, i in ids.items()}
+
+    def id_of(self, v: Node) -> int:
+        """The identifier of node *v*."""
+        try:
+            return self._ids[v]
+        except KeyError:
+            raise IdentifierAssignmentError(f"node {v!r} has no identifier") from None
+
+    def node_of(self, identifier: int) -> Node:
+        """The node carrying *identifier*."""
+        try:
+            return self._nodes[identifier]
+        except KeyError:
+            raise IdentifierAssignmentError(f"no node has identifier {identifier}") from None
+
+    def has_id(self, identifier: int) -> bool:
+        return identifier in self._nodes
+
+    def max_id(self) -> int:
+        return max(self._ids.values(), default=0)
+
+    def as_dict(self) -> dict[Node, int]:
+        return dict(self._ids)
+
+    def validate(self, graph: Graph, id_bound: int) -> None:
+        """Check coverage of *graph* and the bound ``Id(v) <= id_bound``."""
+        missing = set(graph.nodes) - set(self._ids)
+        if missing:
+            raise IdentifierAssignmentError(
+                f"nodes without identifiers: {sorted(map(repr, missing))}"
+            )
+        too_big = [v for v, i in self._ids.items() if i > id_bound]
+        if too_big:
+            raise IdentifierAssignmentError(
+                f"identifiers exceed the bound N={id_bound} at {sorted(map(repr, too_big))}"
+            )
+
+    @classmethod
+    def canonical(cls, graph: Graph) -> "IdentifierAssignment":
+        """Identifiers ``1..n`` in node insertion order."""
+        return cls({v: i for i, v in enumerate(graph.nodes, start=1)})
+
+    @classmethod
+    def random(cls, graph: Graph, id_bound: int, seed: int) -> "IdentifierAssignment":
+        """A uniformly random injective assignment into ``[id_bound]``."""
+        n = graph.order
+        if id_bound < n:
+            raise IdentifierAssignmentError(f"id space [{id_bound}] too small for {n} nodes")
+        rng = random.Random(seed)
+        chosen = rng.sample(range(1, id_bound + 1), n)
+        return cls(dict(zip(graph.nodes, chosen)))
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "IdentifierAssignment":
+        """Transport the assignment through a node renaming."""
+        return IdentifierAssignment({mapping[v]: i for v, i in self._ids.items()})
+
+    def order_rank(self, v: Node) -> int:
+        """Rank (0-based) of ``Id(v)`` among all identifiers."""
+        return sorted(self._ids.values()).index(self._ids[v])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdentifierAssignment):
+            return NotImplemented
+        return self._ids == other._ids
+
+    def __repr__(self) -> str:
+        return f"IdentifierAssignment(nodes={len(self._ids)}, max={self.max_id()})"
+
+
+def all_identifier_assignments(graph: Graph, id_bound: int) -> Iterator[IdentifierAssignment]:
+    """Every injective assignment ``V -> [id_bound]`` (tiny graphs only)."""
+    nodes = graph.nodes
+    n = len(nodes)
+    if id_bound < n:
+        return
+    for chosen in combinations(range(1, id_bound + 1), n):
+        for perm in permutations(chosen):
+            yield IdentifierAssignment(dict(zip(nodes, perm)))
+
+
+def all_order_types(graph: Graph) -> Iterator[IdentifierAssignment]:
+    """One representative assignment per order type (ids are ``1..n``).
+
+    Order-invariant decoders cannot distinguish assignments with the same
+    relative order, so enumerating permutations of ``1..n`` covers all
+    behaviors (Lemma 6.2).
+    """
+    nodes = graph.nodes
+    for perm in permutations(range(1, len(nodes) + 1)):
+        yield IdentifierAssignment(dict(zip(nodes, perm)))
+
+
+def same_order_type(a: IdentifierAssignment, b: IdentifierAssignment, nodes: list[Node]) -> bool:
+    """True iff *a* and *b* order the given *nodes* identically."""
+    ids_a = [a.id_of(v) for v in nodes]
+    ids_b = [b.id_of(v) for v in nodes]
+    rank_a = sorted(range(len(nodes)), key=lambda i: ids_a[i])
+    rank_b = sorted(range(len(nodes)), key=lambda i: ids_b[i])
+    return rank_a == rank_b

@@ -1,0 +1,94 @@
+"""Message types and accounting for the synchronous LOCAL simulator.
+
+The simulator's knowledge base is built from two record kinds: node
+records (what a node knows about itself) and edge records (a fully
+resolved edge, including both port numbers).  Records are engine-level —
+they carry an engine uid so knowledge can be assembled, but decoders never
+see uids: the reconstructed *view* is the only thing handed to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """What a node initially knows about itself.
+
+    ``uid`` is an engine-internal name used purely for assembling
+    knowledge (it plays the role of "which physical node"), while ``ident``
+    is the model-level identifier (``None`` in anonymous executions).
+    Degrees are deliberately absent: a radius-``r`` view does not reveal
+    boundary degrees, and including them would make the simulator
+    strictly stronger than the model.
+    """
+
+    uid: Hashable
+    ident: int | None
+    label: Hashable
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """A fully resolved edge with both endpoint ports.
+
+    Stored in canonical orientation (smaller uid repr first) so the same
+    edge learned from both sides deduplicates.
+    """
+
+    uid_a: Hashable
+    port_a: int
+    uid_b: Hashable
+    port_b: int
+
+    @staticmethod
+    def canonical(uid_a: Hashable, port_a: int, uid_b: Hashable, port_b: int) -> "EdgeRecord":
+        if repr(uid_a) <= repr(uid_b):
+            return EdgeRecord(uid_a, port_a, uid_b, port_b)
+        return EdgeRecord(uid_b, port_b, uid_a, port_a)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message sent through a port in one round.
+
+    *sender_port* is the port the sender used; the receiver independently
+    knows its own arrival port.  The payload is the sender's current
+    knowledge (sets of records) plus the sender's own node record so the
+    receiver can resolve the connecting edge.
+    """
+
+    sender_record: NodeRecord
+    sender_port: int
+    node_records: frozenset[NodeRecord]
+    edge_records: frozenset[EdgeRecord]
+
+    def size_units(self) -> int:
+        """Crude message size: number of records carried (+1 for header)."""
+        return 1 + len(self.node_records) + len(self.edge_records)
+
+
+@dataclass
+class RoundStats:
+    """Accounting for a single synchronous round."""
+
+    round_index: int
+    messages: int = 0
+    record_units: int = 0
+
+
+@dataclass
+class RunStats:
+    """Accounting for a whole simulation run."""
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.rounds)
+
+    @property
+    def total_record_units(self) -> int:
+        return sum(r.record_units for r in self.rounds)

@@ -1,0 +1,394 @@
+"""Radius-``r`` views (paper Section 2.2, Fig. 2).
+
+A view ``view_r(G, prt, Id, I)(v)`` is the structure a node can see after
+``r`` communication rounds: the view graph ``G_v^r`` (nodes within distance
+``r``, edges lying on paths of length at most ``r`` from ``v``), together
+with the restricted port, identifier, and label assignments.
+
+Views must be *values*: hashable, comparable across instances, and
+isomorphism-canonical, because the accepting neighborhood graph
+``V(D, n)`` (Section 3) has views as its nodes.  Canonicalization renames
+view nodes to ``0..k-1`` by **minimal port signatures**: every node is
+named by the lexicographically smallest sequence of ``(out_port, in_port)``
+pairs along a shortest path from the center.  Ports at a node are distinct,
+so a signature determines a unique walk and hence a unique node; the
+induced order is invariant under port-preserving rooted isomorphism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Hashable
+
+from ..errors import ViewError
+from ..graphs.graph import Graph, Node
+from ..graphs.traversal import view_subgraph_nodes_and_edges
+from .instance import Instance
+
+Signature = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class View:
+    """A canonicalized radius-``r`` view; the center is local node ``0``.
+
+    Fields (all tuples, indexed by local node where applicable):
+
+    * ``radius`` — the view radius ``r``.
+    * ``dist`` — distance from the center (``dist[0] == 0``).
+    * ``edges`` — the view-graph edges as sorted local pairs.
+    * ``ports`` — for each edge in ``edges``, the pair
+      ``(port_at_smaller_endpoint, port_at_larger_endpoint)``.
+    * ``ids`` — identifiers, or ``None`` for an anonymous view.
+    * ``id_bound`` — the known bound ``N`` (``None`` when anonymous).
+    * ``labels`` — certificates (``None`` per node when unlabeled).
+    """
+
+    radius: int
+    dist: tuple[int, ...]
+    edges: tuple[tuple[int, int], ...]
+    ports: tuple[tuple[int, int], ...]
+    ids: tuple[int, ...] | None
+    id_bound: int | None
+    labels: tuple[Hashable, ...]
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the view."""
+        return len(self.dist)
+
+    @property
+    def center(self) -> int:
+        """The center's local name (always 0)."""
+        return 0
+
+    def nodes(self) -> range:
+        return range(self.size)
+
+    def label_of(self, local: int) -> Hashable:
+        return self.labels[local]
+
+    @property
+    def center_label(self) -> Hashable:
+        return self.labels[0]
+
+    def id_of(self, local: int) -> int:
+        if self.ids is None:
+            raise ViewError("view is anonymous; identifiers are hidden")
+        return self.ids[local]
+
+    @property
+    def center_id(self) -> int:
+        return self.id_of(0)
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.ids is None
+
+    def has_edge(self, a: int, b: int) -> bool:
+        key = (a, b) if a <= b else (b, a)
+        return key in set(self.edges)
+
+    def neighbors_in_view(self, local: int) -> list[int]:
+        """Neighbors of *local* among the view edges."""
+        out = []
+        for a, b in self.edges:
+            if a == local:
+                out.append(b)
+            elif b == local:
+                out.append(a)
+        return sorted(out)
+
+    def degree_in_view(self, local: int) -> int:
+        """Degree of *local* within the view.
+
+        This equals the true degree in ``G`` exactly when
+        ``dist[local] < radius`` (the node's full neighborhood is inside
+        the view graph); for boundary nodes it is only a lower bound.
+        """
+        return len(self.neighbors_in_view(local))
+
+    @property
+    def center_degree(self) -> int:
+        """Exact degree of the center (exact for any radius >= 1)."""
+        return self.degree_in_view(0)
+
+    def port(self, a: int, b: int) -> int:
+        """Port of local node *a* on the view edge ``{a, b}``."""
+        key = (a, b) if a <= b else (b, a)
+        for edge, (p_lo, p_hi) in zip(self.edges, self.ports):
+            if edge == key:
+                return p_lo if a <= b else p_hi
+        raise ViewError(f"no edge between local nodes {a} and {b}")
+
+    def center_neighbors(self) -> list[tuple[int, int, int]]:
+        """Center's incident edges as ``(neighbor, own_port, far_port)``,
+        sorted by own port — the canonical one-round payload."""
+        out = []
+        for w in self.neighbors_in_view(0):
+            out.append((w, self.port(0, w), self.port(w, 0)))
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def neighbor_via_port(self, port: int) -> int:
+        """Local node reached from the center through *port*."""
+        for w, own, _far in self.center_neighbors():
+            if own == port:
+                return w
+        raise ViewError(f"center has no port {port}")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def anonymized(self) -> "View":
+        """The same view with identifiers removed."""
+        return replace(self, ids=None, id_bound=None)
+
+    def order_normalized(self) -> "View":
+        """Identifiers replaced by their local ranks ``1..k``.
+
+        Two views have equal order-normalized forms iff an order-invariant
+        decoder must treat them identically (Section 6).
+        """
+        if self.ids is None:
+            raise ViewError("anonymous views have no identifier order")
+        ranking = {i: rank for rank, i in enumerate(sorted(self.ids), start=1)}
+        return replace(
+            self,
+            ids=tuple(ranking[i] for i in self.ids),
+            id_bound=len(self.ids),
+        )
+
+    def unlabeled(self) -> "View":
+        """The same view with all certificates removed."""
+        return replace(self, labels=tuple(None for _ in self.labels))
+
+    def with_relabeled_ids(self, mapping: dict[int, int]) -> "View":
+        """Replace identifiers through an injective *mapping* (old -> new).
+
+        Used by the identifier-replacement step of Lemma 5.2.
+        """
+        if self.ids is None:
+            raise ViewError("anonymous views carry no identifiers")
+        new_ids = tuple(mapping.get(i, i) for i in self.ids)
+        if len(set(new_ids)) != len(new_ids):
+            raise ViewError("identifier relabeling collides inside the view")
+        bound = max(self.id_bound or 0, max(new_ids))
+        return replace(self, ids=new_ids, id_bound=bound)
+
+    def structure_key(self) -> tuple:
+        """Everything except identifiers — the "S" part of Lemma 6.2.
+
+        Two views with equal structure keys differ only in identifier
+        values, which is exactly the split the Ramsey argument needs.
+        """
+        return (self.radius, self.dist, self.edges, self.ports, self.labels)
+
+    def subview_radius1(self, local: int) -> "View":
+        """The radius-1 view of *local* inside this view.
+
+        Faithful to the true ``view_1`` in the underlying graph whenever
+        ``dist[local] < radius`` (the compatibility definition of
+        Section 5.1 only queries such nodes).
+        """
+        if self.dist[local] >= self.radius:
+            raise ViewError(
+                f"radius-1 subview of boundary node {local} would be truncated"
+            )
+        graph = Graph(nodes=self.nodes())
+        for a, b in self.edges:
+            graph.add_edge(a, b)
+        keep = {local} | set(self.neighbors_in_view(local))
+        dist = {x: (0 if x == local else 1) for x in keep}
+        edges = {
+            (a, b)
+            for a, b in self.edges
+            if a in keep and b in keep and (a == local or b == local)
+        }
+        return _assemble_view(
+            radius=1,
+            center=local,
+            dist=dist,
+            edges=edges,
+            port_of=lambda a, b: self.port(a, b),
+            id_of=(None if self.ids is None else (lambda x: self.ids[x])),
+            id_bound=self.id_bound,
+            label_of=lambda x: self.labels[x],
+        )
+
+    def to_graph(self) -> Graph:
+        """The view graph as a plain :class:`Graph` on local nodes."""
+        g = Graph(nodes=self.nodes())
+        for a, b in self.edges:
+            g.add_edge(a, b)
+        return g
+
+    def __repr__(self) -> str:
+        anon = "anon" if self.is_anonymous else f"id={self.ids[0]}"
+        return (
+            f"View(r={self.radius}, size={self.size}, {anon}, "
+            f"label={self.labels[0]!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def extract_view(
+    instance: Instance,
+    v: Node,
+    radius: int,
+    include_ids: bool = True,
+) -> View:
+    """The canonical radius-``radius`` view of node *v* in *instance*.
+
+    With ``include_ids=False`` the result is an anonymous view (used for
+    anonymous LCPs, where the decoder may not depend on identifiers).
+    """
+    if radius < 1:
+        raise ViewError("views require radius >= 1")
+    graph = instance.graph
+    dist, edges = view_subgraph_nodes_and_edges(graph, v, radius)
+    labeling = instance.labeling
+    return _assemble_view(
+        radius=radius,
+        center=v,
+        dist=dist,
+        edges=edges,
+        port_of=instance.ports.port,
+        id_of=(instance.ids.id_of if include_ids else None),
+        id_bound=(instance.id_bound if include_ids else None),
+        label_of=(labeling.of if labeling is not None else (lambda _x: None)),
+    )
+
+
+def extract_all_views(
+    instance: Instance, radius: int, include_ids: bool = True
+) -> dict[Node, View]:
+    """Views of every node, keyed by graph node."""
+    return {
+        v: extract_view(instance, v, radius, include_ids=include_ids)
+        for v in instance.graph.nodes
+    }
+
+
+def _assemble_view(
+    radius: int,
+    center,
+    dist: dict,
+    edges: set[tuple],
+    port_of,
+    id_of,
+    id_bound,
+    label_of,
+) -> View:
+    """Canonicalize a raw (nodes, edges, ports, ids, labels) view."""
+    adjacency: dict = {x: [] for x in dist}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+
+    signature: dict = {center: ()}
+    # Layered propagation: nodes at distance d get the minimum over
+    # signatures of distance-(d-1) neighbors extended by the edge's ports.
+    # All candidates for a node have equal length, so lexicographic
+    # comparison is well-founded.
+    max_dist = max(dist.values(), default=0)
+    layers: dict[int, list] = {}
+    for x, d in dist.items():
+        layers.setdefault(d, []).append(x)
+    for d in range(1, max_dist + 1):
+        for x in layers.get(d, []):
+            candidates: list[Signature] = []
+            for y in adjacency[x]:
+                if dist[y] == d - 1 and y in signature:
+                    candidates.append(signature[y] + ((port_of(y, x), port_of(x, y)),))
+            if not candidates:
+                raise ViewError(
+                    f"view node {x!r} at distance {d} has no predecessor; "
+                    "the view graph is not layer-connected"
+                )
+            signature[x] = min(candidates)
+
+    ordered = sorted(dist, key=lambda x: signature[x])
+    local = {x: i for i, x in enumerate(ordered)}
+    if local[center] != 0:
+        raise ViewError("canonicalization failed to place the center first")
+
+    local_edges = sorted(
+        (min(local[a], local[b]), max(local[a], local[b])) for a, b in edges
+    )
+    inverse = {i: x for x, i in local.items()}
+    local_ports = tuple(
+        (port_of(inverse[a], inverse[b]), port_of(inverse[b], inverse[a]))
+        for a, b in local_edges
+    )
+    return View(
+        radius=radius,
+        dist=tuple(dist[inverse[i]] for i in range(len(ordered))),
+        edges=tuple(local_edges),
+        ports=local_ports,
+        ids=(None if id_of is None else tuple(id_of(inverse[i]) for i in range(len(ordered)))),
+        id_bound=id_bound,
+        labels=tuple(label_of(inverse[i]) for i in range(len(ordered))),
+    )
+
+
+def extract_view_layouts(
+    instance: Instance, radius: int, include_ids: bool = True
+) -> dict:
+    """Views as relabelable templates: ``{node: (template, label_order)}``.
+
+    Canonicalization depends on graph structure, ports, and identifiers —
+    never on labels — so a view under a *different labeling* is the same
+    template with its ``labels`` tuple swapped.  ``label_order`` lists the
+    graph node whose label belongs at each local index.  This turns
+    exhaustive-adversary loops (millions of labelings on one instance)
+    from full re-extractions into tuple rebuilds; see
+    :func:`relabel_view`.
+    """
+    from .labeling import Labeling
+
+    marker = Labeling({v: ("__layout__", v) for v in instance.graph.nodes})
+    marked = instance.with_labeling(marker)
+    layouts = {}
+    for v in instance.graph.nodes:
+        view = extract_view(marked, v, radius, include_ids=include_ids)
+        order = tuple(label[1] for label in view.labels)
+        template = replace(view, labels=tuple(None for _ in view.labels))
+        layouts[v] = (template, order)
+    return layouts
+
+
+def relabel_view(template: View, label_order, labeling) -> View:
+    """Instantiate a layout template under a concrete labeling."""
+    return replace(template, labels=tuple(labeling.of(x) for x in label_order))
+
+
+def describe_view(view: View) -> str:
+    """Multi-line human-readable rendering of a view (used by the CLI).
+
+    Lists the center, then every view node with its distance, identifier,
+    and label, then the edges with both port numbers.
+    """
+    lines = [
+        f"radius-{view.radius} view, {view.size} node(s), "
+        f"{'anonymous' if view.is_anonymous else f'N = {view.id_bound}'}"
+    ]
+    for local in view.nodes():
+        ident = "-" if view.ids is None else str(view.ids[local])
+        marker = "center" if local == 0 else f"dist {view.dist[local]}"
+        lines.append(
+            f"  node {local}: {marker:>6s}  id={ident:>3s}  "
+            f"label={view.labels[local]!r}"
+        )
+    for (a, b), (pa, pb) in zip(view.edges, view.ports):
+        lines.append(f"  edge {a} -[{pa}:{pb}]- {b}")
+    return "\n".join(lines)

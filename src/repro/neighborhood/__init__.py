@@ -1,0 +1,35 @@
+"""The accepting neighborhood graph ``V(D, n)`` and the hiding
+characterization of Lemma 3.2, with the extraction decoder for the
+converse direction."""
+
+from .aviews import labeled_yes_instances, yes_instances_up_to
+from .extraction import (
+    UNKNOWN_VIEW,
+    ExtractionDecoder,
+    ExtractionOutcome,
+    build_extraction_decoder,
+    run_extraction,
+)
+from .hiding import (
+    HidingVerdict,
+    hiding_verdict_from_instances,
+    hiding_verdict_on_witnesses,
+    hiding_verdict_up_to,
+)
+from .ngraph import NeighborhoodGraph, build_neighborhood_graph
+
+__all__ = [
+    "ExtractionDecoder",
+    "ExtractionOutcome",
+    "HidingVerdict",
+    "NeighborhoodGraph",
+    "UNKNOWN_VIEW",
+    "build_extraction_decoder",
+    "build_neighborhood_graph",
+    "hiding_verdict_from_instances",
+    "hiding_verdict_on_witnesses",
+    "hiding_verdict_up_to",
+    "labeled_yes_instances",
+    "run_extraction",
+    "yes_instances_up_to",
+]

@@ -1,0 +1,130 @@
+"""Enumeration of labeled yes-instances and their accepting views.
+
+``AViews(D, n)`` (Section 3) is the set of views that some node of some
+labeled yes-instance on at most ``n`` nodes holds while accepting.  Two
+enumeration regimes are provided:
+
+* the **faithful Lemma 3.1 sweep** — all yes-instance graphs up to
+  isomorphism, all port assignments (bounded), identifier assignments by
+  order type (bounded), and certificate assignments; practical for small
+  ``n`` and essential for the extraction direction of Lemma 3.2;
+* the **witness regime** — a caller-chosen list of labeled yes-instances
+  (this is what the paper's hiding proofs do with their ``I1``/``I2``
+  pairs); any odd cycle found among these views is a sound
+  non-2-colorability witness for the full neighborhood graph.
+
+Certificate assignments per instance come from the honest prover
+(``all_certifications``) and, optionally, from exhaustively enumerating
+the LCP's finite alphabet and keeping the unanimously accepted ones —
+the literal "there exists a labeling accepted at v" of the definition.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..certification.lcp import LCP
+from ..graphs.families import all_graphs_up_to
+from ..graphs.graph import Graph
+from ..local.identifiers import IdentifierAssignment, all_order_types
+from ..local.instance import Instance
+from ..local.labeling import all_labelings, count_labelings
+from ..local.ports import PortAssignment, all_port_assignments, count_port_assignments
+from ..local.views import extract_view_layouts, relabel_view
+
+
+def labeled_yes_instances(
+    lcp: LCP,
+    graphs: Iterable[Graph],
+    port_limit: int = 64,
+    id_order_types: bool = False,
+    id_bound: int | None = None,
+    include_all_accepted_labelings: bool = False,
+    labeling_limit: int = 20_000,
+) -> Iterator[Instance]:
+    """Labeled yes-instances of *lcp* over the given graphs.
+
+    * Ports: exhaustive when the count fits *port_limit*, else canonical
+      plus seeded random ones.
+    * Identifiers: canonical ``1..n`` by default; with *id_order_types*
+      every order type (``n!`` of them — tiny graphs only), which is the
+      right granularity for order-invariant and identifier-sensitive
+      decoders.
+    * Labelings: the prover's full certification set; plus, when
+      *include_all_accepted_labelings* and the alphabet is finite and the
+      space fits *labeling_limit*, every unanimously accepted labeling.
+    """
+    for graph in graphs:
+        if not lcp.is_yes_instance(graph):
+            continue
+        ports_list: list[PortAssignment]
+        if count_port_assignments(graph) <= port_limit:
+            ports_list = list(all_port_assignments(graph))
+        else:
+            ports_list = [PortAssignment.canonical(graph)]
+            ports_list += [
+                PortAssignment.random(graph, seed) for seed in range(1, port_limit)
+            ]
+        if id_order_types:
+            id_list = list(all_order_types(graph))
+        else:
+            id_list = [IdentifierAssignment.canonical(graph)]
+        bound = id_bound if id_bound is not None else graph.order
+        for ports in ports_list:
+            for ids in id_list:
+                base = Instance(graph=graph, ports=ports, ids=ids, id_bound=bound)
+                seen = set()
+                for labeling in lcp.prover.all_certifications(base):
+                    key = tuple(sorted(labeling.as_dict().items(), key=lambda kv: repr(kv[0])))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield base.with_labeling(labeling)
+                if include_all_accepted_labelings:
+                    alphabet = lcp.certificate_alphabet(graph)
+                    if alphabet is None:
+                        continue
+                    if count_labelings(graph, len(alphabet)) > labeling_limit:
+                        continue
+                    layouts = extract_view_layouts(
+                        base, lcp.radius, include_ids=not lcp.anonymous
+                    )
+                    decide = lcp.decoder.decide
+                    for labeling in all_labelings(graph, alphabet):
+                        key = tuple(
+                            sorted(labeling.as_dict().items(), key=lambda kv: repr(kv[0]))
+                        )
+                        if key in seen:
+                            continue
+                        if all(
+                            decide(relabel_view(template, order, labeling))
+                            for template, order in layouts.values()
+                        ):
+                            seen.add(key)
+                            yield base.with_labeling(labeling)
+
+
+def yes_instances_up_to(
+    lcp: LCP,
+    n: int,
+    port_limit: int = 64,
+    id_order_types: bool = False,
+    include_all_accepted_labelings: bool = False,
+    labeling_limit: int = 20_000,
+) -> Iterator[Instance]:
+    """The Lemma 3.1 sweep: labeled yes-instances on at most *n* nodes.
+
+    Graphs are enumerated up to isomorphism over all connected graphs,
+    filtered by :meth:`LCP.is_yes_instance` (promise class +
+    ``k``-colorability — bipartiteness for the paper's ``k = 2``).
+    """
+    graphs = (g for g in all_graphs_up_to(n) if lcp.is_yes_instance(g))
+    yield from labeled_yes_instances(
+        lcp,
+        graphs,
+        port_limit=port_limit,
+        id_order_types=id_order_types,
+        id_bound=n,
+        include_all_accepted_labelings=include_all_accepted_labelings,
+        labeling_limit=labeling_limit,
+    )

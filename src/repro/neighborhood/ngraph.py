@@ -1,0 +1,141 @@
+"""The accepting neighborhood graph ``V(D, n)`` (Section 3, Lemma 3.1).
+
+Nodes are accepting views; edges join yes-instance-compatible views (two
+views held by adjacent nodes of a common labeled yes-instance, both
+accepting).  The builder records *provenance* — for every view and edge,
+one concrete (instance, node) pair realizing it — because the
+realizability machinery of Section 5 and the figure experiments need to
+trace views back to instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from ..certification.lcp import LCP
+from ..graphs.graph import Graph, Node
+from ..graphs.coloring import k_coloring
+from ..graphs.properties import bipartition
+from ..local.instance import Instance
+from ..local.views import View, extract_all_views
+
+
+@dataclass
+class NeighborhoodGraph:
+    """``V(D, n)`` (or a subgraph of it spanned by chosen instances)."""
+
+    radius: int
+    include_ids: bool
+    views: list[View] = field(default_factory=list)
+    index: dict[View, int] = field(default_factory=dict)
+    edges: set[tuple[int, int]] = field(default_factory=set)
+    #: One (instance, node) witness per view index.
+    view_witness: dict[int, tuple[Instance, Node]] = field(default_factory=dict)
+    #: One (instance, (u, v)) witness per edge.
+    edge_witness: dict[tuple[int, int], tuple[Instance, tuple[Node, Node]]] = field(
+        default_factory=dict
+    )
+    instances_scanned: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_view(self, view: View, instance: Instance, node: Node) -> int:
+        """Register an accepting view; returns its index."""
+        if view in self.index:
+            return self.index[view]
+        idx = len(self.views)
+        self.views.append(view)
+        self.index[view] = idx
+        self.view_witness[idx] = (instance, node)
+        return idx
+
+    def add_edge(self, i: int, j: int, instance: Instance, edge: tuple[Node, Node]) -> None:
+        """Register a yes-instance-compatible pair."""
+        key = (i, j) if i <= j else (j, i)
+        if key not in self.edges:
+            self.edges.add(key)
+            self.edge_witness[key] = (instance, edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return len(self.views)
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)
+
+    def to_graph(self) -> Graph:
+        """``V(D, n)`` as a plain graph on view indices."""
+        g = Graph(nodes=range(len(self.views)))
+        for i, j in self.edges:
+            g.add_edge(i, j)
+        return g
+
+    def is_k_colorable(self, k: int) -> bool:
+        """Whether ``V(D, n) ∈ G(k-col)`` — the Lemma 3.2 pivot."""
+        return k_coloring(self.to_graph(), k) is not None
+
+    def proper_coloring(self, k: int) -> dict[int, int] | None:
+        """A canonical proper ``k``-coloring of the view graph, if any.
+
+        This is the deterministic coloring ``c`` from the proof of
+        Lemma 3.2; the extraction decoder is built on top of it.
+        """
+        return k_coloring(self.to_graph(), k)
+
+    def find_odd_cycle(self) -> list[View] | None:
+        """An odd closed walk of views, or ``None`` if bipartite.
+
+        A non-``None`` result *proves* the LCP hiding for ``k = 2``
+        (Lemma 3.2), even when this object only covers a subgraph of the
+        full ``V(D, n)``.
+        """
+        split = bipartition(self.to_graph())
+        if split.odd_cycle is None:
+            return None
+        return [self.views[i] for i in split.odd_cycle]
+
+    def neighbors_of(self, view: View) -> list[View]:
+        idx = self.index[view]
+        out = []
+        for i, j in self.edges:
+            if i == idx:
+                out.append(self.views[j])
+            elif j == idx:
+                out.append(self.views[i])
+        return out
+
+
+def build_neighborhood_graph(
+    lcp: LCP, labeled_instances: Iterable[Instance]
+) -> NeighborhoodGraph:
+    """Scan labeled yes-instances and assemble (a subgraph of) ``V(D, n)``.
+
+    Every scanned instance contributes its accepting views as nodes and
+    its edges-with-both-endpoints-accepting as neighborhood-graph edges.
+    Feeding the full Lemma 3.1 enumeration
+    (:func:`repro.neighborhood.aviews.yes_instances_up_to`) yields the
+    exact ``V(D, n)`` (up to the enumeration bounds); feeding a hand-built
+    witness list yields the subgraph the paper's hiding proofs use.
+    """
+    ngraph = NeighborhoodGraph(radius=lcp.radius, include_ids=not lcp.anonymous)
+    for instance in labeled_instances:
+        ngraph.instances_scanned += 1
+        views = extract_all_views(instance, lcp.radius, include_ids=not lcp.anonymous)
+        votes = {v: lcp.decoder.decide(view) for v, view in views.items()}
+        indices = {
+            v: ngraph.add_view(views[v], instance, v)
+            for v, accepted in votes.items()
+            if accepted
+        }
+        for u, v in instance.graph.edges:
+            if votes.get(u) and votes.get(v):
+                ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+    return ngraph

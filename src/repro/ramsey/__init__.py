@@ -1,0 +1,35 @@
+"""The Ramsey-based order-invariant reduction of Section 6."""
+
+from .order_invariant import (
+    RamseyOrderInvariantDecoder,
+    RamseyReduction,
+    ramsey_order_invariant_reduction,
+)
+from .ramsey import (
+    find_monochromatic_set,
+    is_monochromatic,
+    ramsey_upper_bound_pairs,
+    subset_colors,
+)
+from .types import (
+    decoder_type,
+    max_view_size,
+    structure_catalog,
+    structure_of,
+    view_with_ids,
+)
+
+__all__ = [
+    "RamseyOrderInvariantDecoder",
+    "RamseyReduction",
+    "decoder_type",
+    "find_monochromatic_set",
+    "is_monochromatic",
+    "max_view_size",
+    "ramsey_order_invariant_reduction",
+    "ramsey_upper_bound_pairs",
+    "structure_catalog",
+    "structure_of",
+    "subset_colors",
+    "view_with_ids",
+]

@@ -1,0 +1,109 @@
+"""The order-invariant reduction of Lemma 6.2, executably.
+
+Pipeline (mirroring the paper's proof):
+
+1. harvest the finite structure catalog of a decoder over a graph family
+   (constant certificates + bounded degree ⇒ finitely many structures);
+2. color every ``s``-subset of an identifier universe by its *type*
+   (:func:`repro.ramsey.types.decoder_type`);
+3. Ramsey-search a monochromatic identifier set ``B``;
+4. build the order-invariant decoder ``D'``: replace the identifiers of
+   an incoming view by order-matching identifiers from ``B`` and run the
+   original decoder.
+
+The result provably depends only on identifier order (all id tuples it
+ever feeds to ``D`` come from ``B``, rank-matched), and it agrees with
+``D`` on every instance whose identifiers are drawn from ``B`` — the
+agreement the paper uses to transport strong soundness and hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..certification.decoder import Decoder
+from ..errors import ViewError
+from ..local.views import View
+from .ramsey import find_monochromatic_set
+from .types import decoder_type, max_view_size, structure_of, view_with_ids
+
+
+@dataclass
+class RamseyReduction:
+    """Artifacts of one Lemma 6.2 run."""
+
+    catalog_size: int
+    subset_size: int
+    universe: tuple[int, ...]
+    monochromatic_set: tuple[int, ...] | None
+    type_signature: tuple[bool, ...] | None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.monochromatic_set is not None
+
+
+class RamseyOrderInvariantDecoder(Decoder):
+    """``D'``: graft order-matched identifiers from the monochromatic set.
+
+    For an incoming view with ``t`` identifiers, the ``t`` smallest
+    elements of the monochromatic set are substituted by rank.  Output
+    therefore depends only on the view's structure and identifier order.
+    """
+
+    def __init__(self, inner: Decoder, monochromatic_set: tuple[int, ...]) -> None:
+        self._inner = inner
+        self._set = tuple(sorted(monochromatic_set))
+        self.radius = inner.radius
+        self.anonymous = inner.anonymous
+
+    def decide(self, view: View) -> bool:
+        if view.ids is None:
+            return self._inner.decide(view)
+        if len(view.ids) > len(self._set):
+            raise ViewError(
+                f"view has {len(view.ids)} identifiers but the monochromatic "
+                f"set only provides {len(self._set)}"
+            )
+        structure = structure_of(view)
+        replacement = view_with_ids(
+            structure, self._set[: len(view.ids)], id_bound=view.id_bound
+        )
+        return self._inner.decide(replacement)
+
+    @property
+    def name(self) -> str:
+        return f"RamseyOrderInvariant({self._inner.name})"
+
+
+def ramsey_order_invariant_reduction(
+    decoder: Decoder,
+    catalog: list[View],
+    id_universe: tuple[int, ...],
+    target_size: int,
+) -> tuple[RamseyReduction, RamseyOrderInvariantDecoder | None]:
+    """Run the Lemma 6.2 pipeline against a structure catalog.
+
+    *id_universe* plays the role of ℕ (finite, per the substitution
+    documented in DESIGN.md); *target_size* is how many identifiers the
+    monochromatic set must contain — at least the largest view size, and
+    larger if ``D'`` should be usable on bigger neighborhoods.
+    """
+    subset_size = max(1, max_view_size(catalog))
+
+    def color(subset: tuple[int, ...]):
+        return decoder_type(decoder, subset, catalog)
+
+    mono = find_monochromatic_set(
+        color, list(id_universe), subset_size, max(target_size, subset_size)
+    )
+    reduction = RamseyReduction(
+        catalog_size=len(catalog),
+        subset_size=subset_size,
+        universe=tuple(sorted(id_universe)),
+        monochromatic_set=mono,
+        type_signature=(color(tuple(sorted(mono)[:subset_size])) if mono else None),
+    )
+    if mono is None:
+        return reduction, None
+    return reduction, RamseyOrderInvariantDecoder(decoder, mono)

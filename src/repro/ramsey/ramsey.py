@@ -1,0 +1,104 @@
+"""Finite Ramsey search (the executable face of Lemma 6.1).
+
+The paper invokes the infinite hypergraph Ramsey theorem: any finite
+coloring of the ``s``-subsets of ``ℕ`` has an infinite monochromatic set.
+Executably we use the finite version: for every coloring of the
+``s``-subsets of a large enough ``[N]`` there is a monochromatic subset
+of any requested size.  :func:`find_monochromatic_set` searches for one
+by plain backtracking — on the identifier universes the Lemma 6.2
+experiment uses, this terminates quickly and returns an explicit witness
+set, which is all the order-invariant reduction needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from itertools import combinations
+
+
+def subset_colors(
+    color_fn: Callable[[tuple[int, ...]], Hashable],
+    universe: Sequence[int],
+    subset_size: int,
+) -> dict[tuple[int, ...], Hashable]:
+    """Evaluate the coloring on every ``subset_size``-subset of *universe*."""
+    return {
+        subset: color_fn(subset)
+        for subset in combinations(sorted(universe), subset_size)
+    }
+
+
+def is_monochromatic(
+    color_fn: Callable[[tuple[int, ...]], Hashable],
+    candidate: Iterable[int],
+    subset_size: int,
+) -> bool:
+    """All ``subset_size``-subsets of *candidate* share one color."""
+    seen: set[Hashable] = set()
+    for subset in combinations(sorted(candidate), subset_size):
+        seen.add(color_fn(subset))
+        if len(seen) > 1:
+            return False
+    return True
+
+
+def find_monochromatic_set(
+    color_fn: Callable[[tuple[int, ...]], Hashable],
+    universe: Sequence[int],
+    subset_size: int,
+    target_size: int,
+) -> tuple[int, ...] | None:
+    """A *target_size*-subset of *universe* whose ``subset_size``-subsets
+    are monochromatic, or ``None`` if the universe is too small.
+
+    Backtracking with memoized subset colors; the color is fixed by the
+    first full subset of the growing candidate, pruning early.
+    """
+    universe_sorted = sorted(universe)
+    if target_size < subset_size:
+        return tuple(universe_sorted[:target_size])
+    cache: dict[tuple[int, ...], Hashable] = {}
+
+    def color(subset: tuple[int, ...]) -> Hashable:
+        if subset not in cache:
+            cache[subset] = color_fn(subset)
+        return cache[subset]
+
+    def extend(candidate: list[int], start: int, locked: Hashable | None) -> tuple[int, ...] | None:
+        if len(candidate) == target_size:
+            return tuple(candidate)
+        for index in range(start, len(universe_sorted)):
+            element = universe_sorted[index]
+            new_locked = locked
+            ok = True
+            if len(candidate) + 1 >= subset_size:
+                for subset in combinations(candidate, subset_size - 1):
+                    c = color(tuple(sorted((*subset, element))))
+                    if new_locked is None:
+                        new_locked = c
+                    elif c != new_locked:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            candidate.append(element)
+            result = extend(candidate, index + 1, new_locked)
+            if result is not None:
+                return result
+            candidate.pop()
+        return None
+
+    return extend([], 0, None)
+
+
+def ramsey_upper_bound_pairs(colors: int, clique: int) -> int:
+    """A classical upper bound for the 2-uniform Ramsey number
+    ``R_colors(clique)`` — how large a universe certainly suffices.
+
+    Uses the iterated pigeonhole bound ``R ≤ colors^(colors*(clique-1))+1``
+    (crude but finite); the experiments display it next to the much
+    smaller universes that empirically suffice.
+    """
+    if clique <= 1:
+        return 1
+    return colors ** (colors * (clique - 1)) + 1

@@ -1,0 +1,102 @@
+"""Decoder types (Lemma 6.2): splitting a view into identifiers × structure.
+
+A view decomposes into its identifier assignment ``X`` (the sorted tuple
+of identifiers it contains) and its *structure* ``S`` (graph, ports,
+distances, labels — everything else).  For a fixed decoder ``D``, each
+identifier tuple induces the map ``S ↦ D(X, S)``; Lemma 6.2 calls that
+map the *type* of ``X``.  With constant certificate size and bounded
+degree there are finitely many structures, hence finitely many types —
+that finiteness is what lets Ramsey's theorem find a large identifier set
+of a single type.
+
+Executably, types are evaluated against a finite catalog of structures
+harvested from instances: :func:`structure_catalog` collects distinct
+structures, :func:`view_with_ids` grafts an identifier tuple (by rank)
+onto a structure, and :func:`decoder_type` evaluates the decoder across
+the catalog.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..certification.decoder import Decoder
+from ..errors import ViewError
+from ..local.instance import Instance
+from ..local.views import View, extract_all_views
+
+
+def structure_of(view: View) -> View:
+    """The structure ``S``: the view with identifiers replaced by ranks.
+
+    Rank-normalized rather than stripped, so that grafting a new
+    identifier tuple is a pure inverse operation.
+    """
+    return view.order_normalized()
+
+
+def view_with_ids(
+    structure: View, id_tuple: tuple[int, ...], id_bound: int | None = None
+) -> View:
+    """Graft a sorted identifier tuple onto a rank-normalized structure.
+
+    The ``j``-th smallest rank receives the ``j``-th smallest identifier,
+    so relative order is preserved by construction.  *id_bound* restores
+    the known ``N`` (defaults to the largest grafted identifier).
+    """
+    from dataclasses import replace
+
+    if structure.ids is None:
+        raise ViewError("structure views must carry rank identifiers")
+    ranks = sorted(structure.ids)
+    chosen = sorted(id_tuple)
+    if len(chosen) < len(ranks):
+        raise ViewError(
+            f"need at least {len(ranks)} identifiers, got {len(chosen)}"
+        )
+    mapping = {rank: chosen[j] for j, rank in enumerate(ranks)}
+    grafted = structure.with_relabeled_ids(mapping)
+    if id_bound is not None:
+        grafted = replace(grafted, id_bound=max(id_bound, max(grafted.ids)))
+    return grafted
+
+
+def structure_catalog(
+    decoder: Decoder, instances: Iterable[Instance]
+) -> list[View]:
+    """Distinct view structures occurring across *instances*."""
+    seen: set[View] = set()
+    catalog: list[View] = []
+    for instance in instances:
+        for _node, view in extract_all_views(instance, decoder.radius, include_ids=True).items():
+            structure = structure_of(view)
+            if structure not in seen:
+                seen.add(structure)
+                catalog.append(structure)
+    return catalog
+
+
+def decoder_type(
+    decoder: Decoder, id_tuple: tuple[int, ...], catalog: list[View]
+) -> tuple[bool, ...]:
+    """The type of *id_tuple*: the decoder's verdict on every structure.
+
+    Structures needing more identifiers than *id_tuple* provides are
+    evaluated on the prefix ("packing extra identifiers", as the paper
+    puts it, is realized by grafting only as many as the structure uses).
+    """
+    verdicts = []
+    for structure in catalog:
+        assert structure.ids is not None
+        needed = len(structure.ids)
+        usable = tuple(sorted(id_tuple)[:needed])
+        if len(usable) < needed:
+            verdicts.append(False)
+            continue
+        verdicts.append(bool(decoder.decide(view_with_ids(structure, usable))))
+    return tuple(verdicts)
+
+
+def max_view_size(catalog: list[View]) -> int:
+    """The ``s`` of Lemma 6.2: identifiers per view, maximized."""
+    return max((len(v.ids or ()) for v in catalog), default=0)

@@ -1,0 +1,405 @@
+"""Realizing subgraphs of ``V(D, n)`` as concrete instances (Lemma 5.1).
+
+A subgraph ``H`` of the neighborhood graph is *realizable* when, for every
+identifier ``i`` appearing in ``H``, there is one view ``μ_i`` (centered
+at a node with identifier ``i``) with which every occurrence of ``i``
+across the views of ``H`` is compatible (Section 5.1).  Lemma 5.1 then
+merges the ``μ_i`` into a single instance ``G_bad`` by identifying nodes
+with equal identifiers; all of ``H``'s center nodes are accepted by the
+decoder inside ``G_bad``.
+
+The executable pipeline:
+
+1. :func:`choose_realizing_views` — pick ``μ_i`` per identifier from a
+   candidate pool (by default harvested from the provenance instances of
+   the neighborhood graph) and check compatibility of every occurrence;
+2. :func:`build_g_bad` — perform the merge, collecting any inconsistency
+   (conflicting ports, labels, or invalid port ranges) as explicit
+   failures instead of silently producing garbage;
+3. :func:`realize_views` — the end-to-end wrapper, which also verifies
+   the realization by re-extracting each ``μ_i`` from ``G_bad`` and
+   running the decoder on it.
+
+If ``H`` is an odd closed walk, a verified realization is precisely a
+strong-soundness counterexample — the engine behind the Theorem 1.2
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..certification.lcp import LCP
+from ..graphs.graph import Graph
+from ..local.identifiers import IdentifierAssignment
+from ..local.instance import Instance
+from ..local.labeling import Labeling
+from ..local.ports import PortAssignment
+from ..local.views import View, extract_view
+from ..errors import PortAssignmentError, RealizabilityError, ViewError
+from .compatibility import node_compatible_with, occurrences_of_identifier
+
+
+@dataclass
+class RealizationResult:
+    """Outcome of a Lemma 5.1 merge."""
+
+    chosen: dict[int, View]
+    instance: Instance | None
+    failures: list[str] = field(default_factory=list)
+    #: identifiers of H's centers whose re-extracted G_bad views match μ_i
+    verified_centers: list[int] = field(default_factory=list)
+    #: per-center decoder verdicts inside G_bad
+    accepted_centers: dict[int, bool] = field(default_factory=dict)
+
+    @property
+    def realized(self) -> bool:
+        return self.instance is not None and not self.failures
+
+    @property
+    def all_centers_accepted(self) -> bool:
+        return bool(self.accepted_centers) and all(self.accepted_centers.values())
+
+
+def choose_realizing_views(
+    views: list[View], candidates: dict[int, list[View]]
+) -> tuple[dict[int, View], list[str]]:
+    """Pick a compatible ``μ_i`` per identifier, or report why not.
+
+    *views* is the node set of ``H`` (each an identified view);
+    *candidates* maps each identifier to views centered at it.  A chosen
+    ``μ_i`` must be compatible with every occurrence of ``i`` in ``H``.
+    """
+    failures: list[str] = []
+    identifiers: set[int] = set()
+    for view in views:
+        if view.ids is None:
+            raise ViewError("realization requires identified views")
+        identifiers |= set(view.ids)
+
+    chosen: dict[int, View] = {}
+    for ident in sorted(identifiers):
+        options = candidates.get(ident, [])
+        winner = None
+        for option in options:
+            if option.ids is None or option.ids[0] != ident:
+                continue
+            ok = True
+            for view in views:
+                for u_local in occurrences_of_identifier(view, ident):
+                    if not node_compatible_with(view, u_local, option):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                winner = option
+                break
+        if winner is None:
+            failures.append(
+                f"identifier {ident}: no candidate view is compatible with all "
+                f"of its {sum(len(occurrences_of_identifier(v, ident)) for v in views)} occurrences"
+            )
+        else:
+            chosen[ident] = winner
+    return chosen, failures
+
+
+def build_g_bad(
+    chosen: dict[int, View], id_bound: int
+) -> tuple[Instance | None, list[str]]:
+    """Merge the chosen views into ``G_bad`` (Lemma 5.1).
+
+    Nodes are identifiers; an edge ``{i, j}`` exists iff some chosen view
+    contains adjacent nodes with identifiers ``i`` and ``j``.  Ports and
+    labels are transported from the views, with conflicts reported.
+    """
+    failures: list[str] = []
+    graph = Graph(nodes=sorted(chosen))
+    ports: dict[int, dict[int, int]] = {i: {} for i in chosen}
+    labels: dict[int, object] = {}
+
+    for ident, view in chosen.items():
+        assert view.ids is not None
+        labels.setdefault(ident, view.center_label)
+        if labels[ident] != view.center_label:
+            failures.append(f"identifier {ident}: conflicting center labels")
+        for a, b in view.edges:
+            ia, ib = view.ids[a], view.ids[b]
+            graph.add_node(ia)
+            graph.add_node(ib)
+            graph.add_edge(ia, ib)
+            for x, y in ((a, b), (b, a)):
+                ix, iy = view.ids[x], view.ids[y]
+                port = view.port(x, y)
+                existing = ports.setdefault(ix, {}).get(iy)
+                if existing is None:
+                    ports[ix][iy] = port
+                elif existing != port:
+                    failures.append(
+                        f"edge ({ix}, {iy}): conflicting ports {existing} vs {port}"
+                    )
+        for local in view.nodes():
+            ident_l = view.ids[local]
+            if ident_l in chosen and local != 0:
+                # Label agreement between μ_i's interior and μ_j's center.
+                other = chosen[ident_l].center_label
+                if view.labels[local] != other:
+                    failures.append(
+                        f"identifier {ident_l}: label disagrees between "
+                        f"μ_{ident} and its own view μ_{ident_l}"
+                    )
+
+    # Nodes seen only at view boundaries have no chosen view; they still
+    # exist in G_bad with whatever structure was witnessed.
+    for i in graph.nodes:
+        ports.setdefault(i, {})
+        labels.setdefault(i, None)
+
+    if failures:
+        return None, failures
+
+    try:
+        port_assignment = PortAssignment(ports)
+        port_assignment.validate(graph)
+    except PortAssignmentError as error:
+        return None, [f"merged ports invalid: {error}"]
+
+    ids = IdentifierAssignment({i: i for i in graph.nodes})
+    instance = Instance(
+        graph=graph,
+        ports=port_assignment,
+        ids=ids,
+        id_bound=max(id_bound, max(graph.nodes)),
+        labeling=Labeling(labels),
+    )
+    return instance, []
+
+
+def realize_views(
+    lcp: LCP,
+    views: list[View],
+    candidates: dict[int, list[View]],
+    id_bound: int,
+) -> RealizationResult:
+    """Run the full Lemma 5.1 pipeline and verify the outcome."""
+    chosen, failures = choose_realizing_views(views, candidates)
+    result = RealizationResult(chosen=chosen, instance=None, failures=failures)
+    if failures:
+        return result
+    instance, merge_failures = build_g_bad(chosen, id_bound)
+    result.failures.extend(merge_failures)
+    result.instance = instance
+    if instance is None:
+        return result
+
+    center_ids = [view.ids[0] for view in views if view.ids is not None]
+    for ident in sorted(set(center_ids)):
+        extracted = extract_view(instance, ident, lcp.radius, include_ids=True)
+        if extracted == chosen[ident]:
+            result.verified_centers.append(ident)
+        result.accepted_centers[ident] = lcp.decoder.decide(extracted)
+    return result
+
+
+def candidates_from_witnesses(
+    ngraph_views: list[View],
+    witnesses: list[tuple[Instance, object]],
+    radius: int,
+) -> dict[int, list[View]]:
+    """Harvest candidate ``μ_i`` views from provenance instances.
+
+    For every identifier appearing in the target views, collect the true
+    view of the node carrying that identifier in each witness instance.
+    """
+    identifiers: set[int] = set()
+    for view in ngraph_views:
+        if view.ids is not None:
+            identifiers |= set(view.ids)
+    pool: dict[int, list[View]] = {ident: [] for ident in identifiers}
+    seen_instances = []
+    for instance, _node in witnesses:
+        if any(existing is instance for existing in seen_instances):
+            continue
+        seen_instances.append(instance)
+        for v in instance.graph.nodes:
+            ident = instance.ids.id_of(v)
+            if ident in pool:
+                candidate = extract_view(instance, v, radius, include_ids=True)
+                if all(candidate != existing for existing in pool[ident]):
+                    pool[ident].append(candidate)
+    return pool
+
+
+def _walk_components(
+    walk_views: list[View], identifier: int
+) -> list[list[int]]:
+    """Components of ``S(identifier)`` inside a closed walk of views.
+
+    Positions of the walk (indices into *walk_views*, last position
+    dropped if it repeats the first) whose views contain *identifier*,
+    grouped by connectivity along the walk (consecutive positions are
+    adjacent; the wrap-around edge counts).
+    """
+    positions = len(walk_views) - 1 if walk_views and walk_views[0] == walk_views[-1] else len(walk_views)
+    holders = [
+        p for p in range(positions)
+        if walk_views[p].ids is not None and identifier in walk_views[p].ids
+    ]
+    if not holders:
+        return []
+    holder_set = set(holders)
+    parent = {p: p for p in holders}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for p in holders:
+        q = (p + 1) % positions
+        if q in holder_set:
+            parent[find(p)] = find(q)
+    # Views can repeat along the walk; identical views are the same node
+    # of V(D, n), so their positions merge too.
+    by_view: dict[View, int] = {}
+    for p in holders:
+        view = walk_views[p]
+        if view in by_view:
+            parent[find(p)] = find(by_view[view])
+        else:
+            by_view[view] = p
+    groups: dict[int, list[int]] = {}
+    for p in holders:
+        groups.setdefault(find(p), []).append(p)
+    return [sorted(g) for g in sorted(groups.values())]
+
+
+def realize_walk_component_wise(
+    lcp: LCP,
+    composed,
+    id_bound: int,
+) -> RealizationResult:
+    """Lemmas 5.2 + 5.3 executably: realize a composed closed walk.
+
+    *composed* is a :class:`~repro.realizability.surgery.ComposedWalk`
+    over **identified** views (an order-invariant or id-oblivious decoder
+    is required for the identifier replacement to be sound — exactly the
+    hypothesis of Lemma 5.2).
+
+    Pipeline: split each identifier's occurrences into walk components;
+    give every component a fresh identifier from its own Lemma 5.2 block
+    (order-preserving: component ``c`` of identifier ``i`` becomes
+    ``(i - 1) * slots + c``); remap the walk views and the per-component
+    realizing candidates; merge everything with :func:`build_g_bad`; and
+    finally verify that the walk's center identifiers trace a closed walk
+    of decoder-accepted nodes in the merged instance, of the same parity.
+    """
+    walk_views = composed.views()
+    if not walk_views or walk_views[0] != walk_views[-1]:
+        raise RealizabilityError("component-wise realization expects a closed walk")
+    identifiers: set[int] = set()
+    for view in walk_views:
+        if view.ids is None:
+            raise RealizabilityError("identified views required")
+        identifiers |= set(view.ids)
+
+    components: dict[int, list[list[int]]] = {
+        i: _walk_components(walk_views, i) for i in sorted(identifiers)
+    }
+    slots = max((len(cs) for cs in components.values()), default=1)
+
+    def fresh_id(identifier: int, comp_index: int) -> int:
+        return (identifier - 1) * slots + comp_index + 1
+
+    positions = len(walk_views) - 1
+    # Position -> component index, per identifier; positions outside S(i)
+    # inherit the nearest holder's component (cyclic walk distance), so
+    # the remap is total and the Lemma 5.2 blocks never collide.
+    comp_index_of: dict[int, dict[int, int]] = {}
+    for identifier, comps in components.items():
+        table: dict[int, int] = {}
+        for comp_index, comp in enumerate(comps):
+            for p in comp:
+                table[p] = comp_index
+        comp_index_of[identifier] = table
+
+    def comp_at(identifier: int, p: int) -> int:
+        table = comp_index_of.get(identifier)
+        if not table:
+            return 0
+        if p in table:
+            return table[p]
+        holder = min(
+            table,
+            key=lambda q: min((q - p) % positions, (p - q) % positions),
+        )
+        return table[holder]
+
+    def remap_for(p: int) -> dict[int, int]:
+        return {i: fresh_id(i, comp_at(i, p)) for i in identifiers}
+
+    remaps: list[dict[int, int]] = [remap_for(p) for p in range(positions)]
+
+    def total_remap(view: View, p: int) -> View:
+        mapping = dict(remaps[p])
+        for ident in view.ids or ():
+            if ident not in mapping:
+                mapping[ident] = fresh_id(ident, 0)
+        return view.with_relabeled_ids(mapping)
+
+    remapped_walk = [total_remap(walk_views[p], p) for p in range(positions)]
+
+    # Candidates per fresh identifier: the true views of the original
+    # identifier's node in the provenance instances of the component.
+    candidates: dict[int, list[View]] = {}
+    segment_instances = [instance for instance, _walk in composed.segments]
+    position_instance: list[Instance] = []
+    cursor = 0
+    for instance, node_walk in composed.segments:
+        for _ in range(len(node_walk) - 1):
+            position_instance.append(instance)
+            cursor += 1
+    for identifier, comps in components.items():
+        for comp_index, comp in enumerate(comps):
+            new_id = fresh_id(identifier, comp_index)
+            pool: list[View] = []
+            seen_instances: list[Instance] = []
+            for p in comp:
+                instance = position_instance[p % len(position_instance)]
+                if any(existing is instance for existing in seen_instances):
+                    continue
+                seen_instances.append(instance)
+                try:
+                    node = instance.ids.node_of(identifier)
+                except Exception:
+                    continue
+                candidate = extract_view(instance, node, lcp.radius, include_ids=True)
+                pool.append(total_remap(candidate, p))
+            candidates[new_id] = pool
+
+    chosen, failures = choose_realizing_views(remapped_walk, candidates)
+    result = RealizationResult(chosen=chosen, instance=None, failures=failures)
+    if failures:
+        return result
+    instance, merge_failures = build_g_bad(chosen, id_bound=id_bound * slots)
+    result.failures.extend(merge_failures)
+    result.instance = instance
+    if instance is None:
+        return result
+
+    # Verification: the remapped center identifiers trace a closed walk of
+    # accepted nodes in G_bad with the original (odd) parity.
+    centers = [view.ids[0] for view in remapped_walk]
+    graph = instance.graph
+    for a, b in zip(centers, centers[1:] + centers[:1]):
+        if not graph.has_edge(a, b):
+            result.failures.append(f"walk edge ({a}, {b}) missing from G_bad")
+            return result
+    for ident in sorted(set(centers)):
+        extracted = extract_view(instance, ident, lcp.radius, include_ids=True)
+        result.accepted_centers[ident] = lcp.decoder.decide(extracted)
+        if ident in chosen and extracted == chosen[ident]:
+            result.verified_centers.append(ident)
+    return result

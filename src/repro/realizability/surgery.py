@@ -1,0 +1,126 @@
+"""Composition machinery for Theorem 1.5 (Lemmas 5.2 and 5.4).
+
+Two tools:
+
+* :func:`order_preserving_remap` — Lemma 5.2's identifier replacement:
+  instance ``slot`` out of ``slots`` gets identifiers
+  ``(id - 1) * slots + slot + 1``, so identifiers from different slots
+  never collide while every *relative order* is preserved — an
+  order-invariant decoder cannot tell the difference (machine-checked in
+  the test suite).
+
+* :func:`compose_with_escape_walks` — Lemma 5.4's walk composition: an
+  odd closed walk of views in ``V(D, n)`` is stretched by inserting, in
+  front of every edge ``e = (μ1, μ2)``, the even closed escape walk
+  ``W_e`` of the witness instance ``G_e`` (Fig. 8).  The composed object
+  keeps per-segment provenance, which is exactly the "component" structure
+  that component-wise realizability talks about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..certification.lcp import LCP
+from ..errors import RealizabilityError
+from ..graphs.graph import Node
+from ..local.identifiers import IdentifierAssignment
+from ..local.instance import Instance
+from ..local.views import View, extract_view
+from .walks import escape_walk, is_non_backtracking, lift_walk
+
+
+def order_preserving_remap(instance: Instance, slot: int, slots: int) -> Instance:
+    """Lemma 5.2's block remap: disjoint identifier ranges, same order.
+
+    ``id -> (id - 1) * slots + slot + 1`` with ``0 <= slot < slots``.
+    The identifier bound becomes ``slots * N``.
+    """
+    if not 0 <= slot < slots:
+        raise RealizabilityError(f"slot {slot} outside [0, {slots})")
+    old = instance.ids.as_dict()
+    new_ids = IdentifierAssignment(
+        {v: (ident - 1) * slots + slot + 1 for v, ident in old.items()}
+    )
+    return instance.with_ids(new_ids, id_bound=slots * instance.id_bound)
+
+
+@dataclass
+class ComposedWalk:
+    """An odd closed view walk stitched from per-instance segments.
+
+    Each segment is a node walk inside one witness instance; consecutive
+    segments meet at a shared view (junction).  ``views()`` flattens to
+    the walk in ``V(D, n)``.
+    """
+
+    radius: int
+    include_ids: bool
+    segments: list[tuple[Instance, list[Node]]] = field(default_factory=list)
+
+    def views(self) -> list[View]:
+        out: list[View] = []
+        for index, (instance, node_walk) in enumerate(self.segments):
+            lifted = lift_walk(instance, node_walk, self.radius, include_ids=self.include_ids)
+            if out:
+                if out[-1] != lifted[0]:
+                    raise RealizabilityError(
+                        f"segment {index} does not start at the previous junction view"
+                    )
+                out.extend(lifted[1:])
+            else:
+                out.extend(lifted)
+        return out
+
+    def length(self) -> int:
+        """Total number of edges of the composed walk."""
+        return sum(len(walk) - 1 for _instance, walk in self.segments)
+
+    def is_closed(self) -> bool:
+        views = self.views()
+        return len(views) >= 2 and views[0] == views[-1]
+
+    def node_walks_non_backtracking(self) -> bool:
+        return all(
+            is_non_backtracking(walk, closed=False) for _inst, walk in self.segments
+        )
+
+
+def compose_with_escape_walks(lcp: LCP, ngraph, cycle_views: list[View]) -> ComposedWalk:
+    """Insert the escape walk ``L_e`` before every edge of an odd cycle.
+
+    *cycle_views* is a closed walk ``[μ0, ..., μk = μ0]`` in the
+    neighborhood graph *ngraph*; every edge must have provenance there.
+    Each edge ``(μi, μi+1)`` is realized in its witness instance as an
+    edge ``(u, v)``; the inserted ``L_e`` is the even closed walk of
+    Lemma 5.4 starting and ending at ``u``, followed by the edge itself.
+    The composed walk is closed and of the same (odd) parity.
+    """
+    include_ids = ngraph.include_ids
+    composed = ComposedWalk(radius=lcp.radius, include_ids=include_ids)
+    for i in range(len(cycle_views) - 1):
+        mu1, mu2 = cycle_views[i], cycle_views[i + 1]
+        idx1, idx2 = ngraph.index[mu1], ngraph.index[mu2]
+        key = (idx1, idx2) if idx1 <= idx2 else (idx2, idx1)
+        witness = ngraph.edge_witness.get(key)
+        if witness is None:
+            raise RealizabilityError(f"edge {key} has no witness instance")
+        instance, (a, b) = witness
+        view_a = extract_view(instance, a, lcp.radius, include_ids=include_ids)
+        if view_a == mu1:
+            u, v = a, b
+        else:
+            u, v = b, a
+            view_b = extract_view(instance, b, lcp.radius, include_ids=include_ids)
+            if view_b != mu1:
+                raise RealizabilityError(
+                    f"witness edge {key}: neither endpoint has the expected view"
+                )
+        loop = escape_walk(instance, u, v, lcp.radius)
+        composed.segments.append((instance, loop + [v]))
+    views = composed.views()
+    if views[0] != views[-1]:
+        raise RealizabilityError("composed walk is not closed")
+    if composed.length() % 2 == 0:
+        raise RealizabilityError("composed walk lost its odd parity")
+    return composed

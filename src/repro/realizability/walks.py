@@ -1,0 +1,293 @@
+"""Walk machinery for the lower bound (Section 5.2, Fig. 8).
+
+Closed walks in ``V(D, n)`` are manipulated through their *node-walk*
+preimages in concrete instances:
+
+* :func:`lift_walk` — turn a node walk of an instance into a view walk;
+* :func:`is_non_backtracking` — the paper's condition on consecutive
+  identifiers (predecessor and successor centers differ);
+* :func:`escape_walk` — the closed walk ``W_e`` of Lemma 5.4: take the
+  edge ``u → v``, follow an r-forgetful escape path away from ``v``,
+  continue (non-backtracking) to a node whose ``N^r`` is disjoint from
+  both endpoints' views, and walk back to ``u``; the result is an even
+  closed walk that "forgets" the starting edge;
+* :func:`debacktrack_odd_cycle` — Lemma 5.5's surgery: replace a
+  backtracking step by a detour around a second cycle, preserving odd
+  parity.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import GraphError
+from ..graphs.forgetful import find_escape_path
+from ..graphs.graph import Graph, Node
+from ..graphs.traversal import ball, bfs_distances, shortest_path
+from ..local.instance import Instance
+from ..local.views import View, extract_view
+
+
+def lift_walk(
+    instance: Instance, node_walk: list[Node], radius: int, include_ids: bool = True
+) -> list[View]:
+    """Lift a node walk to the corresponding walk of views."""
+    views = {}
+    out = []
+    for v in node_walk:
+        if v not in views:
+            views[v] = extract_view(instance, v, radius, include_ids=include_ids)
+        out.append(views[v])
+    return out
+
+
+def is_closed(node_walk: list[Node]) -> bool:
+    return len(node_walk) >= 2 and node_walk[0] == node_walk[-1]
+
+
+def walk_length(node_walk: list[Node]) -> int:
+    """Number of edges of the walk."""
+    return len(node_walk) - 1
+
+
+def is_valid_walk(graph: Graph, node_walk: list[Node]) -> bool:
+    """Every consecutive pair must be an edge."""
+    return all(
+        graph.has_edge(node_walk[i], node_walk[i + 1])
+        for i in range(len(node_walk) - 1)
+    )
+
+
+def is_non_backtracking(node_walk: list[Node], closed: bool | None = None) -> bool:
+    """No step immediately undoes the previous one.
+
+    For closed walks the wrap-around triples are included (the paper's
+    condition quantifies over every view of the walk).
+    """
+    if closed is None:
+        closed = is_closed(node_walk)
+    steps = list(node_walk)
+    if closed:
+        # For wrap-around triples, append the second node again:
+        # ... x, w0=wk, w1 must satisfy x != w1.
+        steps = steps + [node_walk[1]]
+    for i in range(len(steps) - 2):
+        if steps[i] == steps[i + 2]:
+            return False
+    return True
+
+
+def non_backtracking_walk_between(
+    graph: Graph, start: Node, target: Node, forbidden_first: Node | None = None
+) -> list[Node]:
+    """A shortest non-backtracking walk from *start* to *target*.
+
+    BFS over directed states ``(previous, current)``; requires minimum
+    degree 2 along the way (guaranteed in the Lemma 5.4 setting).
+    ``forbidden_first`` excludes one first step.
+    """
+    if start == target and forbidden_first is None:
+        return [start]
+    initial = [
+        (start, w)
+        for w in sorted(graph.neighbors(start), key=repr)
+        if w != forbidden_first
+    ]
+    parents: dict[tuple[Node, Node], tuple[Node, Node] | None] = {
+        state: None for state in initial
+    }
+    queue = deque(initial)
+    goal = None
+    while queue:
+        state = queue.popleft()
+        prev, current = state
+        if current == target:
+            goal = state
+            break
+        for nxt in sorted(graph.neighbors(current), key=repr):
+            if nxt == prev:
+                continue
+            nxt_state = (current, nxt)
+            if nxt_state not in parents:
+                parents[nxt_state] = state
+                queue.append(nxt_state)
+    if goal is None:
+        raise GraphError(
+            f"no non-backtracking walk from {start!r} to {target!r}"
+        )
+    walk = [goal[1]]
+    cursor: tuple[Node, Node] | None = goal
+    while cursor is not None:
+        walk.append(cursor[0])
+        cursor = parents[cursor]
+    walk.reverse()
+    return walk
+
+
+def forgotten_node(graph: Graph, u: Node, v: Node, radius: int) -> Node | None:
+    """A node whose ``N^radius`` avoids both ``N^radius(u)`` and
+    ``N^radius(v)`` — the ``v_{μ'}`` of Lemma 5.4 (exists whenever the
+    diameter is large enough)."""
+    blocked = ball(graph, u, 2 * radius) | ball(graph, v, 2 * radius)
+    for candidate in sorted(graph.nodes, key=repr):
+        if candidate not in blocked:
+            return candidate
+    return None
+
+
+def escape_walk(instance: Instance, u: Node, v: Node, radius: int) -> list[Node]:
+    """The closed walk ``W_e`` of Lemma 5.4 for the edge ``u → v``.
+
+    Steps (paper, Fig. 8): start at ``u``; take the edge to ``v``; follow
+    an escape path ``P`` away from ``v`` (r-forgetfulness); continue
+    non-backtracking to the forgotten node ``v_{μ'}``; walk back to ``u``
+    non-backtracking, closing the walk.  The result is validated to be a
+    closed walk of even length (it lives in a bipartite yes-instance).
+    """
+    graph = instance.graph
+    if not graph.has_edge(u, v):
+        raise GraphError(f"({u!r}, {v!r}) is not an edge")
+    escape = find_escape_path(graph, v, u, radius)
+    if escape is None:
+        raise GraphError(
+            f"no escape path for ({v!r}, {u!r}); instance is not {radius}-forgetful"
+        )
+    hidden = forgotten_node(graph, u, v, radius)
+    if hidden is None:
+        raise GraphError("no node is far enough from both endpoints (diameter too small)")
+
+    walk: list[Node] = [u, v]
+    walk.extend(escape[1:])
+    # Continue to the forgotten node without stepping back onto the
+    # escape path's penultimate node.
+    tail = non_backtracking_walk_between(
+        graph, walk[-1], hidden, forbidden_first=walk[-2]
+    )
+    walk.extend(tail[1:])
+    back = non_backtracking_walk_between(graph, walk[-1], u, forbidden_first=walk[-2])
+    walk.extend(back[1:])
+    if not is_valid_walk(graph, walk) or not is_closed(walk):
+        raise GraphError("escape walk construction produced an invalid walk")
+    if walk_length(walk) % 2 != 0:
+        raise GraphError("escape walk is odd — the instance is not bipartite")
+    return walk
+
+
+def debacktrack_odd_cycle(instance: Instance, cycle: list[Node]) -> list[Node]:
+    """Lemma 5.5's surgery on a closed walk with backtracking steps.
+
+    Wherever the walk enters and leaves a node ``v`` through the same
+    neighbor ``x`` (``... x, v, x ...``), the step arriving at ``v`` is
+    replaced by the paper's detour: a minimal path ``P`` from ``v`` to a
+    cycle ``C`` avoiding ``x``, once around ``C``, and back along ``P`` —
+    so ``v`` is re-entered from ``P``'s first node instead of from ``x``.
+    ``C`` is even (the source instance is bipartite), hence the inserted
+    length ``2|P| + |C|`` is even and the walk's parity is preserved.
+    Requires a second cycle in the instance, exactly the hypothesis of
+    Section 5.2.
+    """
+    graph = instance.graph
+    if not is_closed(cycle):
+        raise GraphError("debacktrack_odd_cycle expects a closed walk")
+    walk = list(cycle)
+    guard = 0
+    while True:
+        index = _find_backtrack(walk)
+        if index is None:
+            return walk
+        guard += 1
+        if guard > 10 * len(cycle) + 40:
+            raise GraphError("surgery did not converge; graph may lack a second cycle")
+        walk = _surgery(graph, walk, index)
+
+
+def _find_backtrack(walk: list[Node]) -> int | None:
+    """Index ``i`` (1 <= i <= len-2) of a node entered and left via the
+    same neighbor, rotating the closed walk first if the only offender
+    straddles the wrap-around point."""
+    for i in range(1, len(walk) - 1):
+        if walk[i - 1] == walk[i + 1]:
+            return i
+    # Wrap-around: pred of walk[0] is walk[-2], succ is walk[1].
+    if len(walk) >= 3 and walk[-2] == walk[1]:
+        # Rotate by one so the offender becomes interior, then re-find
+        # (one rotation suffices: the offending triple lands at an
+        # interior index of the rotated walk).
+        walk[:] = walk[1:] + [walk[1]]
+        return _find_backtrack(walk)
+    return None
+
+
+def _surgery(graph: Graph, walk: list[Node], index: int) -> list[Node]:
+    """Replace the backtracking double-step around ``walk[index]``."""
+    x = walk[index - 1]
+    v = walk[index]
+    cycle = _even_cycle_avoiding(graph, x, near=v)
+    # Minimal path from v to the cycle, inside G - x.
+    reduced = graph.copy()
+    reduced.remove_node(x)
+    if v not in reduced:
+        raise GraphError("backtrack pivot equals the avoided node")
+    dist = bfs_distances(reduced, v)
+    on_cycle = [c for c in cycle[:-1] if c in dist]
+    if not on_cycle:
+        raise GraphError("no path from the pivot to a second cycle avoiding the seam")
+    u = min(on_cycle, key=lambda c: (dist[c], repr(c)))
+    path = shortest_path(reduced, v, u)
+    # Orient the cycle to start (and end) at u.
+    k = cycle[:-1].index(u)
+    around = cycle[:-1][k:] + cycle[:-1][:k] + [u]
+    detour = path + around[1:] + list(reversed(path))[1:]
+    # detour = v ... u (around C) u ... v
+    return walk[:index] + detour + walk[index + 1 :]
+
+
+def _even_cycle_avoiding(graph: Graph, banned: Node, near: Node) -> list[Node]:
+    """A (necessarily even, in bipartite instances) cycle avoiding the
+    node *banned*, preferring cycles reachable from *near*.
+
+    Found via a BFS tree of ``G - banned`` plus one non-tree edge.
+    """
+    reduced = graph.copy()
+    if banned in reduced:
+        reduced.remove_node(banned)
+    best: list[Node] | None = None
+    dist_from_near = bfs_distances(reduced, near) if near in reduced else {}
+    parent: dict[Node, Node | None] = {}
+    depth: dict[Node, int] = {}
+    for root in sorted(reduced.nodes, key=lambda n: (dist_from_near.get(n, 10**9), repr(n))):
+        if root in depth:
+            continue
+        parent[root] = None
+        depth[root] = 0
+        queue = deque([root])
+        while queue:
+            a = queue.popleft()
+            for b in sorted(reduced.neighbors(a), key=repr):
+                if b not in depth:
+                    depth[b] = depth[a] + 1
+                    parent[b] = a
+                    queue.append(b)
+                elif parent[a] != b and depth[b] <= depth[a]:
+                    cycle = _tree_cycle(parent, a, b)
+                    if best is None or len(cycle) < len(best):
+                        best = cycle
+    if best is None:
+        raise GraphError(f"no cycle avoids node {banned!r}")
+    return best
+
+
+def _tree_cycle(parent: dict[Node, Node | None], a: Node, b: Node) -> list[Node]:
+    """Close the tree paths of ``a`` and ``b`` with the edge ``{a, b}``."""
+    up_a = [a]
+    while parent[up_a[-1]] is not None:
+        up_a.append(parent[up_a[-1]])
+    up_b = [b]
+    while parent[up_b[-1]] is not None:
+        up_b.append(parent[up_b[-1]])
+    set_b = {n: i for i, n in enumerate(up_b)}
+    meet_index = next(i for i, n in enumerate(up_a) if n in set_b)
+    meet = up_a[meet_index]
+    first = up_a[: meet_index + 1]
+    second = up_b[: set_b[meet] + 1]
+    return first + second[-2::-1] + [a]

@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    theta_graph,
+)
+from repro.local import Instance
+
+
+@pytest.fixture
+def p4() -> object:
+    return path_graph(4)
+
+
+@pytest.fixture
+def p8() -> object:
+    return path_graph(8)
+
+
+@pytest.fixture
+def c6() -> object:
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def c5() -> object:
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def k3() -> object:
+    return complete_graph(3)
+
+
+@pytest.fixture
+def theta_even() -> object:
+    """Bipartite theta graph (all path lengths even): the canonical
+    r-forgetful, min-degree-2, two-cycle yes-instance."""
+    return theta_graph(4, 4, 6)
+
+
+@pytest.fixture
+def grid34() -> object:
+    return grid_graph(3, 4)
+
+
+@pytest.fixture
+def star3() -> object:
+    return star_graph(3)
+
+
+@pytest.fixture
+def p6_instance() -> Instance:
+    return Instance.build(path_graph(6))

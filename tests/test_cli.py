@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph_spec
+
+
+class TestGraphSpec:
+    def test_path(self):
+        assert parse_graph_spec("path:5").order == 5
+
+    def test_cycle(self):
+        assert parse_graph_spec("cycle:6").order == 6
+
+    def test_grid(self):
+        assert parse_graph_spec("grid:2,3").order == 6
+
+    def test_theta(self):
+        assert parse_graph_spec("theta:2,2,2").order == 5
+
+    def test_melon(self):
+        assert parse_graph_spec("melon:2,3,4").order == 2 + 1 + 2 + 3
+
+    def test_star(self):
+        assert parse_graph_spec("star:4").order == 5
+
+    def test_unknown(self):
+        with pytest.raises(SystemExit):
+            parse_graph_spec("blob:3")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "thm14" in out
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "watermelon" in out and "Lemma 4.1" in out
+
+    def test_certify_accepts(self, capsys):
+        assert main(["certify", "degree-one", "path:6"]) == 0
+        out = capsys.readouterr().out
+        assert "unanimously ACCEPTED" in out
+
+    def test_certify_show_certificates(self, capsys):
+        assert main(["certify", "even-cycle", "cycle:4", "--show-certificates"]) == 0
+        out = capsys.readouterr().out
+        assert "node 0" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "OK" in out
+
+    def test_run_requires_known_id(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "not-an-experiment"])
+
+
+class TestViewsCommand:
+    def test_views_prints_verdicts(self, capsys):
+        assert main(["views", "degree-one", "path:3"]) == 0
+        out = capsys.readouterr().out
+        assert "[accept]" in out
+        assert "center" in out
+        assert "edge 0" in out
+
+    def test_views_radius2(self, capsys):
+        assert main(["views", "watermelon", "path:4", "--radius", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "radius-2 view" in out
+        assert "N = 4" in out  # non-anonymous scheme shows the id bound
+
+
+def test_describe_view_anonymous():
+    from repro.graphs import path_graph
+    from repro.local import Instance, extract_view
+    from repro.local.views import describe_view
+
+    view = extract_view(Instance.build(path_graph(3)), 1, 1, include_ids=False)
+    text = describe_view(view)
+    assert "anonymous" in text
+    assert "id=  -" in text

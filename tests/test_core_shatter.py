@@ -1,0 +1,183 @@
+"""Tests for the shatter-point LCP (Theorem 1.3), including the two
+decoder repairs and their hand-built refutations."""
+
+import pytest
+
+from repro.certification import GreedyAdversary, check_completeness, check_strong_soundness
+from repro.core import (
+    ShatterLCP,
+    component_certificate,
+    neighbor_certificate,
+    shatter_certificate,
+)
+from repro.errors import PromiseViolationError
+from repro.experiments.theorems import (
+    _check_common_color_counterexample,
+    _check_rogue_type1_counterexample,
+    shatter_hiding_witnesses,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    pan_graph,
+    path_graph,
+    spider_graph,
+    star_graph,
+    theta_graph,
+)
+from repro.graphs.families import bipartite_shatter_graphs_up_to
+from repro.local import Instance, Labeling, extract_view
+from repro.neighborhood import hiding_verdict_from_instances
+
+
+@pytest.fixture(scope="module")
+def lcp() -> ShatterLCP:
+    return ShatterLCP()
+
+
+class TestProver:
+    def test_round_trip_on_shatter_graphs(self, lcp):
+        for g in [path_graph(8), spider_graph(3, 2), grid_graph(2, 4), star_graph(4)]:
+            assert lcp.certify_and_check(Instance.build(g)).unanimous
+
+    def test_certificate_types_partition(self, lcp):
+        g = path_graph(7)
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        kinds = [labeling.of(v)[0] for v in g.nodes]
+        assert kinds.count("shatter") == 1
+        assert kinds.count("nbr") >= 1
+        assert kinds.count("comp") >= 2
+
+    def test_rejects_no_shatter_point(self, lcp):
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(cycle_graph(8)))
+
+    def test_rejects_non_bipartite(self, lcp):
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(pan_graph(3, 2)))
+
+    def test_orientation_freedom(self, lcp):
+        """all_certifications enumerates per-block orientations — the
+        freedom the hiding construction exploits."""
+        instance = Instance.build(path_graph(8))
+        labelings = list(lcp.prover.all_certifications(instance))
+        vectors = {
+            labeling.of(v)[2]
+            for labeling in labelings
+            for v in instance.graph.nodes
+            if labeling.of(v)[0] == "nbr"
+        }
+        assert len(vectors) >= 4  # both components flip independently
+
+
+class TestCompleteness:
+    def test_family_up_to_6(self, lcp):
+        report = check_completeness(
+            lcp, list(bipartite_shatter_graphs_up_to(6)), port_limit=2, id_samples=2
+        )
+        assert report.passed
+        assert report.graphs_checked >= 10
+
+
+class TestStrongSoundness:
+    def test_greedy_adversary(self, lcp):
+        report = check_strong_soundness(
+            lcp,
+            [complete_graph(3), cycle_graph(5), theta_graph(2, 2, 3)],
+            GreedyAdversary(restarts=4, sweeps=2, seed=3,
+                            pool_graphs=[path_graph(8), spider_graph(3, 2)]),
+            port_limit=1,
+        )
+        assert report.passed
+
+    def test_rogue_type1_attack_fails_on_repaired(self, lcp):
+        assert not _check_rogue_type1_counterexample(lcp)
+
+    def test_rogue_type1_attack_breaks_unanchored(self):
+        assert _check_rogue_type1_counterexample(ShatterLCP(anchored_type0_id=False))
+
+    def test_two_sided_touch_breaks_no_common_color(self):
+        assert _check_common_color_counterexample(ShatterLCP(common_touch_color=False))
+
+    def test_two_sided_touch_fails_on_repaired(self, lcp):
+        assert not _check_common_color_counterexample(lcp)
+
+
+class TestDecoderConditions:
+    def test_type0_checks_own_id(self, lcp):
+        g = path_graph(5)
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        shatter_node = next(v for v in g.nodes if labeling.of(v)[0] == "shatter")
+        tampered = labeling.with_label(shatter_node, shatter_certificate(99))
+        # (allow the larger claimed id by raising the bound)
+        from dataclasses import replace
+
+        inst = replace(instance, id_bound=99)
+        result = lcp.check(inst.with_labeling(tampered))
+        assert shatter_node in result.rejecting
+
+    def test_type1_requires_unique_type0(self, lcp):
+        g = path_graph(3)
+        labels = Labeling({
+            0: shatter_certificate(1),
+            1: neighbor_certificate(1, (0,)),
+            2: shatter_certificate(3),
+        })
+        result = lcp.check(Instance.build(g).with_labeling(labels))
+        assert 1 in result.rejecting
+
+    def test_type2_rejects_type0_neighbor(self, lcp):
+        g = path_graph(2)
+        labels = Labeling({0: shatter_certificate(1), 1: component_certificate(1, 1, 0)})
+        result = lcp.check(Instance.build(g).with_labeling(labels))
+        assert 1 in result.rejecting
+
+    def test_type2_same_component_alternates(self, lcp):
+        g = path_graph(2)
+        labels = Labeling({
+            0: component_certificate(7, 1, 0),
+            1: component_certificate(7, 1, 0),
+        })
+        from dataclasses import replace
+
+        inst = replace(Instance.build(g), id_bound=7)
+        result = lcp.check(inst.with_labeling(labels))
+        assert result.rejecting == {0, 1}
+
+    def test_component_number_bounds_checked(self, lcp):
+        g = path_graph(3)
+        labels = Labeling({
+            0: component_certificate(9, 3, 0),
+            1: neighbor_certificate(9, (0, 1)),  # vector has 2 entries, #3 invalid
+            2: shatter_certificate(9),
+        })
+        from dataclasses import replace
+
+        inst = replace(Instance.build(g), id_bound=9)
+        result = lcp.check(inst.with_labeling(labels))
+        assert 1 in result.rejecting
+
+    def test_malformed_rejected(self, lcp):
+        g = path_graph(2)
+        result = lcp.check(Instance.build(g).with_labeling(Labeling.uniform(g, 42)))
+        assert result.rejecting == {0, 1}
+
+
+class TestHiding:
+    def test_p1_p2_witnesses(self, lcp):
+        inst1, inst2 = shatter_hiding_witnesses()
+        assert lcp.check(inst1).unanimous
+        assert lcp.check(inst2).unanimous
+        # Boundary views glue (w3 = node 0, z2 = node 7).
+        assert extract_view(inst1, 0, 1) == extract_view(inst2, 0, 1)
+        assert extract_view(inst1, 7, 1) == extract_view(inst2, 7, 1)
+        verdict = hiding_verdict_from_instances(lcp, [inst1, inst2])
+        assert verdict.hiding is True
+
+    def test_certificate_bits_scale(self, lcp):
+        bits_small = lcp.certificate_bits(component_certificate(1, 1, 0), 8, 8)
+        bits_large = lcp.certificate_bits(component_certificate(1, 1, 0), 1024, 1024)
+        assert bits_large > bits_small

@@ -1,0 +1,117 @@
+"""Tests for the universal O(n²) LCP (Section 1.1's classical scheme)."""
+
+import pytest
+
+from repro.core import UniversalLCP, graph_map_of
+from repro.errors import PromiseViolationError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_tree,
+    path_graph,
+    star_graph,
+)
+from repro.local import Instance, Labeling
+
+
+@pytest.fixture(scope="module")
+def lcp() -> UniversalLCP:
+    return UniversalLCP()
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "graph",
+        [path_graph(5), cycle_graph(6), grid_graph(2, 3), star_graph(4)],
+    )
+    def test_round_trip(self, lcp, graph):
+        assert lcp.certify_and_check(Instance.build(graph)).unanimous
+
+    def test_rejects_non_property_graph(self, lcp):
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(complete_graph(3)))
+
+    def test_rejects_disconnected(self, lcp):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(g))
+
+    def test_other_property(self):
+        tree_lcp = UniversalLCP(property_fn=is_tree, property_name="tree")
+        assert tree_lcp.certify_and_check(Instance.build(star_graph(4))).unanimous
+        result = tree_lcp.certify_and_check(
+            Instance.build(cycle_graph(4))
+        ) if False else None
+        with pytest.raises(PromiseViolationError):
+            tree_lcp.prover.certify(Instance.build(cycle_graph(4)))
+        assert result is None
+
+
+class TestSoundness:
+    def test_honest_map_of_no_instance_rejected(self, lcp):
+        instance = Instance.build(complete_graph(3))
+        labeling = Labeling.uniform(instance.graph, graph_map_of(instance))
+        assert not lcp.check(instance.with_labeling(labeling)).unanimous
+
+    def test_lying_map_caught_by_row_check(self, lcp):
+        """Claiming a bipartite map on K3: some node's claimed row must
+        differ from its actual neighborhood."""
+        instance = Instance.build(complete_graph(3))
+        lie = ((1, 2, 3), ((1, 2), (2, 3)))
+        labeling = Labeling.uniform(instance.graph, lie)
+        assert not lcp.check(instance.with_labeling(labeling)).unanimous
+
+    def test_disagreeing_neighbors_caught(self, lcp):
+        instance = Instance.build(path_graph(3))
+        honest = graph_map_of(instance)
+        other = ((1, 2, 3), ((1, 2), (1, 3)))
+        labeling = Labeling({0: honest, 1: honest, 2: other})
+        result = lcp.check(instance.with_labeling(labeling))
+        assert 1 in result.rejecting  # sees both maps
+
+    def test_phantom_component_caught_by_connectivity(self, lcp):
+        """A map with a detached phantom clique would satisfy every row
+        check; the connectivity requirement rejects it."""
+        instance = Instance.build(path_graph(3), id_bound=6)
+        phantom = ((1, 2, 3, 4, 5, 6), ((1, 2), (2, 3), (4, 5), (4, 6), (5, 6)))
+        labeling = Labeling.uniform(instance.graph, phantom)
+        result = lcp.check(instance.with_labeling(labeling))
+        assert result.rejecting == {0, 1, 2}
+
+    def test_missing_own_id_rejected(self, lcp):
+        instance = Instance.build(path_graph(2), id_bound=9)
+        labeling = Labeling.uniform(instance.graph, ((8, 9), ((8, 9),)))
+        assert not lcp.check(instance.with_labeling(labeling)).unanimous
+
+    def test_malformed_maps_rejected(self, lcp):
+        instance = Instance.build(path_graph(2))
+        for junk in ["x", (1, 2, 3), (((1, 1)), ()), ((1, 2), ((2, 1),))]:
+            labeling = Labeling.uniform(instance.graph, junk)
+            assert not lcp.check(instance.with_labeling(labeling)).unanimous
+
+
+class TestSizeAndRevealing:
+    def test_quadratic_certificates(self, lcp):
+        small = Instance.build(path_graph(4))
+        large = Instance.build(grid_graph(4, 4))
+        bits_small = lcp.labeling_bits(lcp.prover.certify(small), small.n, small.id_bound)
+        bits_large = lcp.labeling_bits(lcp.prover.certify(large), large.n, large.id_bound)
+        assert bits_large > 4 * bits_small  # super-linear growth
+
+    def test_maximally_revealing(self, lcp):
+        """Every node can recover a full 2-coloring from its certificate
+        alone — the scheme is the anti-hiding baseline."""
+        from repro.graphs.properties import bipartition, proper_coloring_ok
+
+        instance = Instance.build(grid_graph(2, 3))
+        labeling = lcp.prover.certify(instance)
+        claimed_nodes, claimed_edges = labeling.of(0)
+        claimed = Graph(nodes=claimed_nodes, edges=claimed_edges)
+        split = bipartition(claimed)
+        assert split.is_bipartite
+        extracted = {
+            v: split.coloring[instance.ids.id_of(v)] for v in instance.graph.nodes
+        }
+        assert proper_coloring_ok(instance.graph, extracted)

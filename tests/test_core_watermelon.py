@@ -1,0 +1,178 @@
+"""Tests for the watermelon LCP (Theorem 1.4)."""
+
+import pytest
+
+from repro.certification import GreedyAdversary, check_completeness, check_strong_soundness
+from repro.core import WatermelonLCP, endpoint_certificate, path_certificate
+from repro.errors import PromiseViolationError
+from repro.experiments.theorems import watermelon_hiding_witnesses
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    is_bipartite,
+    pan_graph,
+    path_graph,
+    theta_graph,
+    watermelon_graph,
+)
+from repro.graphs.families import watermelon_family_up_to
+from repro.local import Instance, Labeling, extract_view
+from repro.neighborhood import hiding_verdict_from_instances
+
+
+@pytest.fixture(scope="module")
+def lcp() -> WatermelonLCP:
+    return WatermelonLCP()
+
+
+class TestProver:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(5),
+            cycle_graph(6),
+            watermelon_graph([2, 2]),
+            watermelon_graph([2, 4, 4]),
+            watermelon_graph([3, 3, 3]),
+            theta_graph(2, 2, 2),
+        ],
+    )
+    def test_round_trip(self, lcp, graph):
+        assert lcp.certify_and_check(Instance.build(graph)).unanimous
+
+    def test_endpoint_and_path_certificates(self, lcp):
+        g = watermelon_graph([2, 3])
+        # Mixed parity -> not bipartite; use same parity instead.
+        g = watermelon_graph([2, 4])
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        kinds = [labeling.of(v)[0] for v in g.nodes]
+        assert kinds.count("end") == 2
+        assert kinds.count("path") == g.order - 2
+
+    def test_path_numbers_distinct(self, lcp):
+        g = watermelon_graph([2, 2, 2])
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        numbers = {labeling.of(v)[3] for v in g.nodes if labeling.of(v)[0] == "path"}
+        assert numbers == {1, 2, 3}
+
+    def test_rejects_odd_even_mix(self, lcp):
+        g = watermelon_graph([2, 3])
+        assert not is_bipartite(g)
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(g))
+
+    def test_rejects_non_watermelon(self, lcp):
+        with pytest.raises(PromiseViolationError):
+            lcp.prover.certify(Instance.build(complete_graph(4)))
+
+
+class TestCompleteness:
+    def test_family_up_to_7(self, lcp):
+        graphs = [g for g in watermelon_family_up_to(7) if is_bipartite(g)]
+        report = check_completeness(lcp, graphs, port_limit=2, id_samples=2)
+        assert report.passed
+        assert report.graphs_checked >= 5
+
+
+class TestStrongSoundness:
+    def test_greedy_adversary(self, lcp):
+        report = check_strong_soundness(
+            lcp,
+            [complete_graph(3), cycle_graph(5), theta_graph(2, 2, 3), pan_graph(3, 2)],
+            GreedyAdversary(restarts=4, sweeps=2, seed=5,
+                            pool_graphs=[path_graph(8), watermelon_graph([2, 2])]),
+            port_limit=1,
+        )
+        assert report.passed
+
+    def test_odd_cycle_cannot_be_all_path_nodes(self, lcp):
+        """A pure type-2 odd cycle would need a proper 2-edge-coloring of
+        an odd cycle — every consistent attempt must fail locally."""
+        g = cycle_graph(5)
+        instance = Instance.build(g)
+        labels = {}
+        for i, v in enumerate(g.nodes):
+            nxt = (i + 1) % 5
+            prev = (i - 1) % 5
+            e_next = i % 2
+            e_prev = (i - 1) % 2
+            port_next = instance.ports.port(v, nxt)
+            entries = [None, None]
+            entries[port_next - 1] = (instance.ports.port(nxt, v), e_next)
+            entries[2 - port_next] = (instance.ports.port(prev, v), e_prev)
+            labels[v] = ("path", 1, 9, 1, entries[0], entries[1])
+        from dataclasses import replace
+
+        inst = replace(instance, id_bound=9).with_labeling(Labeling(labels))
+        result = lcp.check(inst)
+        assert not result.unanimous
+
+
+class TestDecoderConditions:
+    def test_endpoint_id_check(self, lcp):
+        g = path_graph(3)
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        # Tamper the id pair everywhere: endpoints' real ids no longer match.
+        tampered = Labeling({
+            v: (lambda c: (c[0], 7, 8, *c[3:]) if c[0] == "path" else (c[0], 7, 8))(labeling.of(v))
+            for v in g.nodes
+        })
+        from dataclasses import replace
+
+        inst = replace(instance, id_bound=9).with_labeling(tampered)
+        result = lcp.check(inst)
+        assert 0 in result.rejecting  # endpoint: Id(u) not in {7, 8}
+
+    def test_path_number_mismatch_rejected(self, lcp):
+        g = path_graph(4)
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        cert = labeling.of(1)
+        tampered = labeling.with_label(1, (cert[0], cert[1], cert[2], 5, cert[4], cert[5]))
+        result = lcp.check(instance.with_labeling(tampered))
+        assert 2 in result.rejecting  # type-2 neighbor sees a different #
+
+    def test_color_flip_rejected(self, lcp):
+        g = cycle_graph(6)
+        instance = Instance.build(g)
+        labeling = lcp.prover.certify(instance)
+        v = next(v for v in g.nodes if labeling.of(v)[0] == "path")
+        kind, id1, id2, num, (p1, c1), (p2, c2) = labeling.of(v)
+        tampered = labeling.with_label(v, (kind, id1, id2, num, (p1, 1 - c1), (p2, c2)))
+        result = lcp.check(instance.with_labeling(tampered))
+        assert not result.unanimous
+
+    def test_malformed_rejected(self, lcp):
+        g = path_graph(3)
+        result = lcp.check(Instance.build(g).with_labeling(Labeling.uniform(g, "x")))
+        assert result.rejecting == {0, 1, 2}
+
+    def test_equal_entry_colors_malformed(self, lcp):
+        assert lcp.decoder.decide.__self__ is lcp.decoder  # sanity
+        from repro.core.watermelon import _parse
+
+        assert _parse(("path", 1, 2, 1, (1, 0), (2, 0))) is None  # c1 == c2
+        assert _parse(("end", 2, 1)) is None  # ids not increasing
+        assert _parse(("path", 1, 2, 1, (1, 0), (2, 1))) is not None
+
+
+class TestHiding:
+    def test_id1_id2_witnesses(self, lcp):
+        inst1, inst2 = watermelon_hiding_witnesses()
+        assert lcp.check(inst1).unanimous
+        assert lcp.check(inst2).unanimous
+        # The reflection gluing: u1 views equal; u4@I1 == u5@I2.
+        assert extract_view(inst1, 0, 1) == extract_view(inst2, 0, 1)
+        assert extract_view(inst1, 3, 1) == extract_view(inst2, 4, 1)
+        verdict = hiding_verdict_from_instances(lcp, [inst1, inst2])
+        assert verdict.hiding is True
+        assert (len(verdict.odd_cycle) - 1) % 2 == 1
+
+    def test_certificate_bits_logarithmic(self, lcp):
+        cert = path_certificate(1, 2, 1, (1, 0), (2, 1))
+        assert lcp.certificate_bits(cert, 1 << 10, 1 << 10) < 200
+        end = endpoint_certificate(1, 2)
+        assert lcp.certificate_bits(end, 64, 64) >= 2 * 7 - 2

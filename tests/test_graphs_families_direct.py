@@ -1,0 +1,22 @@
+"""Cross-validation of the direct watermelon family constructor."""
+
+from repro.graphs.encoding import are_isomorphic
+from repro.graphs.families import watermelon_family_up_to, watermelon_graphs_up_to
+from repro.graphs.watermelon import is_watermelon
+
+
+def test_direct_family_matches_filtered_enumeration():
+    direct = list(watermelon_family_up_to(6))
+    filtered = list(watermelon_graphs_up_to(6))
+    assert len(direct) == len(filtered)
+    for g in direct:
+        assert any(are_isomorphic(g, h) for h in filtered)
+
+
+def test_direct_family_members_are_watermelons():
+    graphs = list(watermelon_family_up_to(8))
+    assert graphs
+    assert all(is_watermelon(g) for g in graphs)
+    # No isomorphic duplicates.
+    for i, g in enumerate(graphs):
+        assert not any(are_isomorphic(g, h) for h in graphs[i + 1 :])

@@ -1,0 +1,119 @@
+"""Tests for the r-forgetful property (both readings) and Lemma 2.1."""
+
+import pytest
+
+from repro.graphs import (
+    cycle_graph,
+    diameter,
+    grid_graph,
+    path_graph,
+    star_graph,
+    theta_graph,
+    toroidal_grid_graph,
+)
+from repro.graphs.forgetful import (
+    find_escape_path,
+    forgetful_radius,
+    forgetful_report,
+    is_r_forgetful,
+)
+
+
+class TestEscapeMode:
+    @pytest.mark.parametrize(
+        "graph,r,expected",
+        [
+            (cycle_graph(8), 1, True),
+            (cycle_graph(12), 2, True),
+            (cycle_graph(10), 2, True),
+            (cycle_graph(6), 2, False),
+            (theta_graph(4, 4, 6), 1, True),
+            (toroidal_grid_graph(6, 6), 1, True),
+            (grid_graph(4, 4), 1, False),   # corners break it
+            (path_graph(6), 1, False),      # leaves break it
+            (star_graph(3), 1, False),
+        ],
+    )
+    def test_catalog(self, graph, r, expected):
+        assert is_r_forgetful(graph, r) is expected
+
+    def test_grid_defects_are_at_boundary(self):
+        report = forgetful_report(grid_graph(5, 5), 1)
+        assert not report.is_forgetful
+        boundary = {
+            r * 5 + c for r in range(5) for c in range(5)
+            if r in (0, 4) or c in (0, 4)
+        }
+        assert all(v in boundary for v, _u in report.defects)
+
+    def test_escape_path_shape(self):
+        g = cycle_graph(12)
+        path = find_escape_path(g, 0, 1, 2)
+        assert path is not None
+        assert len(path) == 3
+        assert path[0] == 0
+        # The path must walk straight away from the arrival edge.
+        assert path == (0, 11, 10)
+
+    def test_escape_paths_increase_distance_to_u_and_v(self):
+        g = theta_graph(4, 4, 6)
+        report = forgetful_report(g, 1)
+        from repro.graphs import bfs_distances
+
+        for (v, u), path in report.escape_paths.items():
+            du = bfs_distances(g, u)
+            dv = bfs_distances(g, v)
+            for i in range(len(path) - 1):
+                assert du[path[i + 1]] > du[path[i]]
+                assert dv[path[i + 1]] > dv[path[i]]
+
+
+class TestStrictMode:
+    def test_strict_r1_on_cycles(self):
+        assert is_r_forgetful(cycle_graph(8), 1, mode="strict")
+        assert not is_r_forgetful(cycle_graph(5), 1, mode="strict")
+
+    @pytest.mark.parametrize(
+        "graph",
+        [cycle_graph(20), toroidal_grid_graph(8, 8), theta_graph(6, 6, 8)],
+    )
+    def test_strict_unsatisfiable_at_r2(self, graph):
+        """The reproduction finding: the literal definition is empty for
+        r >= 2, because the escape path's first node lies in N^r(u)."""
+        assert not is_r_forgetful(graph, 2, mode="strict")
+
+    def test_lemma_2_1_diameter_bound_strict(self):
+        """Lemma 2.1 under the strict reading: diam >= 2r + 1."""
+        for graph in [cycle_graph(8), cycle_graph(12), toroidal_grid_graph(6, 6)]:
+            for r in (1, 2):
+                if is_r_forgetful(graph, r, mode="strict"):
+                    assert diameter(graph) >= 2 * r + 1
+
+
+class TestForgetfulRadius:
+    def test_monotone_scan(self):
+        assert forgetful_radius(cycle_graph(12), 4) == 2
+        assert forgetful_radius(cycle_graph(16), 4) == 3
+        assert forgetful_radius(path_graph(5), 3) == 0
+
+    def test_escape_mode_diameter_lower_bound(self):
+        """Under the escape reading, diam >= r + 1 always holds (the
+        path ends at distance r+1 from u)."""
+        for graph in [cycle_graph(8), cycle_graph(12), theta_graph(4, 4, 6)]:
+            r = forgetful_radius(graph, 3)
+            if r >= 1:
+                assert diameter(graph) >= r + 1
+
+
+class TestValidation:
+    def test_requires_neighbor(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            find_escape_path(cycle_graph(6), 0, 2, 1)
+
+    def test_requires_positive_radius(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            find_escape_path(cycle_graph(6), 0, 1, 0)

@@ -1,0 +1,166 @@
+"""Unit tests for graph generators: orders, sizes, degrees, structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barbell_graph,
+    binary_tree,
+    book_graph,
+    caterpillar_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    friendship_graph,
+    grid_graph,
+    hypercube_graph,
+    is_bipartite,
+    is_connected,
+    is_tree,
+    is_watermelon,
+    lollipop_with_pendants,
+    pan_graph,
+    path_graph,
+    random_bipartite_graph,
+    random_graph,
+    random_tree,
+    spider_graph,
+    star_graph,
+    theta_graph,
+    toroidal_grid_graph,
+    tree_from_prufer,
+    watermelon_graph,
+)
+
+
+class TestBasicShapes:
+    def test_empty_graph(self):
+        g = empty_graph(4)
+        assert g.order == 4 and g.size == 0
+
+    def test_path(self):
+        g = path_graph(5)
+        assert g.order == 5 and g.size == 4
+        assert g.degree_sequence() == [2, 2, 2, 1, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.order == 7 and g.size == 7
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.order == 5 and g.degree(0) == 4
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.size == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.size == 6 and is_bipartite(g)
+
+    @pytest.mark.parametrize("bad_call", [
+        lambda: path_graph(0),
+        lambda: cycle_graph(2),
+        lambda: star_graph(0),
+        lambda: grid_graph(0, 3),
+        lambda: watermelon_graph([1, 2]),
+        lambda: watermelon_graph([]),
+    ])
+    def test_invalid_parameters(self, bad_call):
+        with pytest.raises(GraphError):
+            bad_call()
+
+
+class TestGridsAndTori:
+    def test_grid_structure(self):
+        g = grid_graph(3, 4)
+        assert g.order == 12
+        assert g.size == 3 * 3 + 2 * 4  # horizontal + vertical edges
+        assert is_bipartite(g)
+
+    def test_torus_regular(self):
+        g = toroidal_grid_graph(4, 6)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_torus_bipartite_iff_even_dims(self):
+        assert is_bipartite(toroidal_grid_graph(4, 6))
+        assert not is_bipartite(toroidal_grid_graph(3, 4))
+
+    def test_hypercube(self):
+        g = hypercube_graph(3)
+        assert g.order == 8 and g.size == 12
+        assert is_bipartite(g)
+
+
+class TestTrees:
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.order == 15 and is_tree(g)
+
+    def test_spider(self):
+        g = spider_graph(3, 2)
+        assert g.order == 7 and is_tree(g)
+        assert g.degree(0) == 3
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.order == 12 and is_tree(g)
+
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            for n in (1, 2, 3, 8):
+                assert is_tree(random_tree(n, seed))
+
+    def test_prufer_roundtrip_known(self):
+        # Prüfer sequence (3, 3) encodes a star centered at 3 on 4 nodes.
+        g = tree_from_prufer([3, 3])
+        assert g.degree(3) == 3
+        assert is_tree(g)
+
+
+class TestCycleVariants:
+    def test_pan(self):
+        g = pan_graph(5, 2)
+        assert g.order == 7
+        assert g.min_degree() == 1
+
+    def test_theta(self):
+        g = theta_graph(2, 3, 4)
+        assert g.degree(0) == 3 and g.degree(1) == 3
+        assert g.order == 2 + 1 + 2 + 3
+
+    def test_watermelon(self):
+        g = watermelon_graph([2, 2, 2, 2])
+        assert g.degree(0) == 4
+        assert is_watermelon(g)
+
+    def test_book_and_friendship_not_bipartite(self):
+        assert not is_bipartite(book_graph(2))
+        assert not is_bipartite(friendship_graph(2))
+
+    def test_lollipop_with_pendants(self):
+        g = lollipop_with_pendants(4, 2)
+        assert g.min_degree() == 1
+        assert g.order == 6
+
+    def test_barbell(self):
+        g = barbell_graph(3, 2)
+        assert is_connected(g)
+        assert g.order == 7
+
+
+class TestRandomGraphs:
+    def test_random_graph_deterministic_per_seed(self):
+        assert random_graph(8, 0.4, 7) == random_graph(8, 0.4, 7)
+        assert random_graph(8, 0.4, 7) != random_graph(8, 0.4, 8)
+
+    def test_random_bipartite_is_bipartite(self):
+        for seed in range(4):
+            assert is_bipartite(random_bipartite_graph(4, 5, 0.6, seed))
+
+    def test_probability_bounds(self):
+        with pytest.raises(GraphError):
+            random_graph(4, 1.5, 0)

@@ -1,0 +1,181 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs import Graph, edge_key
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.order == 0
+        assert g.size == 0
+        assert g.nodes == []
+        assert g.edges == []
+
+    def test_from_edges_infers_nodes(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert set(g.nodes) == {0, 1, 2}
+        assert g.size == 2
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(5)
+        g.add_node(5)
+        assert g.order == 1
+
+    def test_add_edge_adds_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+
+    def test_duplicate_edge_kept_once(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.size == 1
+
+    def test_loop_allowed(self):
+        g = Graph.from_edges([(0, 0)])
+        assert g.has_loop()
+        assert g.has_edge(0, 0)
+        assert g.size == 1
+
+
+class TestQueries:
+    def test_neighbors_fresh_set(self):
+        g = Graph.from_edges([(0, 1)])
+        nbrs = g.neighbors(0)
+        nbrs.add(99)
+        assert g.neighbors(0) == {1}
+
+    def test_neighbors_missing_node(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(0)
+
+    def test_degree_and_extremes(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.min_degree() == 1
+        assert g.max_degree() == 3
+
+    def test_degree_sequence_sorted(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert g.degree_sequence() == [2, 1, 1]
+
+    def test_min_degree_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            Graph().min_degree()
+
+    def test_closed_neighborhood(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.closed_neighborhood(1) == {0, 1, 2}
+
+    def test_contains_len_iter(self):
+        g = Graph.from_edges([(0, 1)])
+        assert 0 in g
+        assert 2 not in g
+        assert len(g) == 2
+        assert sorted(g) == [0, 1]
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_node(0)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 2)
+
+    def test_remove_node_cleans_incident_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_node(1)
+        assert not g.has_node(1)
+        assert g.neighbors(0) == set()
+        assert g.size == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(3)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert not g.has_node(2)
+
+    def test_induced_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        h = g.induced_subgraph({0, 1, 2})
+        assert h.order == 3
+        assert h.size == 3
+        assert not h.has_node(3)
+
+    def test_induced_subgraph_missing_node_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            g.induced_subgraph({0, 9})
+
+    def test_subtract_closed_neighborhood(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        h = g.subtract_closed_neighborhood(2)
+        assert set(h.nodes) == {0, 4}
+        assert h.size == 0
+
+    def test_disjoint_union(self):
+        g = Graph.from_edges([(0, 1)])
+        h = Graph.from_edges([(0, 1)])
+        u = g.disjoint_union(h)
+        assert u.order == 4
+        assert u.size == 2
+        assert u.has_edge((0, 0), (0, 1))
+        assert u.has_edge((1, 0), (1, 1))
+
+    def test_relabeled(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.relabeled({0: "x", 1: "y"})
+        assert h.has_edge("x", "y")
+
+    def test_relabeled_requires_injective(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: "x", 1: "x"})
+
+    def test_relabeled_requires_total(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: "x"})
+
+    def test_to_integer_nodes(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        h, mapping = g.to_integer_nodes()
+        assert set(h.nodes) == {0, 1, 2}
+        assert h.size == 2
+        assert mapping["a"] == 0
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert Graph.from_edges([(0, 1)]) == Graph.from_edges([(1, 0)])
+
+    def test_unequal_graphs(self):
+        assert Graph.from_edges([(0, 1)]) != Graph.from_edges([(0, 2)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+
+def test_edge_key_canonical():
+    assert edge_key(3, 1) == (1, 3)
+    assert edge_key(1, 3) == (1, 3)
+    assert edge_key("b", "a") == ("a", "b")

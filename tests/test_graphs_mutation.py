@@ -1,0 +1,120 @@
+"""Tests for graph mutations and the runner/report utilities."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import cycle_graph, grid_graph, is_bipartite, path_graph
+from repro.graphs.mutation import (
+    odd_cycle_neighbors,
+    parity_attack_targets,
+    random_edge_swap,
+    subdivide_edge,
+    with_edge_added,
+    with_edge_removed,
+)
+
+
+class TestBasicMutations:
+    def test_with_edge_added_copies(self):
+        g = path_graph(3)
+        h = with_edge_added(g, 0, 2)
+        assert h.has_edge(0, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_with_edge_removed(self):
+        g = cycle_graph(4)
+        h = with_edge_removed(g, 0, 1)
+        assert not h.has_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_subdivision_flips_cycle_parity(self):
+        g = cycle_graph(4)
+        assert is_bipartite(g)
+        h = subdivide_edge(g, 0, 1, "mid")
+        assert not is_bipartite(h)
+        assert h.order == 5
+
+    def test_subdivision_missing_edge(self):
+        with pytest.raises(GraphError):
+            subdivide_edge(path_graph(3), 0, 2, "mid")
+
+    def test_subdivision_existing_node(self):
+        with pytest.raises(GraphError):
+            subdivide_edge(path_graph(3), 0, 1, 2)
+
+
+class TestOddCycleNeighbors:
+    def test_all_non_bipartite(self):
+        for candidate in odd_cycle_neighbors(grid_graph(2, 3)):
+            assert not is_bipartite(candidate)
+
+    def test_limit_respected(self):
+        out = list(odd_cycle_neighbors(grid_graph(3, 3), limit=3))
+        assert len(out) == 3
+
+    def test_even_cycle_has_neighbors(self):
+        assert list(odd_cycle_neighbors(cycle_graph(6), limit=1))
+
+
+class TestEdgeSwap:
+    def test_degree_sequence_preserved(self):
+        g = grid_graph(3, 3)
+        h = random_edge_swap(g, seed=5)
+        assert h.degree_sequence() == g.degree_sequence()
+
+    def test_tiny_graph_unchanged(self):
+        g = path_graph(2)
+        assert random_edge_swap(g, seed=0) == g
+
+
+class TestParityTargets:
+    def test_targets_are_no_instances(self):
+        targets = parity_attack_targets(cycle_graph(6), limit=4)
+        assert targets
+        assert all(not is_bipartite(t) for t in targets)
+
+
+class TestRunnerUtilities:
+    def test_format_table(self):
+        from repro._util import format_table
+
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_bits_needed(self):
+        from repro._util import bits_needed
+
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(8) == 4
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+    def test_pairwise_and_is_sorted(self):
+        from repro._util import is_sorted, pairwise
+
+        assert list(pairwise([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert is_sorted([1, 1, 2])
+        assert not is_sorted([2, 1])
+
+    def test_argmin(self):
+        from repro._util import argmin
+
+        assert argmin([3, 1, 2], key=lambda x: x) == 1
+        with pytest.raises(ValueError):
+            argmin([], key=lambda x: x)
+
+    def test_run_all_and_save(self, tmp_path, monkeypatch):
+        """The runner writes a report; patched to two fast experiments."""
+        from repro.experiments import registry as reg
+        from repro.experiments import runner
+
+        fast = [reg.get_experiment("fig2"), reg.get_experiment("fig7")]
+        monkeypatch.setattr(runner, "all_experiments", lambda: fast)
+        target = tmp_path / "report.txt"
+        ok = runner.run_all_and_save(target, verbose=False)
+        assert ok
+        text = target.read_text()
+        assert "fig2" in text and "summary" in text

@@ -1,0 +1,174 @@
+"""Unit + property tests for bipartiteness, cycles, girth, and shape
+predicates — cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    bipartition,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_count_lower_bound,
+    cycle_graph,
+    find_odd_cycle,
+    girth,
+    grid_graph,
+    has_at_least_two_cycles,
+    is_bipartite,
+    is_cycle_graph,
+    is_even_cycle,
+    is_path_graph,
+    is_tree,
+    pan_graph,
+    path_graph,
+    proper_coloring_ok,
+    random_graph,
+    star_graph,
+    theta_graph,
+)
+
+
+class TestBipartition:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(7), True),
+            (cycle_graph(6), True),
+            (cycle_graph(7), False),
+            (complete_graph(3), False),
+            (complete_bipartite_graph(2, 3), True),
+            (grid_graph(3, 4), True),
+            (theta_graph(2, 2, 3), False),
+            (theta_graph(2, 2, 4), True),
+        ],
+    )
+    def test_known_graphs(self, graph, expected):
+        assert is_bipartite(graph) is expected
+
+    def test_coloring_is_proper(self):
+        result = bipartition(grid_graph(4, 4))
+        assert result.is_bipartite
+        assert proper_coloring_ok(grid_graph(4, 4), result.coloring)
+
+    def test_odd_cycle_witness_is_odd_closed_walk(self):
+        result = bipartition(theta_graph(2, 3, 4))
+        assert not result.is_bipartite
+        cycle = result.odd_cycle
+        assert cycle[0] == cycle[-1]
+        assert (len(cycle) - 1) % 2 == 1
+        g = theta_graph(2, 3, 4)
+        for a, b in zip(cycle, cycle[1:]):
+            assert g.has_edge(a, b)
+
+    def test_loop_is_odd_cycle(self):
+        g = Graph.from_edges([(0, 0), (0, 1)])
+        result = bipartition(g)
+        assert not result.is_bipartite
+        assert result.odd_cycle == [0, 0]
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_bipartite(g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(2, 9), p=st.floats(0.1, 0.9), seed=st.integers(0, 10**6))
+    def test_matches_networkx(self, n, p, seed):
+        g = random_graph(n, p, seed)
+        h = nx.Graph()
+        h.add_nodes_from(g.nodes)
+        h.add_edges_from(g.edges)
+        assert is_bipartite(g) == nx.is_bipartite(h)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(3, 9), p=st.floats(0.2, 0.9), seed=st.integers(0, 10**6))
+    def test_odd_cycle_or_coloring_always_valid(self, n, p, seed):
+        g = random_graph(n, p, seed)
+        result = bipartition(g)
+        if result.is_bipartite:
+            assert proper_coloring_ok(g, result.coloring)
+        else:
+            cycle = result.odd_cycle
+            assert (len(cycle) - 1) % 2 == 1
+            for a, b in zip(cycle, cycle[1:]):
+                assert g.has_edge(a, b)
+
+
+class TestFindOddCycle:
+    def test_none_on_bipartite(self):
+        assert find_odd_cycle(grid_graph(3, 3)) is None
+
+    def test_found_on_k3(self):
+        assert find_odd_cycle(complete_graph(3)) is not None
+
+
+class TestShapePredicates:
+    def test_cycle_recognition(self):
+        assert is_cycle_graph(cycle_graph(5))
+        assert not is_cycle_graph(path_graph(5))
+        assert not is_cycle_graph(pan_graph(4, 1))
+
+    def test_even_cycle(self):
+        assert is_even_cycle(cycle_graph(8))
+        assert not is_even_cycle(cycle_graph(7))
+        assert not is_even_cycle(path_graph(4))
+
+    def test_path_recognition(self):
+        assert is_path_graph(path_graph(1))
+        assert is_path_graph(path_graph(6))
+        assert not is_path_graph(cycle_graph(4))
+        assert not is_path_graph(star_graph(3))
+
+    def test_tree_recognition(self):
+        assert is_tree(star_graph(5))
+        assert is_tree(path_graph(4))
+        assert not is_tree(cycle_graph(4))
+
+
+class TestGirth:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(5), None),
+            (cycle_graph(5), 5),
+            (complete_graph(4), 3),
+            (grid_graph(3, 3), 4),
+            (theta_graph(2, 3, 4), 5),
+        ],
+    )
+    def test_known(self, graph, expected):
+        assert girth(graph) == expected
+
+    def test_loop_girth(self):
+        g = Graph.from_edges([(0, 0)])
+        assert girth(g) == 1
+
+
+class TestCycleCounting:
+    def test_tree_has_no_cycles(self):
+        assert cycle_count_lower_bound(star_graph(4)) == 0
+        assert not has_at_least_two_cycles(path_graph(5))
+
+    def test_single_cycle(self):
+        assert cycle_count_lower_bound(cycle_graph(6)) == 1
+        assert not has_at_least_two_cycles(cycle_graph(6))
+
+    def test_theta_has_two(self):
+        assert cycle_count_lower_bound(theta_graph(2, 2, 2)) == 2
+        assert has_at_least_two_cycles(theta_graph(2, 2, 2))
+
+
+class TestProperColoring:
+    def test_accepts_valid(self):
+        g = path_graph(4)
+        assert proper_coloring_ok(g, {0: 0, 1: 1, 2: 0, 3: 1})
+
+    def test_rejects_conflict(self):
+        g = path_graph(3)
+        assert not proper_coloring_ok(g, {0: 0, 1: 0, 2: 1})
+
+    def test_rejects_partial(self):
+        g = path_graph(3)
+        assert not proper_coloring_ok(g, {0: 0, 1: 1})

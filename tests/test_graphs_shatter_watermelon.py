@@ -1,0 +1,140 @@
+"""Tests for shatter points (Section 7.1) and watermelon recognition
+(Section 7.2), including the Lemma 7.1 characterization."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    has_shatter_point,
+    is_bipartite,
+    is_shatter_point,
+    is_watermelon,
+    lemma_7_1_conditions,
+    path_graph,
+    random_graph,
+    shatter_decomposition,
+    shatter_points,
+    spider_graph,
+    star_graph,
+    theta_graph,
+    watermelon_decomposition,
+    watermelon_graph,
+)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+class TestShatterPoints:
+    def test_path_middle_is_shatter_point(self):
+        g = path_graph(5)
+        assert is_shatter_point(g, 2)
+        assert not is_shatter_point(g, 0)
+
+    def test_cycle_has_none(self):
+        assert shatter_points(cycle_graph(8)) == []
+        assert not has_shatter_point(complete_graph(4))
+
+    def test_spider_center(self):
+        g = spider_graph(3, 2)
+        assert is_shatter_point(g, 0)
+
+    def test_decomposition_components(self):
+        g = path_graph(7)
+        decomp = shatter_decomposition(g, 3)
+        assert decomp.component_count == 2
+        assert {frozenset(c) for c in decomp.components} == {
+            frozenset({0, 1}),
+            frozenset({5, 6}),
+        }
+        assert decomp.component_number(0) == decomp.component_number(1)
+        assert decomp.component_number(0) != decomp.component_number(6)
+
+    def test_component_number_missing_node(self):
+        from repro.errors import GraphError
+
+        decomp = shatter_decomposition(path_graph(7), 3)
+        with pytest.raises(GraphError):
+            decomp.component_number(3)
+
+
+class TestLemma71:
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(5, 9), p=st.floats(0.15, 0.6), seed=st.integers(0, 10**6))
+    def test_characterization_matches_bipartiteness(self, n, p, seed):
+        """Lemma 7.1: at a shatter point of a *connected* graph, the three
+        conditions hold iff the graph is bipartite."""
+        from repro.graphs import is_connected
+
+        g = random_graph(n, p, seed)
+        if not is_connected(g):
+            return
+        for v in shatter_points(g):
+            holds, _reason = lemma_7_1_conditions(g, v)
+            assert holds == is_bipartite(g)
+
+    def test_violation_reasons(self):
+        # Triangle hanging off a shatter point: component not bipartite.
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (0, 5), (5, 6)])
+        assert is_shatter_point(g, 0)
+        holds, reason = lemma_7_1_conditions(g, 0)
+        assert not holds
+        assert "not bipartite" in reason
+
+    def test_two_sided_touch_detected(self):
+        # N(v)'s neighbors touch both sides of one component: odd cycle
+        # through v.  v=0, N(v)={1,2}; component path 3-4; 1-3 and 2-4.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (3, 4), (4, 2), (0, 5), (5, 6)])
+        # Ensure 0 shatters: components {3,4} ... and {6}? N[0]={0,1,2,5}.
+        holds, reason = lemma_7_1_conditions(g, 0)
+        assert not holds
+        assert "both sides" in reason or "independent" in reason
+
+
+class TestWatermelonRecognition:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (watermelon_graph([2, 3, 4]), True),
+            (watermelon_graph([2, 2]), True),
+            (path_graph(3), True),   # single-path watermelon
+            (path_graph(2), False),  # paths must have length >= 2
+            (cycle_graph(4), True),  # two-path watermelon
+            (cycle_graph(3), False), # an arc would have length 1
+            (star_graph(3), False),
+            (grid_graph(2, 3), False),
+            (complete_graph(4), False),
+            (theta_graph(2, 2, 2), True),
+        ],
+    )
+    def test_recognition(self, graph, expected):
+        assert is_watermelon(graph) is expected
+
+    def test_decomposition_structure(self):
+        g = watermelon_graph([2, 3, 5])
+        decomp = watermelon_decomposition(g)
+        assert decomp is not None
+        assert decomp.endpoints == (0, 1)
+        assert sorted(decomp.path_lengths()) == [2, 3, 5]
+        for path in decomp.paths:
+            assert path[0] == 0 and path[-1] == 1
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+    def test_direct_edge_disallowed(self):
+        g = watermelon_graph([2, 2])
+        g.add_edge(0, 1)  # a length-1 "path"
+        assert not is_watermelon(g)
+
+    def test_path_number_of(self):
+        decomp = watermelon_decomposition(watermelon_graph([2, 3]))
+        internal = decomp.paths[0][1]
+        assert decomp.path_number_of(internal) == 1
+
+    def test_cycle_decomposition_has_two_arcs(self):
+        decomp = watermelon_decomposition(cycle_graph(6))
+        assert decomp is not None
+        assert decomp.path_count == 2
+        assert sorted(decomp.path_lengths()) == [3, 3]

@@ -1,0 +1,154 @@
+"""Unit tests for BFS traversal primitives, cross-checked with networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import DisconnectedGraphError, NodeNotFoundError
+from repro.graphs import (
+    Graph,
+    ball,
+    bfs_distances,
+    connected_components,
+    cycle_graph,
+    diameter,
+    distance,
+    eccentricity,
+    grid_graph,
+    is_connected,
+    non_backtracking_walk,
+    path_edges,
+    path_graph,
+    shortest_path,
+    view_subgraph_nodes_and_edges,
+)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph()
+    h.add_nodes_from(g.nodes)
+    h.add_edges_from(g.edges)
+    return h
+
+
+class TestDistances:
+    def test_path_distances(self):
+        g = path_graph(5)
+        dist = bfs_distances(g, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_limit_cuts_exploration(self):
+        g = path_graph(6)
+        dist = bfs_distances(g, 0, limit=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_graph(2), 9)
+
+    def test_distance_matches_networkx(self):
+        g = grid_graph(3, 4)
+        h = to_nx(g)
+        for target in (5, 11, 0):
+            assert distance(g, 0, target) == nx.shortest_path_length(h, 0, target)
+
+    def test_distance_disconnected_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            distance(g, 0, 1)
+
+    def test_ball(self):
+        g = cycle_graph(8)
+        assert ball(g, 0, 1) == {7, 0, 1}
+        assert ball(g, 0, 2) == {6, 7, 0, 1, 2}
+
+
+class TestPaths:
+    def test_shortest_path_endpoints(self):
+        g = grid_graph(3, 3)
+        path = shortest_path(g, 0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) - 1 == distance(g, 0, 8)
+        for u, v in path_edges(path):
+            assert g.has_edge(u, v)
+
+    def test_shortest_path_self(self):
+        g = path_graph(3)
+        assert shortest_path(g, 1, 1) == [1]
+
+    def test_shortest_path_disconnected(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            shortest_path(g, 0, 1)
+
+
+class TestComponents:
+    def test_connected_cycle(self):
+        assert is_connected(cycle_graph(5))
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+    def test_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3]]
+
+
+class TestDiameter:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(5), 4),
+            (cycle_graph(6), 3),
+            (cycle_graph(7), 3),
+            (grid_graph(3, 4), 5),
+        ],
+    )
+    def test_diameter_known(self, graph, expected):
+        assert diameter(graph) == expected
+
+    def test_diameter_matches_networkx(self):
+        g = grid_graph(4, 4)
+        assert diameter(g) == nx.diameter(to_nx(g))
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(DisconnectedGraphError):
+            eccentricity(g, 0)
+
+
+class TestViewSubgraph:
+    def test_c5_radius2_drops_far_edge(self):
+        """The paper's G_v^r: C5's edge between the two distance-2 nodes
+        is on no path of length <= 2 from the center."""
+        g = cycle_graph(5)
+        dist, edges = view_subgraph_nodes_and_edges(g, 0, 2)
+        assert set(dist) == {0, 1, 2, 3, 4}
+        assert (2, 3) not in edges
+        assert len(edges) == 4
+
+    def test_radius1_star(self):
+        g = cycle_graph(6)
+        dist, edges = view_subgraph_nodes_and_edges(g, 0, 1)
+        assert set(dist) == {5, 0, 1}
+        assert edges == {(0, 1), (0, 5)}
+
+    def test_full_radius_covers_graph(self):
+        g = grid_graph(3, 3)
+        dist, edges = view_subgraph_nodes_and_edges(g, 4, 4)
+        assert len(dist) == 9
+        assert len(edges) == g.size
+
+
+class TestNonBacktrackingWalk:
+    def test_walk_on_cycle(self):
+        g = cycle_graph(6)
+        walk = non_backtracking_walk(g, 0, 12)
+        assert len(walk) == 13
+        for i in range(len(walk) - 2):
+            assert walk[i] != walk[i + 2]
+
+    def test_walk_stuck_at_leaf(self):
+        g = path_graph(2)
+        with pytest.raises(DisconnectedGraphError):
+            non_backtracking_walk(g, 0, 2)

@@ -1,0 +1,97 @@
+"""Tests for Instance assembly and the local-algorithm layer
+(anonymity, order-invariance, lifts)."""
+
+import pytest
+
+from repro.certification import FunctionDecoder
+from repro.errors import CertificationError, IdentifierAssignmentError
+from repro.graphs import cycle_graph, path_graph
+from repro.local import (
+    FunctionAlgorithm,
+    IdentifierAssignment,
+    Instance,
+    Labeling,
+    OrderInvariantLift,
+    is_anonymous_on,
+    is_order_invariant_on,
+)
+
+
+class TestInstance:
+    def test_build_defaults(self):
+        instance = Instance.build(path_graph(4))
+        assert instance.n == 4
+        assert instance.id_bound == 4
+        assert instance.labeling is None
+        instance.validate()
+
+    def test_with_labeling(self):
+        instance = Instance.build(path_graph(2))
+        labeled = instance.with_labeling(Labeling({0: "a", 1: "b"}))
+        assert labeled.labeling is not None
+        assert instance.labeling is None  # original untouched
+
+    def test_require_labeling(self):
+        instance = Instance.build(path_graph(2))
+        with pytest.raises(CertificationError):
+            instance.require_labeling()
+
+    def test_with_ids_bound_grows(self):
+        instance = Instance.build(path_graph(2))
+        bigger = instance.with_ids(IdentifierAssignment({0: 7, 1: 9}))
+        assert bigger.id_bound >= 9
+
+    def test_id_bound_enforced(self):
+        with pytest.raises(IdentifierAssignmentError):
+            Instance.build(
+                path_graph(2), ids=IdentifierAssignment({0: 1, 1: 99}), id_bound=10
+            )
+
+    def test_relabeled_nodes(self):
+        instance = Instance.build(path_graph(2), labeling=Labeling({0: "a", 1: "b"}))
+        moved = instance.relabeled_nodes({0: "x", 1: "y"})
+        assert moved.graph.has_edge("x", "y")
+        assert moved.labeling.of("x") == "a"
+        assert moved.ids.id_of("x") == 1
+
+
+class TestAlgorithms:
+    def test_function_algorithm_runs_everywhere(self):
+        alg = FunctionAlgorithm(lambda view: view.center_degree, radius=1)
+        outputs = alg.run_on(Instance.build(path_graph(4)))
+        assert outputs == {0: 1, 1: 2, 2: 2, 3: 1}
+
+    def test_anonymous_check(self):
+        g = path_graph(3)
+        instance = Instance.build(g)
+        samples = [
+            IdentifierAssignment({0: 1, 1: 2, 2: 3}),
+            IdentifierAssignment({0: 3, 1: 1, 2: 2}),
+        ]
+        degree_alg = FunctionAlgorithm(lambda view: view.center_degree, radius=1)
+        id_alg = FunctionAlgorithm(lambda view: view.center_id, radius=1)
+        assert is_anonymous_on(degree_alg, instance, samples)
+        assert not is_anonymous_on(id_alg, instance, samples)
+
+    def test_order_invariance_check(self):
+        instance = Instance.build(path_graph(3))
+        rank_alg = FunctionAlgorithm(
+            lambda view: view.center_id == min(view.ids), radius=1
+        )
+        value_alg = FunctionAlgorithm(lambda view: view.center_id % 2, radius=1)
+        assert is_order_invariant_on(rank_alg, instance)
+        assert not is_order_invariant_on(value_alg, instance)
+
+    def test_order_invariant_lift(self):
+        instance = Instance.build(cycle_graph(4))
+        value_alg = FunctionDecoder(lambda view: view.center_id % 2 == 0, radius=1)
+        lifted = OrderInvariantLift(value_alg)
+        assert is_order_invariant_on(lifted, instance)
+        assert "OrderInvariant" in lifted.name
+
+    def test_view_of_respects_anonymity(self):
+        instance = Instance.build(path_graph(3))
+        anon = FunctionAlgorithm(lambda view: 0, radius=1, anonymous=True)
+        assert anon.view_of(instance, 1).is_anonymous
+        named = FunctionAlgorithm(lambda view: 0, radius=1, anonymous=False)
+        assert not named.view_of(instance, 1).is_anonymous

@@ -1,0 +1,194 @@
+"""Tests for the accepting neighborhood graph (Section 3) and both
+directions of the Lemma 3.2 characterization."""
+
+import pytest
+
+from repro.core import DegreeOneLCP, EvenCycleLCP, RevealingLCP
+from repro.graphs import cycle_graph, path_graph, star_graph
+from repro.local import Instance
+from repro.neighborhood import (
+    UNKNOWN_VIEW,
+    build_extraction_decoder,
+    build_neighborhood_graph,
+    hiding_verdict_from_instances,
+    hiding_verdict_up_to,
+    labeled_yes_instances,
+    run_extraction,
+    yes_instances_up_to,
+)
+
+
+class TestAViewsEnumeration:
+    def test_prover_labelings_enumerated(self):
+        lcp = DegreeOneLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(4)], port_limit=1, id_bound=4)
+        )
+        # one port assignment kept, 4 prover labelings.
+        assert len(labeled) == 4
+        assert all(inst.labeling is not None for inst in labeled)
+
+    def test_all_accepted_expands_the_set(self):
+        lcp = DegreeOneLCP()
+        prover_only = list(
+            labeled_yes_instances(lcp, [path_graph(3)], port_limit=1, id_bound=3)
+        )
+        everything = list(
+            labeled_yes_instances(
+                lcp, [path_graph(3)], port_limit=1, id_bound=3,
+                include_all_accepted_labelings=True,
+            )
+        )
+        assert len(everything) > len(prover_only)
+        for inst in everything:
+            assert lcp.check(inst).unanimous
+
+    def test_yes_instances_up_to_filters_promise(self):
+        lcp = EvenCycleLCP()
+        labeled = list(yes_instances_up_to(lcp, 5, port_limit=2))
+        assert labeled
+        from repro.graphs import is_even_cycle
+
+        assert all(is_even_cycle(inst.graph) for inst in labeled)
+
+    def test_non_yes_graphs_skipped(self):
+        lcp = DegreeOneLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [cycle_graph(5)], port_limit=1, id_bound=5)
+        )
+        assert labeled == []
+
+
+class TestNeighborhoodGraph:
+    def test_views_and_edges_recorded(self):
+        lcp = DegreeOneLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(4)], port_limit=1, id_bound=4)
+        )
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        assert ngraph.order > 0
+        assert ngraph.size > 0
+        assert ngraph.instances_scanned == len(labeled)
+        # Provenance: every view has a witness; every edge has one.
+        assert set(ngraph.view_witness) == set(range(ngraph.order))
+        assert set(ngraph.edge_witness) == ngraph.edges
+
+    def test_anonymous_views_for_anonymous_lcp(self):
+        lcp = DegreeOneLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(3)], port_limit=1, id_bound=3)
+        )
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        assert not ngraph.include_ids
+        assert all(view.is_anonymous for view in ngraph.views)
+
+    def test_to_graph_roundtrip(self):
+        lcp = RevealingLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(3)], port_limit=1, id_bound=3)
+        )
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        g = ngraph.to_graph()
+        assert g.order == ngraph.order
+        assert g.size == ngraph.size
+
+    def test_neighbors_of(self):
+        lcp = RevealingLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(3)], port_limit=1, id_bound=3)
+        )
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        some_view = ngraph.views[0]
+        for nbr in ngraph.neighbors_of(some_view):
+            assert nbr in ngraph.index
+
+
+class TestHidingVerdicts:
+    def test_hiding_lcp_positive(self):
+        verdict = hiding_verdict_up_to(DegreeOneLCP(), 4)
+        assert verdict.hiding is True
+        assert verdict.odd_cycle is not None
+        assert "YES" in verdict.summary()
+
+    def test_non_hiding_exhaustive_negative(self):
+        verdict = hiding_verdict_up_to(RevealingLCP(), 4)
+        assert verdict.hiding is False
+        assert verdict.coloring is not None
+        assert "NO" in verdict.summary()
+
+    def test_partial_scan_inconclusive(self):
+        lcp = RevealingLCP()
+        labeled = list(
+            labeled_yes_instances(lcp, [path_graph(3)], port_limit=1, id_bound=3)
+        )
+        verdict = hiding_verdict_from_instances(lcp, labeled, exhaustive=False)
+        assert verdict.hiding is None
+        assert "inconclusive" in verdict.summary()
+
+    def test_odd_cycle_views_are_adjacent(self):
+        verdict = hiding_verdict_up_to(EvenCycleLCP(), 4)
+        assert verdict.hiding is True
+        walk = verdict.odd_cycle
+        ngraph = verdict.ngraph
+        for a, b in zip(walk, walk[1:]):
+            i, j = ngraph.index[a], ngraph.index[b]
+            key = (i, j) if i <= j else (j, i)
+            assert key in ngraph.edges
+
+
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def revealing_setup(self):
+        lcp = RevealingLCP()
+        verdict = hiding_verdict_up_to(lcp, 4)
+        decoder = build_extraction_decoder(verdict.ngraph, 2)
+        return lcp, decoder
+
+    def test_extraction_proper_on_covered_instances(self, revealing_setup):
+        lcp, decoder = revealing_setup
+        assert decoder is not None
+        for graph in [path_graph(4), cycle_graph(4), star_graph(3), path_graph(2)]:
+            instance = Instance.build(graph, id_bound=4)
+            labeling = lcp.prover.certify(instance)
+            outcome = run_extraction(decoder, lcp, instance.with_labeling(labeling))
+            assert outcome.proper
+            assert outcome.correct_fraction == 1.0
+
+    def test_extraction_unknown_view_marker(self, revealing_setup):
+        lcp, decoder = revealing_setup
+        # A degree-5 center cannot occur in the n<=4 sweep, so its view is
+        # unknown to the compiled table.  (Path views, by contrast, are
+        # all covered: radius-1 anonymous path views recur in P4/C4.)
+        instance = Instance.build(star_graph(5), id_bound=6)
+        labeling = lcp.prover.certify(instance)
+        outputs = decoder.run_on(instance.with_labeling(labeling))
+        assert outputs[0] == UNKNOWN_VIEW
+
+    def test_extraction_requires_accepted_instance(self, revealing_setup):
+        lcp, decoder = revealing_setup
+        from repro.local import Labeling
+
+        g = path_graph(2)
+        bad = Instance.build(g, id_bound=4).with_labeling(Labeling({0: 0, 1: 0}))
+        with pytest.raises(ValueError):
+            run_extraction(decoder, lcp, bad)
+
+    def test_no_extraction_decoder_for_hiding_lcp(self):
+        verdict = hiding_verdict_up_to(DegreeOneLCP(), 4)
+        assert build_extraction_decoder(verdict.ngraph, 2) is None
+
+    def test_table_size(self, revealing_setup):
+        _lcp, decoder = revealing_setup
+        assert decoder.table_size == decoder._table.__len__() > 0
+
+
+def test_sweep_cache_distinguishes_weakened_decoders():
+    """The Lemma 3.1 sweep memo must never conflate a scheme with its
+    deliberately weakened variants (their decoder names differ)."""
+    from repro.core import DegreeOneLCP
+
+    strict = hiding_verdict_up_to(DegreeOneLCP(), 3)
+    weak = hiding_verdict_up_to(DegreeOneLCP(require_common_beta=False), 3)
+    assert strict is not weak
+    again = hiding_verdict_up_to(DegreeOneLCP(), 3)
+    assert again is strict  # memo hit for identical parameters

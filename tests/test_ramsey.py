@@ -1,0 +1,158 @@
+"""Tests for the finite Ramsey search and the Lemma 6.2 reduction."""
+
+import pytest
+
+from repro.certification import FunctionDecoder
+from repro.errors import ViewError
+from repro.graphs import path_graph
+from repro.local import Instance, Labeling, extract_view, is_order_invariant_on
+from repro.ramsey import (
+    RamseyOrderInvariantDecoder,
+    decoder_type,
+    find_monochromatic_set,
+    is_monochromatic,
+    max_view_size,
+    ramsey_order_invariant_reduction,
+    ramsey_upper_bound_pairs,
+    structure_catalog,
+    structure_of,
+    subset_colors,
+    view_with_ids,
+)
+
+
+class TestFiniteRamsey:
+    def test_pair_coloring_parity(self):
+        """Color pairs by sum parity: {evens} and {odds} are the
+        monochromatic sets."""
+        color = lambda pair: (pair[0] + pair[1]) % 2  # noqa: E731
+        mono = find_monochromatic_set(color, range(1, 20), 2, 5)
+        assert mono is not None
+        assert is_monochromatic(color, mono, 2)
+        parities = {x % 2 for x in mono}
+        assert len(parities) == 1
+
+    def test_constant_coloring_trivial(self):
+        mono = find_monochromatic_set(lambda s: 0, range(10), 3, 6)
+        assert mono == (0, 1, 2, 3, 4, 5)
+
+    def test_universe_too_small_returns_none(self):
+        # Rainbow coloring on a tiny universe: no mono triple of size 4.
+        color = lambda pair: pair  # every pair its own color  # noqa: E731
+        assert find_monochromatic_set(color, range(4), 2, 3) is None
+
+    def test_target_below_subset_size(self):
+        assert find_monochromatic_set(lambda s: 0, range(5), 3, 2) == (0, 1)
+
+    def test_subset_colors_table(self):
+        table = subset_colors(lambda s: sum(s) % 3, [1, 2, 3], 2)
+        assert len(table) == 3
+
+    def test_upper_bound_grows(self):
+        assert ramsey_upper_bound_pairs(2, 3) > ramsey_upper_bound_pairs(2, 2)
+        assert ramsey_upper_bound_pairs(2, 1) == 1
+
+
+class TestStructureTypes:
+    def _setup(self):
+        decoder = FunctionDecoder(
+            lambda view: view.center_label == view.center_id % 2,
+            anonymous=False,
+            name="id-parity",
+        )
+        g = path_graph(5)
+        instance = Instance.build(g, id_bound=20).with_labeling(
+            Labeling({v: (v + 1) % 2 for v in g.nodes})
+        )
+        return decoder, instance
+
+    def test_structure_of_normalizes(self):
+        _decoder, instance = self._setup()
+        view = extract_view(instance, 2, 1)
+        structure = structure_of(view)
+        assert set(structure.ids) == {1, 2, 3}
+
+    def test_view_with_ids_roundtrip(self):
+        _decoder, instance = self._setup()
+        view = extract_view(instance, 2, 1)
+        structure = structure_of(view)
+        rebuilt = view_with_ids(
+            structure, tuple(sorted(view.ids)), id_bound=view.id_bound
+        )
+        assert rebuilt == view
+
+    def test_view_with_ids_needs_enough(self):
+        _decoder, instance = self._setup()
+        structure = structure_of(extract_view(instance, 2, 1))
+        with pytest.raises(ViewError):
+            view_with_ids(structure, (1,))
+
+    def test_catalog_distinct(self):
+        decoder, instance = self._setup()
+        catalog = structure_catalog(decoder, [instance])
+        assert len(catalog) == len(set(catalog))
+        assert max_view_size(catalog) == 3
+
+    def test_decoder_type_length(self):
+        decoder, instance = self._setup()
+        catalog = structure_catalog(decoder, [instance])
+        t = decoder_type(decoder, (2, 4, 6), catalog)
+        assert len(t) == len(catalog)
+
+
+class TestReduction:
+    def _pipeline(self):
+        decoder = FunctionDecoder(
+            lambda view: view.center_label == view.center_id % 2,
+            anonymous=False,
+            name="id-parity",
+        )
+        g = path_graph(5)
+        instance = Instance.build(g, id_bound=24).with_labeling(
+            Labeling({v: (v + 1) % 2 for v in g.nodes})
+        )
+        catalog = structure_catalog(decoder, [instance])
+        return decoder, catalog
+
+    def test_reduction_finds_set_and_invariance(self):
+        decoder, catalog = self._pipeline()
+        reduction, dprime = ramsey_order_invariant_reduction(
+            decoder, catalog, tuple(range(1, 25)), target_size=6
+        )
+        assert reduction.succeeded
+        assert dprime is not None
+        probe = Instance.build(path_graph(4), id_bound=4).with_labeling(
+            Labeling({v: v % 2 for v in path_graph(4).nodes})
+        )
+        assert not is_order_invariant_on(decoder, probe)
+        assert is_order_invariant_on(dprime, probe)
+
+    def test_dprime_agrees_on_monochromatic_ids(self):
+        from repro.local import IdentifierAssignment
+
+        decoder, catalog = self._pipeline()
+        reduction, dprime = ramsey_order_invariant_reduction(
+            decoder, catalog, tuple(range(1, 25)), target_size=6
+        )
+        chosen = sorted(reduction.monochromatic_set)
+        g = path_graph(5)
+        ids = IdentifierAssignment({i: chosen[i] for i in range(5)})
+        # A labeling the search prover would accept under these ids.
+        labeling = Labeling({i: chosen[i] % 2 for i in range(5)})
+        instance = Instance.build(g, ids=ids, id_bound=24).with_labeling(labeling)
+        for v in g.nodes:
+            view = extract_view(instance, v, 1)
+            assert dprime.decide(view) == decoder.decide(view)
+
+    def test_dprime_view_too_large(self):
+        decoder, catalog = self._pipeline()
+        _reduction, dprime = ramsey_order_invariant_reduction(
+            decoder, catalog, tuple(range(1, 25)), target_size=3
+        )
+        assert isinstance(dprime, RamseyOrderInvariantDecoder)
+        big = Instance.build(path_graph(9), id_bound=9).with_labeling(
+            Labeling({v: 0 for v in path_graph(9).nodes})
+        )
+        view = extract_view(big, 4, 2)  # 5 identifiers > |mono set| = 3
+        with pytest.raises(ViewError):
+            dprime.decide(view)

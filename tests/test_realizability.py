@@ -1,0 +1,396 @@
+"""Tests for Section 5's machinery: compatibility, G_bad realization,
+walks, surgery, and the Lemma 5.2 identifier remap."""
+
+import pytest
+
+from repro.certification import ConstantDecoder, EnumerativeLCP
+from repro.errors import GraphError, RealizabilityError, ViewError
+from repro.graphs import (
+    cycle_graph,
+    is_bipartite,
+    path_graph,
+    theta_graph,
+)
+from repro.local import Instance, Labeling, extract_view
+from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
+from repro.realizability import (
+    build_g_bad,
+    candidates_from_witnesses,
+    choose_realizing_views,
+    compose_with_escape_walks,
+    debacktrack_odd_cycle,
+    escape_walk,
+    forgotten_node,
+    is_closed,
+    is_non_backtracking,
+    is_valid_walk,
+    lift_walk,
+    node_compatible_with,
+    non_backtracking_walk_between,
+    order_preserving_remap,
+    realize_views,
+    walk_length,
+)
+from repro.realizability.compatibility import (
+    identifiers_in,
+    occurrences_of_identifier,
+)
+
+
+class TestCompatibility:
+    def test_same_instance_views_compatible(self):
+        """Views from one instance are always mutually compatible w.r.t.
+        their shared identifiers."""
+        instance = Instance.build(path_graph(6), id_bound=9)
+        v2 = extract_view(instance, 2, 2)
+        v4 = extract_view(instance, 4, 2)
+        shared = identifiers_in(v2) & identifiers_in(v4)
+        for ident in shared:
+            (u_local,) = occurrences_of_identifier(v2, ident)
+            target = extract_view(instance, instance.ids.node_of(ident), 2)
+            assert node_compatible_with(v2, u_local, target)
+
+    def test_wrong_center_id_incompatible(self):
+        instance = Instance.build(path_graph(4), id_bound=9)
+        v0 = extract_view(instance, 0, 1)
+        v2 = extract_view(instance, 2, 1)
+        # node with id 2 inside v0 vs a view centered at id 3.
+        u_local = occurrences_of_identifier(v0, 2)[0]
+        assert not node_compatible_with(v0, u_local, v2)
+
+    def test_anonymous_views_rejected(self):
+        instance = Instance.build(path_graph(3))
+        view = extract_view(instance, 1, 1, include_ids=False)
+        with pytest.raises(ViewError):
+            node_compatible_with(view, 0, view)
+
+
+def _accept_all_lcp():
+    return EnumerativeLCP(
+        ConstantDecoder(True, anonymous=False), ["c"],
+        promise_fn=is_bipartite, name="accept-all-ids",
+    )
+
+
+class TestRealization:
+    def test_single_instance_realizes_itself(self):
+        """Lemma 5.1 on views from one instance rebuilds that instance."""
+        lcp = _accept_all_lcp()
+        graph = path_graph(5)
+        labeled = list(labeled_yes_instances(lcp, [graph], port_limit=1, id_bound=5))
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        views = list(ngraph.views)
+        candidates = candidates_from_witnesses(
+            views, list(ngraph.view_witness.values()), lcp.radius
+        )
+        result = realize_views(lcp, views, candidates, id_bound=5)
+        assert result.realized
+        assert result.instance is not None
+        assert result.instance.graph.order == 5
+        assert result.all_centers_accepted
+        assert len(result.verified_centers) == 5
+
+    def test_missing_candidates_reported(self):
+        lcp = _accept_all_lcp()
+        instance = Instance.build(path_graph(3), id_bound=3)
+        view = extract_view(instance, 1, 1)
+        chosen, failures = choose_realizing_views([view], {})
+        assert failures
+        assert all("no candidate" in f for f in failures)
+
+    def test_conflicting_ports_fail_merge(self):
+        """Two views claiming different ports for the same edge cannot
+        merge into a valid G_bad."""
+        g = path_graph(3)
+        from repro.local import PortAssignment
+
+        ports_a = PortAssignment({0: {1: 1}, 1: {0: 1, 2: 2}, 2: {1: 1}})
+        ports_b = PortAssignment({0: {1: 1}, 1: {0: 2, 2: 1}, 2: {1: 1}})
+        inst_a = Instance.build(g, ports=ports_a, id_bound=3)
+        inst_b = Instance.build(g, ports=ports_b, id_bound=3)
+        mu1 = extract_view(inst_a, 0, 1)
+        mu2 = extract_view(inst_b, 1, 1)
+        instance, failures = build_g_bad({1: mu1, 2: mu2}, id_bound=3)
+        assert instance is None
+        assert any("conflicting ports" in f for f in failures)
+
+    def test_conflicting_labels_fail_merge(self):
+        g = path_graph(2)
+        inst_a = Instance.build(g, id_bound=2, labeling=Labeling({0: "x", 1: "y"}))
+        inst_b = Instance.build(g, id_bound=2, labeling=Labeling({0: "x", 1: "z"}))
+        mu1 = extract_view(inst_a, 0, 1)
+        mu2 = extract_view(inst_b, 1, 1)
+        instance, failures = build_g_bad({1: mu1, 2: mu2}, id_bound=2)
+        assert instance is None
+        assert failures
+
+
+class TestWalks:
+    def test_lift_walk(self):
+        instance = Instance.build(cycle_graph(6), id_bound=6)
+        walk = [0, 1, 2, 1]
+        views = lift_walk(instance, walk, 1)
+        assert len(views) == 4
+        assert views[1] == views[3]
+
+    def test_non_backtracking_predicate(self):
+        assert is_non_backtracking([0, 1, 2, 3])
+        assert not is_non_backtracking([0, 1, 0])
+        # closed walk wrap-around: last step reverses the first.
+        assert not is_non_backtracking([0, 1, 2, 1, 0])
+        assert is_non_backtracking([0, 1, 2, 0])
+
+    def test_non_backtracking_walk_between(self):
+        g = theta_graph(2, 2, 2)
+        walk = non_backtracking_walk_between(g, 0, 1)
+        assert walk[0] == 0 and walk[-1] == 1
+        assert is_non_backtracking(walk, closed=False)
+        assert is_valid_walk(g, walk)
+
+    def test_forbidden_first_respected(self):
+        g = cycle_graph(6)
+        walk = non_backtracking_walk_between(g, 0, 3, forbidden_first=1)
+        assert walk[1] == 5
+
+    def test_walk_between_impossible(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            non_backtracking_walk_between(g, 0, 0, forbidden_first=1)
+
+    def test_forgotten_node(self):
+        g = cycle_graph(12)
+        hidden = forgotten_node(g, 0, 1, 1)
+        assert hidden is not None
+        from repro.graphs import distance
+
+        assert distance(g, hidden, 0) > 2
+        assert distance(g, hidden, 1) > 2
+
+    def test_forgotten_node_missing_on_small_graph(self):
+        assert forgotten_node(cycle_graph(4), 0, 1, 1) is None
+
+    def test_escape_walk_properties(self):
+        for graph in [cycle_graph(12), theta_graph(4, 4, 6)]:
+            instance = Instance.build(graph)
+            walk = escape_walk(instance, 0, sorted(graph.neighbors(0))[0], 1)
+            assert is_closed(walk)
+            assert walk_length(walk) % 2 == 0
+            assert is_non_backtracking(walk)
+            assert is_valid_walk(graph, walk)
+
+    def test_escape_walk_needs_forgetfulness(self):
+        instance = Instance.build(path_graph(6))
+        with pytest.raises(GraphError):
+            escape_walk(instance, 1, 0, 1)
+
+
+class TestSurgery:
+    def test_debacktrack_preserves_parity_and_validity(self):
+        g = theta_graph(4, 4, 6)
+        instance = Instance.build(g)
+        bad = [3, 2, 0, 2, 3]  # closed, backtracking everywhere
+        fixed = debacktrack_odd_cycle(instance, bad)
+        assert is_non_backtracking(fixed)
+        assert is_valid_walk(g, fixed)
+        assert is_closed(fixed)
+        assert (walk_length(fixed) - walk_length(bad)) % 2 == 0
+
+    def test_debacktrack_noop_on_clean_walk(self):
+        g = theta_graph(2, 2, 2)
+        instance = Instance.build(g)
+        clean = [0, 2, 1, 3, 0]
+        assert debacktrack_odd_cycle(instance, clean) == clean
+
+    def test_debacktrack_needs_second_cycle(self):
+        g = cycle_graph(6)
+        instance = Instance.build(g)
+        with pytest.raises(GraphError):
+            debacktrack_odd_cycle(instance, [1, 0, 1])
+
+    def test_order_preserving_remap(self):
+        instance = Instance.build(path_graph(4), id_bound=4)
+        moved = order_preserving_remap(instance, slot=1, slots=3)
+        old = [instance.ids.id_of(v) for v in instance.graph.nodes]
+        new = [moved.ids.id_of(v) for v in moved.graph.nodes]
+        # Order preserved, values disjoint from slot 0's range.
+        assert sorted(range(len(old)), key=lambda i: old[i]) == sorted(
+            range(len(new)), key=lambda i: new[i]
+        )
+        slot0 = order_preserving_remap(instance, slot=0, slots=3)
+        assert not set(new) & {slot0.ids.id_of(v) for v in slot0.graph.nodes}
+        assert moved.id_bound == 3 * instance.id_bound
+
+    def test_remap_bad_slot(self):
+        instance = Instance.build(path_graph(2))
+        with pytest.raises(RealizabilityError):
+            order_preserving_remap(instance, slot=3, slots=3)
+
+    def test_compose_with_escape_walks(self):
+        trivial = EnumerativeLCP(
+            ConstantDecoder(True, anonymous=True), ["c"],
+            promise_fn=is_bipartite, name="accept-all",
+        )
+        theta = theta_graph(4, 4, 6)
+        labeled = list(
+            labeled_yes_instances(trivial, [theta], port_limit=1, id_bound=theta.order)
+        )
+        ngraph = build_neighborhood_graph(trivial, labeled)
+        odd = ngraph.find_odd_cycle()
+        assert odd is not None
+        composed = compose_with_escape_walks(trivial, ngraph, odd)
+        assert composed.length() % 2 == 1
+        assert composed.is_closed()
+        assert composed.node_walks_non_backtracking()
+        views = composed.views()
+        assert len(views) == composed.length() + 1
+
+
+class TestStrongSoundnessBlocksRealization:
+    """The logical keystone of Section 5, run in reverse: the paper's
+    *strongly sound* schemes have odd walks in V(D, n) (they are hiding),
+    so by Lemma 5.1 those walks must NOT be realizable — otherwise G_bad
+    would be an accepted odd cycle.  The pipeline must fail, concretely."""
+
+    def test_watermelon_odd_walk_not_realizable(self):
+        from repro.core import WatermelonLCP
+        from repro.experiments.theorems import watermelon_hiding_witnesses
+
+        lcp = WatermelonLCP()
+        inst1, inst2 = watermelon_hiding_witnesses()
+        ngraph = build_neighborhood_graph(lcp, [inst1, inst2])
+        odd = ngraph.find_odd_cycle()
+        assert odd is not None
+        walk_views = list(dict.fromkeys(odd))  # distinct views of the walk
+        candidates = candidates_from_witnesses(
+            walk_views, list(ngraph.view_witness.values()), lcp.radius
+        )
+        result = realize_views(lcp, walk_views, candidates, id_bound=8)
+        # Either no compatible μ_i exists, the merge is inconsistent, or
+        # the merged instance fails verification — never a clean success
+        # with every center accepted and verified.
+        clean_success = (
+            result.realized
+            and result.all_centers_accepted
+            and len(result.verified_centers) == len({v.ids[0] for v in walk_views})
+        )
+        assert not clean_success
+
+    def test_shatter_odd_walk_not_realizable(self):
+        from repro.core import ShatterLCP
+        from repro.experiments.theorems import shatter_hiding_witnesses
+
+        lcp = ShatterLCP()
+        inst1, inst2 = shatter_hiding_witnesses()
+        ngraph = build_neighborhood_graph(lcp, [inst1, inst2])
+        odd = ngraph.find_odd_cycle()
+        assert odd is not None
+        walk_views = list(dict.fromkeys(odd))
+        candidates = candidates_from_witnesses(
+            walk_views, list(ngraph.view_witness.values()), lcp.radius
+        )
+        result = realize_views(lcp, walk_views, candidates, id_bound=8)
+        clean_success = (
+            result.realized
+            and result.all_centers_accepted
+            and len(result.verified_centers) == len({v.ids[0] for v in walk_views})
+        )
+        assert not clean_success
+
+
+class TestComponentWiseRealization:
+    """Lemmas 5.2/5.3 executably: realizing composed closed walks."""
+
+    def _accept_all_with_ids(self):
+        return EnumerativeLCP(
+            ConstantDecoder(True, anonymous=False), ["c"],
+            promise_fn=is_bipartite, name="accept-all-ids",
+        )
+
+    def test_even_single_instance_walk_realizes(self):
+        """A closed even walk inside one instance is trivially
+        component-wise realizable; the merge reproduces the instance's
+        structure and every walk center is accepted and verified."""
+        from repro.realizability.realize import realize_walk_component_wise
+        from repro.realizability.surgery import ComposedWalk
+
+        lcp = self._accept_all_with_ids()
+        graph = theta_graph(2, 2, 4)
+        instance = Instance.build(graph, id_bound=graph.order).with_labeling(
+            Labeling.uniform(graph, "c")
+        )
+        walk = ComposedWalk(radius=1, include_ids=True)
+        # Around one even cycle of the theta graph: 0-2-1-3-0.
+        cycle_nodes = [0, 2, 1, 3, 0]
+        for a, b in zip(cycle_nodes, cycle_nodes[1:]):
+            assert graph.has_edge(a, b)
+        walk.segments.append((instance, cycle_nodes))
+        result = realize_walk_component_wise(lcp, walk, id_bound=graph.order)
+        assert result.realized, result.failures
+        assert result.all_centers_accepted
+        assert result.instance is not None
+
+    def test_open_walk_rejected(self):
+        from repro.errors import RealizabilityError
+        from repro.realizability.realize import realize_walk_component_wise
+        from repro.realizability.surgery import ComposedWalk
+
+        lcp = self._accept_all_with_ids()
+        instance = Instance.build(path_graph(3), id_bound=3).with_labeling(
+            Labeling.uniform(path_graph(3), "c")
+        )
+        walk = ComposedWalk(radius=1, include_ids=True)
+        walk.segments.append((instance, [0, 1, 2]))
+        with pytest.raises(RealizabilityError):
+            realize_walk_component_wise(lcp, walk, id_bound=3)
+
+    def test_cross_instance_odd_walk_reports_obstructions(self):
+        """Composed odd walks spanning two identifier-twisted instances:
+        the pipeline runs end to end and, where the paper's (glossed)
+        view manipulations would be needed, reports the precise
+        obstruction instead of fabricating a G_bad."""
+        from repro.local import IdentifierAssignment, PortAssignment
+        from repro.neighborhood import build_neighborhood_graph
+        from repro.realizability.realize import realize_walk_component_wise
+
+        lcp = self._accept_all_with_ids()
+        g = theta_graph(4, 4, 6)
+        ports = {v: {} for v in g.nodes}
+
+        def setp(a, b, p):
+            ports[a][b] = p
+
+        setp(0, 2, 1); setp(0, 5, 2); setp(0, 8, 3)
+        setp(1, 4, 1); setp(1, 7, 2); setp(1, 12, 3)
+        setp(2, 0, 1); setp(2, 3, 2); setp(3, 2, 1); setp(3, 4, 2)
+        setp(4, 3, 1); setp(4, 1, 2)
+        setp(5, 0, 1); setp(5, 6, 2); setp(6, 5, 1); setp(6, 7, 2)
+        setp(7, 6, 1); setp(7, 1, 2)
+        setp(8, 0, 2); setp(8, 9, 1); setp(9, 8, 2); setp(9, 10, 1)
+        setp(10, 9, 2); setp(10, 11, 1); setp(11, 10, 1); setp(11, 12, 2)
+        setp(12, 11, 1); setp(12, 1, 2)
+        prt = PortAssignment(ports)
+        prt.validate(g)
+        ids1 = IdentifierAssignment({v: v + 1 for v in g.nodes})
+        perm = {9: 12, 10: 11, 11: 10, 12: 9}
+        ids2 = IdentifierAssignment({v: perm.get(v, v) + 1 for v in g.nodes})
+        labeling = Labeling.uniform(g, "c")
+        i1 = Instance(graph=g, ports=prt, ids=ids1, id_bound=13).with_labeling(labeling)
+        i2 = Instance(graph=g, ports=prt, ids=ids2, id_bound=13).with_labeling(labeling)
+
+        ngraph = build_neighborhood_graph(lcp, [i1, i2])
+        odd = ngraph.find_odd_cycle()
+        assert odd is not None
+        assert (len(odd) - 1) % 2 == 1
+        composed = compose_with_escape_walks(lcp, ngraph, odd)
+        assert composed.length() % 2 == 1
+        result = realize_walk_component_wise(lcp, composed, id_bound=13)
+        # Either a genuine accepted odd-walk G_bad, or explicit obstructions.
+        if result.realized:
+            from repro.graphs.properties import bipartition
+
+            assert result.instance is not None
+            assert not bipartition(result.instance.graph).is_bipartite
+            assert result.all_centers_accepted
+        else:
+            assert result.failures
+            assert all("identifier" in f or "edge" in f for f in result.failures)

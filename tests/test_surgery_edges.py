@@ -1,0 +1,83 @@
+"""Edge-case tests for the composition machinery and neighborhood-graph
+bookkeeping that the happy-path tests route around."""
+
+import pytest
+
+from repro.certification import ConstantDecoder, EnumerativeLCP
+from repro.errors import RealizabilityError
+from repro.graphs import is_bipartite, path_graph, theta_graph
+from repro.local import Instance, extract_view
+from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
+from repro.neighborhood.ngraph import NeighborhoodGraph
+from repro.realizability.surgery import ComposedWalk, compose_with_escape_walks
+
+
+class TestComposedWalk:
+    def test_segments_must_chain(self):
+        instance = Instance.build(path_graph(4), id_bound=4)
+        walk = ComposedWalk(radius=1, include_ids=True)
+        walk.segments.append((instance, [0, 1]))
+        walk.segments.append((instance, [3, 2]))  # does not start at view(1)
+        with pytest.raises(RealizabilityError):
+            walk.views()
+
+    def test_chaining_segments_flatten(self):
+        instance = Instance.build(path_graph(4), id_bound=4)
+        walk = ComposedWalk(radius=1, include_ids=True)
+        walk.segments.append((instance, [0, 1, 2]))
+        walk.segments.append((instance, [2, 3]))
+        views = walk.views()
+        assert len(views) == 4
+        assert walk.length() == 3
+        assert not walk.is_closed()
+
+    def test_empty_walk(self):
+        walk = ComposedWalk(radius=1, include_ids=True)
+        assert walk.views() == []
+        assert walk.length() == 0
+
+
+class TestComposeErrors:
+    def test_missing_edge_witness_detected(self):
+        lcp = EnumerativeLCP(
+            ConstantDecoder(True, anonymous=True), ["c"],
+            promise_fn=is_bipartite, name="accept-all",
+        )
+        theta = theta_graph(4, 4, 6)
+        labeled = list(
+            labeled_yes_instances(lcp, [theta], port_limit=1, id_bound=theta.order)
+        )
+        ngraph = build_neighborhood_graph(lcp, labeled)
+        odd = ngraph.find_odd_cycle()
+        assert odd is not None
+        # Corrupt the witness table: composition must notice.
+        ngraph.edge_witness.clear()
+        with pytest.raises(RealizabilityError):
+            compose_with_escape_walks(lcp, ngraph, odd)
+
+
+class TestNeighborhoodBookkeeping:
+    def test_add_view_idempotent(self):
+        instance = Instance.build(path_graph(3), id_bound=3)
+        view = extract_view(instance, 1, 1)
+        ngraph = NeighborhoodGraph(radius=1, include_ids=True)
+        first = ngraph.add_view(view, instance, 1)
+        second = ngraph.add_view(view, instance, 1)
+        assert first == second
+        assert ngraph.order == 1
+
+    def test_add_edge_normalizes_orientation(self):
+        instance = Instance.build(path_graph(3), id_bound=3)
+        v0 = extract_view(instance, 0, 1)
+        v1 = extract_view(instance, 1, 1)
+        ngraph = NeighborhoodGraph(radius=1, include_ids=True)
+        i = ngraph.add_view(v0, instance, 0)
+        j = ngraph.add_view(v1, instance, 1)
+        ngraph.add_edge(j, i, instance, (1, 0))
+        ngraph.add_edge(i, j, instance, (0, 1))
+        assert ngraph.size == 1
+
+    def test_empty_graph_is_trivially_bipartite(self):
+        ngraph = NeighborhoodGraph(radius=1, include_ids=True)
+        assert ngraph.find_odd_cycle() is None
+        assert ngraph.is_k_colorable(2)
