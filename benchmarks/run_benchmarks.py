@@ -1,0 +1,214 @@
+"""Neighborhood-pipeline benchmark: writes ``BENCH_neighborhood.json``.
+
+Measures the full Lemma 3.1 sweep (``yes_instances_up_to`` feeding
+``build_neighborhood_graph``) for ``DegreeOneLCP`` at ``n = 4, 5`` in
+four regimes:
+
+* **baseline** — every perf cache disabled *and* graph families
+  enumerated with the pre-optimization object-based algorithm; this is
+  the seed-equivalent cost.
+* **serial_cold** — the optimized pipeline with all process-wide caches
+  cleared first (what a fresh process pays).
+* **serial_warm** — the optimized pipeline again, caches populated
+  (what every subsequent sweep in the same process pays).
+* **parallel_N** — the process-pool builder at 2 and 4 workers.
+
+Every regime's resulting graph is checked for exact parity (views and
+edges) against the baseline before its numbers are recorded.  The JSON
+also records instance counts, views/sec, cache hit rates, and
+``cpu_count`` — on a single-core host the parallel rows measure pure
+pool overhead and are expected to *lose* to serial.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core import DegreeOneLCP
+from repro.graphs.encoding import clear_canonical_cache
+from repro.graphs.families import (
+    clear_family_cache,
+    enumerate_graphs_exactly_reference,
+)
+from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
+from repro.neighborhood.aviews import yes_instances_up_to
+from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
+from repro.perf.parallel import build_neighborhood_graph_parallel
+
+REPEATS = 5
+
+
+def _clear_everything() -> None:
+    clear_shared_caches()
+    clear_family_cache()
+    clear_canonical_cache()
+    GLOBAL_STATS.reset()
+
+
+def _reference_graphs_up_to(n: int):
+    for k in range(1, n + 1):
+        yield from enumerate_graphs_exactly_reference(k, connected_only=True)
+
+
+def _timed(fn):
+    """Best-of-REPEATS wall time plus the last run's result."""
+    times = []
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return min(times), statistics.mean(times), result
+
+
+def _sweep_serial(lcp, n, stats):
+    return build_neighborhood_graph(lcp, yes_instances_up_to(lcp, n), stats=stats)
+
+
+def _sweep_baseline(lcp, n, stats):
+    # Seed-equivalent: reference family enumeration, no perf caches.
+    instances = labeled_yes_instances(lcp, _reference_graphs_up_to(n), id_bound=n)
+    return build_neighborhood_graph(lcp, instances, stats=stats)
+
+
+def _record(name, n, best, mean, graph, stats, reference=None):
+    entry = {
+        "regime": name,
+        "n": n,
+        "seconds_best": round(best, 6),
+        "seconds_mean": round(mean, 6),
+        "views": len(graph.views),
+        "edges": len(graph.edges),
+        "instances_scanned": graph.instances_scanned,
+        "views_per_sec": round(graph.instances_scanned / best, 1) if best else None,
+        "memo_hit_rate": round(stats.hit_rate("memo") or 0.0, 4),
+        "layout_hit_rate": round(stats.hit_rate("layout") or 0.0, 4),
+    }
+    if reference is not None:
+        entry["parity_with_baseline"] = (
+            graph.views == reference.views and graph.edges == reference.edges
+        )
+    return entry
+
+
+def run(n: int) -> list[dict]:
+    lcp = DegreeOneLCP()
+    rows = []
+
+    # Baseline and cold repeats are interleaved so slow drift in machine
+    # load hits both regimes equally instead of skewing the ratio.
+    baseline_times: list[float] = []
+    cold_times: list[float] = []
+    baseline = cold_graph = None
+    baseline_stats = PerfStats()
+    cold_stats = PerfStats()
+    for _ in range(REPEATS):
+        with overridden(
+            layout_cache=False,
+            decision_memo=False,
+            family_cache=False,
+            canonical_cache=False,
+        ):
+            _clear_everything()
+            baseline_stats.reset()
+            start = time.perf_counter()
+            baseline = _sweep_baseline(lcp, n, baseline_stats)
+            baseline_times.append(time.perf_counter() - start)
+        # Cold: clear before every repeat so each run pays full cost.
+        _clear_everything()
+        cold_stats.reset()
+        start = time.perf_counter()
+        cold_graph = _sweep_serial(lcp, n, cold_stats)
+        cold_times.append(time.perf_counter() - start)
+    rows.append(
+        _record(
+            "baseline",
+            n,
+            min(baseline_times),
+            statistics.mean(baseline_times),
+            baseline,
+            baseline_stats,
+        )
+    )
+    rows.append(
+        _record(
+            "serial_cold",
+            n,
+            min(cold_times),
+            statistics.mean(cold_times),
+            cold_graph,
+            cold_stats,
+            reference=baseline,
+        )
+    )
+
+    warm_stats = PerfStats()
+    best, mean, warm_graph = _timed(lambda: _sweep_serial(lcp, n, warm_stats))
+    rows.append(
+        _record("serial_warm", n, best, mean, warm_graph, warm_stats, reference=baseline)
+    )
+
+    for workers in (2, 4):
+        par_stats = PerfStats()
+        best, mean, par_graph = _timed(
+            lambda: build_neighborhood_graph_parallel(
+                lcp, yes_instances_up_to(lcp, n), workers=workers, stats=par_stats
+            )
+        )
+        rows.append(
+            _record(
+                f"parallel_{workers}",
+                n,
+                best,
+                mean,
+                par_graph,
+                par_stats,
+                reference=baseline,
+            )
+        )
+    return rows
+
+
+def main() -> int:
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_neighborhood.json")
+    rows = []
+    for n in (4, 5):
+        print(f"benchmarking n={n} ...", file=sys.stderr)
+        rows.extend(run(n))
+
+    by_key = {(r["regime"], r["n"]): r for r in rows}
+    cold_speedup = (
+        by_key[("baseline", 5)]["seconds_best"]
+        / by_key[("serial_cold", 5)]["seconds_best"]
+    )
+    warm_speedup = (
+        by_key[("baseline", 5)]["seconds_best"]
+        / by_key[("serial_warm", 5)]["seconds_best"]
+    )
+    payload = {
+        "benchmark": "neighborhood_pipeline",
+        "lcp": "DegreeOneLCP",
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "serial_speedup_vs_baseline_n5": round(cold_speedup, 3),
+        "serial_warm_speedup_vs_baseline_n5": round(warm_speedup, 3),
+        "parity_ok": all(r.get("parity_with_baseline", True) for r in rows),
+        "rows": rows,
+    }
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(payload, indent=2))
+    print(f"written to {target}", file=sys.stderr)
+    return 0 if payload["parity_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,15 +15,30 @@ from collections.abc import Iterator
 from ..errors import PromiseViolationError
 from ..graphs.graph import Graph
 from ..local.instance import Instance
-from ..local.labeling import Certificate, Labeling, all_labelings, count_labelings
-from ..local.views import extract_view_layouts, relabel_view
+from ..local.labeling import (
+    Certificate,
+    Labeling,
+    all_labelings,
+    count_labelings,
+    labeling_key,
+    node_sort_order,
+)
+from ..local.views import relabel_view
+from ..perf.cache import layouts_for_instance, memoized_decide
 from .decoder import Decoder
 from .lcp import LCP
 from .prover import Prover
 
 
 class SearchProver(Prover):
-    """Find accepted labelings by exhaustive search over an alphabet."""
+    """Find accepted labelings by exhaustive search over an alphabet.
+
+    The search runs through the performance layer: view layouts are
+    extracted once per instance base (shared with the neighborhood-graph
+    sweep via the process-wide layout cache) and decoder verdicts are
+    memoized per canonical view, which collapses the inner loop of the
+    ``|alphabet| ** n`` search to mostly cache lookups.
+    """
 
     def __init__(self, decoder: Decoder, alphabet: list[Certificate], search_limit: int = 300_000):
         self._decoder = decoder
@@ -43,16 +58,23 @@ class SearchProver(Prover):
             raise PromiseViolationError(
                 f"labeling space exceeds the search limit ({self.search_limit})"
             )
-        layouts = extract_view_layouts(
+        layouts = layouts_for_instance(
             instance.without_labeling(),
             self._decoder.radius,
             include_ids=not self._decoder.anonymous,
         )
+        decide = memoized_decide(self._decoder)
+        node_order = node_sort_order(instance.graph)
+        seen: set[tuple] = set()
         for labeling in all_labelings(instance.graph, self._alphabet):
             if all(
-                self._decoder.decide(relabel_view(template, order, labeling))
+                decide(relabel_view(template, order, labeling))
                 for template, order in layouts.values()
             ):
+                key = labeling_key(labeling, node_order)
+                if key in seen:
+                    continue
+                seen.add(key)
                 yield labeling
 
     @property

@@ -67,12 +67,22 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .experiments import all_experiments, render_results, run_experiment
+    from .perf import GLOBAL_STATS, configure
 
+    if args.workers is not None:
+        configure(workers=args.workers)
+    if args.perf_stats:
+        GLOBAL_STATS.reset()
     if "all" in args.experiments:
         results = [e.run() for e in all_experiments()]
     else:
         results = [run_experiment(exp_id) for exp_id in args.experiments]
     print(render_results(results))
+    if args.perf_stats:
+        from .experiments.report import render_perf_stats
+
+        print()
+        print(render_perf_stats(GLOBAL_STATS))
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -133,6 +143,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run experiments and print reports")
     run_parser.add_argument("experiments", nargs="+", help="experiment ids, or 'all'")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for the neighborhood-graph sweeps (default: serial)",
+    )
+    run_parser.add_argument(
+        "--perf-stats",
+        action="store_true",
+        help="print cache hit rates and stage timings after the reports",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     sub.add_parser("schemes", help="show the LCP scheme catalog").set_defaults(

@@ -35,5 +35,15 @@ def render_results(results: list[ExperimentResult]) -> str:
     return "\n\n".join(sections)
 
 
+def render_perf_stats(stats) -> str:
+    """The performance-layer counters as a report section.
+
+    *stats* is a :class:`repro.perf.PerfStats` (usually the process-wide
+    ``GLOBAL_STATS``); the section shows cache hit rates, counter totals,
+    and stage timings accumulated across the rendered experiments.
+    """
+    return "== performance\n" + _indent(stats.render(), "   ")
+
+
 def _indent(text: str, prefix: str) -> str:
     return "\n".join(prefix + line for line in text.splitlines())

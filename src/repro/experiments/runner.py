@@ -6,16 +6,25 @@ by anyone who wants the full reproduction written to disk in one call.
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 from pathlib import Path
 
+from ..perf import GLOBAL_STATS, configure
 from .registry import ExperimentResult, all_experiments
-from .report import render_results
+from .report import render_perf_stats, render_results
 
 
-def run_all(verbose: bool = True) -> list[ExperimentResult]:
-    """Run every registered experiment, in id order."""
+def run_all(verbose: bool = True, workers: int | None = None) -> list[ExperimentResult]:
+    """Run every registered experiment, in id order.
+
+    With *workers* > 1 the neighborhood-graph sweeps inside the
+    experiments run on a process pool (results are identical; see
+    :mod:`repro.perf.parallel`).
+    """
+    if workers is not None:
+        configure(workers=workers)
     results = []
     for experiment in all_experiments():
         start = time.perf_counter()
@@ -29,20 +38,39 @@ def run_all(verbose: bool = True) -> list[ExperimentResult]:
     return results
 
 
-def run_all_and_save(path: str | Path, verbose: bool = True) -> bool:
-    """Run everything, write the rendered report to *path*.
+def run_all_and_save(
+    path: str | Path, verbose: bool = True, workers: int | None = None
+) -> bool:
+    """Run everything, write the rendered report (plus the perf-stats
+    section) to *path*.
 
     Returns True iff every experiment reproduced OK.
     """
-    results = run_all(verbose=verbose)
-    Path(path).write_text(render_results(results) + "\n", encoding="utf-8")
+    GLOBAL_STATS.reset()
+    results = run_all(verbose=verbose, workers=workers)
+    report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
+    Path(path).write_text(report + "\n", encoding="utf-8")
     return all(r.ok for r in results)
 
 
-def main() -> int:
-    target = sys.argv[1] if len(sys.argv) > 1 else "experiment_report.txt"
-    ok = run_all_and_save(target)
-    print(f"report written to {target}")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="run every experiment and persist the report",
+    )
+    parser.add_argument(
+        "target", nargs="?", default="experiment_report.txt", help="report path"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for the neighborhood-graph sweeps (default: serial)",
+    )
+    args = parser.parse_args(argv)
+    ok = run_all_and_save(args.target, workers=args.workers)
+    print(f"report written to {args.target}")
     return 0 if ok else 1
 
 

@@ -18,12 +18,23 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator
 from itertools import combinations
 
-from .encoding import find_isomorphism
+from ..perf.config import CONFIG
+from ..perf.stats import GLOBAL_STATS
 from .graph import Graph
 from .properties import is_bipartite, is_even_cycle
 from .shatter import has_shatter_point
-from .traversal import is_connected
 from .watermelon import is_watermelon
+
+#: ``(n, connected_only) -> tuple of representatives``.  The Lemma 3.1
+#: sweeps re-enumerate the same families for every scheme and every bound;
+#: caching the representative lists makes repeat sweeps enumeration-free.
+#: Yielded graphs are defensive copies, so callers may mutate them.
+_FAMILY_CACHE: dict[tuple[int, bool], tuple[Graph, ...]] = {}
+
+
+def clear_family_cache() -> None:
+    """Drop the memoized family enumerations (cold-path benchmarks)."""
+    _FAMILY_CACHE.clear()
 
 
 def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
@@ -32,27 +43,128 @@ def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
     Nodes are ``0..n-1``.  With *connected_only* the disconnected ones are
     skipped.  Loops are not generated (a loop is never 2-colorable, and the
     paper's instances are simple).
+
+    Results are cached per ``(n, connected_only)`` (see
+    ``perf.CONFIG.family_cache``); cache hits yield independent copies.
     """
     if n <= 0:
         return
+    if CONFIG.family_cache:
+        cached = _FAMILY_CACHE.get((n, connected_only))
+        if cached is not None:
+            GLOBAL_STATS.incr("family_cache_hits")
+            for g in cached:
+                yield g.copy()
+            return
+        GLOBAL_STATS.incr("family_cache_misses")
+        representatives: list[Graph] = []
+        for g in _enumerate_graphs_exactly(n, connected_only):
+            representatives.append(g)
+            yield g.copy()
+        # Commit only after full exhaustion, so an abandoned generator
+        # never caches a truncated family.
+        _FAMILY_CACHE[(n, connected_only)] = tuple(representatives)
+    else:
+        yield from _enumerate_graphs_exactly(n, connected_only)
+
+
+def _enumerate_graphs_exactly(n: int, connected_only: bool) -> Iterator[Graph]:
+    """The edge-subset enumeration behind :func:`all_graphs_exactly`.
+
+    Connectivity and the cheap isomorphism invariant are computed on
+    integer-bitset adjacency (no :class:`Graph` is built for rejected
+    masks); survivors are deduplicated with the exact isomorphism test,
+    which is faster than full canonical forms at these orders.
+    """
     if n == 1:
         yield Graph(nodes=[0])
         return
     possible_edges = list(combinations(range(n), 2))
-    # Bucket by a cheap invariant; settle collisions with an exact
-    # isomorphism test (much faster than full canonical forms at n <= 7).
-    buckets: dict[tuple, list[Graph]] = {}
+    full = (1 << n) - 1
+    nodes = range(n)
+    buckets: dict[tuple, list[tuple[list[int], list[int]]]] = {}
     for mask in range(1 << len(possible_edges)):
-        edges = [e for i, e in enumerate(possible_edges) if mask >> i & 1]
-        g = Graph(nodes=range(n), edges=edges)
-        if connected_only and not is_connected(g):
+        edge_count = mask.bit_count()
+        if connected_only and edge_count < n - 1:
             continue
-        prekey = _iso_invariant(g)
+        adj = [0] * n
+        for i, (a, b) in enumerate(possible_edges):
+            if mask >> i & 1:
+                adj[a] |= 1 << b
+                adj[b] |= 1 << a
+        if connected_only:
+            reach = 1 | adj[0]
+            frontier = reach & ~1
+            while frontier:
+                nxt = 0
+                bits = frontier
+                while bits:
+                    low = bits & -bits
+                    nxt |= adj[low.bit_length() - 1]
+                    bits ^= low
+                frontier = nxt & ~reach
+                reach |= frontier
+            if reach != full:
+                continue
+        deg = [adj[v].bit_count() for v in nodes]
+        profile = []
+        for v in nodes:
+            neighbor_degs = []
+            bits = adj[v]
+            while bits:
+                low = bits & -bits
+                neighbor_degs.append(deg[low.bit_length() - 1])
+                bits ^= low
+            neighbor_degs.sort()
+            profile.append((deg[v], tuple(neighbor_degs)))
+        profile.sort()
+        prekey = (edge_count, tuple(profile))
         bucket = buckets.setdefault(prekey, [])
-        if any(find_isomorphism(g, other) is not None for other in bucket):
+        if any(_bitset_isomorphic(adj, deg, other, other_deg, n) for other, other_deg in bucket):
             continue
-        bucket.append(g)
-        yield g
+        bucket.append((adj, deg))
+        yield Graph(
+            nodes=nodes,
+            edges=[e for i, e in enumerate(possible_edges) if mask >> i & 1],
+        )
+
+
+def _bitset_isomorphic(
+    adj1: list[int], deg1: list[int], adj2: list[int], deg2: list[int], n: int
+) -> bool:
+    """Exact isomorphism test on bitset adjacency (same degree profile
+    assumed — callers bucket by it first)."""
+    # Assign high-degree nodes first: fewer candidates, earlier pruning.
+    order = sorted(range(n), key=lambda v: -deg1[v])
+    assigned: list[tuple[int, int]] = []
+    used = 0
+
+    def backtrack(depth: int) -> bool:
+        nonlocal used
+        if depth == n:
+            return True
+        v = order[depth]
+        row = adj1[v]
+        dv = deg1[v]
+        for w in range(n):
+            if used >> w & 1 or deg2[w] != dv:
+                continue
+            row2 = adj2[w]
+            ok = True
+            for a, b in assigned:
+                if (row >> a & 1) != (row2 >> b & 1):
+                    ok = False
+                    break
+            if ok:
+                assigned.append((v, w))
+                used |= 1 << w
+                if backtrack(depth + 1):
+                    return True
+                assigned.pop()
+                used ^= 1 << w
+        return False
+
+    return backtrack(0)
 
 
 def _iso_invariant(g: Graph) -> tuple:
@@ -63,6 +175,38 @@ def _iso_invariant(g: Graph) -> tuple:
         (deg[v], tuple(sorted(deg[u] for u in g.neighbors(v)))) for v in g.nodes
     )
     return (g.order, g.size, tuple(profile))
+
+
+def enumerate_graphs_exactly_reference(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """Object-based reference enumeration (the pre-bitset algorithm).
+
+    Builds a :class:`Graph` for every edge subset and deduplicates with
+    the exact isomorphism search.  Kept as a differential-testing oracle
+    for :func:`_enumerate_graphs_exactly` and as the seed-equivalent
+    baseline of the neighborhood benchmarks; never used on the hot path.
+    """
+    from .encoding import find_isomorphism
+    from .properties import is_connected
+
+    if n <= 0:
+        return
+    if n == 1:
+        yield Graph(nodes=[0])
+        return
+    possible_edges = list(combinations(range(n), 2))
+    buckets: dict[tuple, list[Graph]] = {}
+    for mask in range(1 << len(possible_edges)):
+        g = Graph(
+            nodes=range(n),
+            edges=[e for i, e in enumerate(possible_edges) if mask >> i & 1],
+        )
+        if connected_only and not is_connected(g):
+            continue
+        bucket = buckets.setdefault(_iso_invariant(g), [])
+        if any(find_isomorphism(g, h) is not None for h in bucket):
+            continue
+        bucket.append(g)
+        yield g
 
 
 def all_graphs_up_to(n: int, connected_only: bool = True) -> Iterator[Graph]:

@@ -22,7 +22,14 @@ from .identifiers import (
     same_order_type,
 )
 from .instance import Instance
-from .labeling import Certificate, Labeling, all_labelings, count_labelings
+from .labeling import (
+    Certificate,
+    Labeling,
+    all_labelings,
+    count_labelings,
+    labeling_key,
+    node_sort_order,
+)
 from .messages import EdgeRecord, Message, NodeRecord, RoundStats, RunStats
 from .ports import PortAssignment, all_port_assignments, count_port_assignments
 from .simulator import (
@@ -59,6 +66,8 @@ __all__ = [
     "all_order_types",
     "all_port_assignments",
     "count_labelings",
+    "labeling_key",
+    "node_sort_order",
     "count_port_assignments",
     "extract_all_views",
     "extract_view",

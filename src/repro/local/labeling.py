@@ -72,6 +72,27 @@ class Labeling:
         return f"Labeling(nodes={len(self._labels)})"
 
 
+def labeling_key(labeling: Labeling, node_order: tuple[Node, ...] | None = None) -> tuple:
+    """A hashable identity key for a labeling: sorted (node, certificate)
+    pairs, ordered by node ``repr`` so arbitrary hashable node types get a
+    deterministic key.  Two labelings of the same node set get equal keys
+    iff they assign the same certificates — the dedup key of the
+    enumeration sweeps (Lemma 3.1) and the search prover.
+
+    Callers deduplicating many labelings of one fixed node set can pass a
+    precomputed *node_order* (any fixed ordering of exactly the labeled
+    nodes); the key is then just the certificate tuple in that order,
+    skipping the per-call sort."""
+    if node_order is not None:
+        return tuple(labeling.of(v) for v in node_order)
+    return tuple(sorted(labeling.as_dict().items(), key=lambda kv: repr(kv[0])))
+
+
+def node_sort_order(graph: Graph) -> tuple[Node, ...]:
+    """The deterministic node ordering used by :func:`labeling_key`."""
+    return tuple(sorted(graph.nodes, key=repr))
+
+
 def all_labelings(graph: Graph, alphabet: list[Certificate]) -> Iterator[Labeling]:
     """Every labeling of *graph* over a finite *alphabet*.
 

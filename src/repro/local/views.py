@@ -28,7 +28,7 @@ from .instance import Instance
 Signature = tuple[tuple[int, int], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class View:
     """A canonicalized radius-``r`` view; the center is local node ``0``.
 
@@ -51,6 +51,54 @@ class View:
     ids: tuple[int, ...] | None
     id_bound: int | None
     labels: tuple[Hashable, ...]
+
+    # Views are the dict keys of the neighborhood graph and the decision
+    # memo; each object gets hashed several times per sweep, so the hash
+    # is computed once and cached (eq=False above hands __eq__/__hash__
+    # to these definitions).
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, View):
+            return NotImplemented
+        return (
+            self.labels == other.labels
+            and self.dist == other.dist
+            and self.edges == other.edges
+            and self.ports == other.ports
+            and self.ids == other.ids
+            and self.radius == other.radius
+            and self.id_bound == other.id_bound
+        )
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.radius,
+                    self.dist,
+                    self.edges,
+                    self.ports,
+                    self.ids,
+                    self.id_bound,
+                    self.labels,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # Never ship the cached hash across process boundaries: string
+        # hashes are per-process (PYTHONHASHSEED), so a worker's cache
+        # would be wrong in the parent.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -362,14 +410,34 @@ def extract_view_layouts(
     for v in instance.graph.nodes:
         view = extract_view(marked, v, radius, include_ids=include_ids)
         order = tuple(label[1] for label in view.labels)
-        template = replace(view, labels=tuple(None for _ in view.labels))
+        template = View(
+            radius=view.radius,
+            dist=view.dist,
+            edges=view.edges,
+            ports=view.ports,
+            ids=view.ids,
+            id_bound=view.id_bound,
+            labels=(None,) * len(view.labels),
+        )
         layouts[v] = (template, order)
     return layouts
 
 
 def relabel_view(template: View, label_order, labeling) -> View:
-    """Instantiate a layout template under a concrete labeling."""
-    return replace(template, labels=tuple(labeling.of(x) for x in label_order))
+    """Instantiate a layout template under a concrete labeling.
+
+    Clones the template by copying its ``__dict__`` and swapping the
+    label tuple, skipping the frozen-dataclass ``__init__`` (seven
+    ``object.__setattr__`` calls) — this runs millions of times inside
+    the exhaustive-adversary and neighborhood-graph sweeps.  The cached
+    hash never carries over: the labels differ.
+    """
+    view = View.__new__(View)
+    state = view.__dict__
+    state.update(template.__dict__)
+    state.pop("_hash", None)
+    state["labels"] = tuple(map(labeling.of, label_order))
+    return view
 
 
 def describe_view(view: View) -> str:

@@ -16,7 +16,11 @@ from .hiding import (
     hiding_verdict_on_witnesses,
     hiding_verdict_up_to,
 )
-from .ngraph import NeighborhoodGraph, build_neighborhood_graph
+from .ngraph import (
+    NeighborhoodGraph,
+    build_neighborhood_graph,
+    build_neighborhood_graph_auto,
+)
 
 __all__ = [
     "ExtractionDecoder",
@@ -26,6 +30,7 @@ __all__ = [
     "UNKNOWN_VIEW",
     "build_extraction_decoder",
     "build_neighborhood_graph",
+    "build_neighborhood_graph_auto",
     "hiding_verdict_from_instances",
     "hiding_verdict_on_witnesses",
     "hiding_verdict_up_to",

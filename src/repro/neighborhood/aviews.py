@@ -28,9 +28,10 @@ from ..graphs.families import all_graphs_up_to
 from ..graphs.graph import Graph
 from ..local.identifiers import IdentifierAssignment, all_order_types
 from ..local.instance import Instance
-from ..local.labeling import all_labelings, count_labelings
+from ..local.labeling import all_labelings, count_labelings, labeling_key, node_sort_order
 from ..local.ports import PortAssignment, all_port_assignments, count_port_assignments
-from ..local.views import extract_view_layouts, relabel_view
+from ..local.views import relabel_view
+from ..perf.cache import layouts_for_instance, memoized_decide
 
 
 def labeled_yes_instances(
@@ -57,6 +58,7 @@ def labeled_yes_instances(
     for graph in graphs:
         if not lcp.is_yes_instance(graph):
             continue
+        node_order = node_sort_order(graph)
         ports_list: list[PortAssignment]
         if count_port_assignments(graph) <= port_limit:
             ports_list = list(all_port_assignments(graph))
@@ -75,7 +77,7 @@ def labeled_yes_instances(
                 base = Instance(graph=graph, ports=ports, ids=ids, id_bound=bound)
                 seen = set()
                 for labeling in lcp.prover.all_certifications(base):
-                    key = tuple(sorted(labeling.as_dict().items(), key=lambda kv: repr(kv[0])))
+                    key = labeling_key(labeling, node_order)
                     if key in seen:
                         continue
                     seen.add(key)
@@ -86,14 +88,12 @@ def labeled_yes_instances(
                         continue
                     if count_labelings(graph, len(alphabet)) > labeling_limit:
                         continue
-                    layouts = extract_view_layouts(
+                    layouts = layouts_for_instance(
                         base, lcp.radius, include_ids=not lcp.anonymous
                     )
-                    decide = lcp.decoder.decide
+                    decide = memoized_decide(lcp.decoder)
                     for labeling in all_labelings(graph, alphabet):
-                        key = tuple(
-                            sorted(labeling.as_dict().items(), key=lambda kv: repr(kv[0]))
-                        )
+                        key = labeling_key(labeling, node_order)
                         if key in seen:
                             continue
                         if all(
@@ -118,10 +118,11 @@ def yes_instances_up_to(
     filtered by :meth:`LCP.is_yes_instance` (promise class +
     ``k``-colorability — bipartiteness for the paper's ``k = 2``).
     """
-    graphs = (g for g in all_graphs_up_to(n) if lcp.is_yes_instance(g))
+    # No pre-filter here: labeled_yes_instances applies is_yes_instance
+    # itself, and filtering twice would double the bipartiteness checks.
     yield from labeled_yes_instances(
         lcp,
-        graphs,
+        all_graphs_up_to(n),
         port_limit=port_limit,
         id_order_types=id_order_types,
         id_bound=n,

@@ -21,7 +21,7 @@ from ..graphs.graph import Graph
 from ..local.instance import Instance
 from ..local.views import View
 from .aviews import labeled_yes_instances, yes_instances_up_to
-from .ngraph import NeighborhoodGraph, build_neighborhood_graph
+from .ngraph import NeighborhoodGraph, build_neighborhood_graph_auto
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ def hiding_verdict_from_instances(
     lcp: LCP, labeled: Iterable[Instance], exhaustive: bool = False
 ) -> HidingVerdict:
     """Check hiding over the neighborhood subgraph spanned by *labeled*."""
-    ngraph = build_neighborhood_graph(lcp, labeled)
+    ngraph = build_neighborhood_graph_auto(lcp, labeled)
     return _verdict(lcp, ngraph, exhaustive=exhaustive)
 
 
@@ -105,7 +105,7 @@ def hiding_verdict_up_to(
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
     )
-    ngraph = build_neighborhood_graph(lcp, labeled)
+    ngraph = build_neighborhood_graph_auto(lcp, labeled)
     verdict = _verdict(lcp, ngraph, exhaustive=True)
     _SWEEP_CACHE[cache_key] = verdict
     return verdict
@@ -118,7 +118,7 @@ def hiding_verdict_on_witnesses(
     labeled = labeled_yes_instances(
         lcp, graphs, port_limit=port_limit, id_bound=id_bound
     )
-    ngraph = build_neighborhood_graph(lcp, labeled)
+    ngraph = build_neighborhood_graph_auto(lcp, labeled)
     return _verdict(lcp, ngraph, exhaustive=False)
 
 

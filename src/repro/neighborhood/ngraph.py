@@ -19,6 +19,9 @@ from ..graphs.coloring import k_coloring
 from ..graphs.properties import bipartition
 from ..local.instance import Instance
 from ..local.views import View, extract_all_views
+from ..perf.cache import memoized_decide
+from ..perf.config import CONFIG
+from ..perf.stats import GLOBAL_STATS, PerfStats
 
 
 @dataclass
@@ -36,6 +39,9 @@ class NeighborhoodGraph:
     edge_witness: dict[tuple[int, int], tuple[Instance, tuple[Node, Node]]] = field(
         default_factory=dict
     )
+    #: Adjacency lists over view indices, maintained alongside ``edges``
+    #: so neighborhood queries don't scan the full edge set.
+    adjacency: dict[int, list[int]] = field(default_factory=dict)
     instances_scanned: int = 0
 
     # ------------------------------------------------------------------
@@ -44,8 +50,9 @@ class NeighborhoodGraph:
 
     def add_view(self, view: View, instance: Instance, node: Node) -> int:
         """Register an accepting view; returns its index."""
-        if view in self.index:
-            return self.index[view]
+        existing = self.index.get(view)
+        if existing is not None:
+            return existing
         idx = len(self.views)
         self.views.append(view)
         self.index[view] = idx
@@ -58,6 +65,9 @@ class NeighborhoodGraph:
         if key not in self.edges:
             self.edges.add(key)
             self.edge_witness[key] = (instance, edge)
+            self.adjacency.setdefault(i, []).append(j)
+            if j != i:
+                self.adjacency.setdefault(j, []).append(i)
 
     # ------------------------------------------------------------------
     # Queries
@@ -103,18 +113,33 @@ class NeighborhoodGraph:
         return [self.views[i] for i in split.odd_cycle]
 
     def neighbors_of(self, view: View) -> list[View]:
+        """Neighboring views, via the maintained adjacency lists."""
         idx = self.index[view]
-        out = []
-        for i, j in self.edges:
-            if i == idx:
-                out.append(self.views[j])
-            elif j == idx:
-                out.append(self.views[i])
-        return out
+        return [self.views[j] for j in self.adjacency.get(idx, [])]
+
+
+def _labeled_views(lcp: LCP, instance: Instance, stats: PerfStats) -> dict[Node, View]:
+    """Views of every node of *instance*, through the layout cache.
+
+    The templates of one ``(graph, ports, ids)`` base are extracted once;
+    subsequent labelings of the same base only swap label tuples.
+    """
+    include_ids = not lcp.anonymous
+    if not CONFIG.layout_cache:
+        views = extract_all_views(instance, lcp.radius, include_ids=include_ids)
+        stats.incr("views_extracted", len(views))
+        return views
+    from ..perf.cache import default_layout_cache
+
+    return default_layout_cache().labeled_views(
+        instance, lcp.radius, include_ids, stats=stats
+    )
 
 
 def build_neighborhood_graph(
-    lcp: LCP, labeled_instances: Iterable[Instance]
+    lcp: LCP,
+    labeled_instances: Iterable[Instance],
+    stats: PerfStats | None = None,
 ) -> NeighborhoodGraph:
     """Scan labeled yes-instances and assemble (a subgraph of) ``V(D, n)``.
 
@@ -124,18 +149,59 @@ def build_neighborhood_graph(
     (:func:`repro.neighborhood.aviews.yes_instances_up_to`) yields the
     exact ``V(D, n)`` (up to the enumeration bounds); feeding a hand-built
     witness list yields the subgraph the paper's hiding proofs use.
+
+    The scan goes through the performance layer (:mod:`repro.perf`): view
+    layouts are extracted once per ``(graph, ports, ids)`` base and
+    re-labeled per instance, and decoder verdicts are memoized per
+    canonical view.  Both caches are semantics-preserving (layouts never
+    depend on labels; decoders are pure functions of the view) and can be
+    disabled via :data:`repro.perf.CONFIG`.
     """
+    stats = stats or GLOBAL_STATS
     ngraph = NeighborhoodGraph(radius=lcp.radius, include_ids=not lcp.anonymous)
-    for instance in labeled_instances:
-        ngraph.instances_scanned += 1
-        views = extract_all_views(instance, lcp.radius, include_ids=not lcp.anonymous)
-        votes = {v: lcp.decoder.decide(view) for v, view in views.items()}
-        indices = {
-            v: ngraph.add_view(views[v], instance, v)
-            for v, accepted in votes.items()
-            if accepted
-        }
-        for u, v in instance.graph.edges:
-            if votes.get(u) and votes.get(v):
-                ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+    decide = memoized_decide(lcp.decoder, stats=stats)
+    scanned = 0
+    # One-slot edge-list cache: the enumeration yields all labelings of a
+    # base consecutively, so the graph object repeats in runs.
+    last_graph = None
+    last_edges: list = []
+    with stats.time_stage("neighborhood_build"):
+        for instance in labeled_instances:
+            scanned += 1
+            views = _labeled_views(lcp, instance, stats)
+            votes = {v: decide(view) for v, view in views.items()}
+            indices = {
+                v: ngraph.add_view(views[v], instance, v)
+                for v, accepted in votes.items()
+                if accepted
+            }
+            if instance.graph is not last_graph:
+                last_graph = instance.graph
+                last_edges = last_graph.edges
+            for u, v in last_edges:
+                if votes.get(u) and votes.get(v):
+                    ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+    ngraph.instances_scanned += scanned
+    stats.incr("instances_scanned", scanned)
     return ngraph
+
+
+def build_neighborhood_graph_auto(
+    lcp: LCP,
+    labeled_instances: Iterable[Instance],
+    workers: int | None = None,
+    stats: PerfStats | None = None,
+) -> NeighborhoodGraph:
+    """Serial or parallel build, per *workers* (default: the global config).
+
+    The parallel builder produces an identical graph; this dispatcher is
+    what the CLI's ``--workers`` flag and the experiment runner feed.
+    """
+    effective = CONFIG.workers if workers is None else workers
+    if effective and effective > 1:
+        from ..perf.parallel import build_neighborhood_graph_parallel
+
+        return build_neighborhood_graph_parallel(
+            lcp, labeled_instances, workers=effective, stats=stats
+        )
+    return build_neighborhood_graph(lcp, labeled_instances, stats=stats)

@@ -1,0 +1,56 @@
+"""Performance subsystem: caches, counters, and the parallel builder.
+
+The Lemma 3.1 sweep (``yes_instances_up_to`` → ``build_neighborhood_graph``)
+is the hot path of the whole repository; everything here exists to make it
+run as fast as the hardware allows without changing a single result:
+
+* :mod:`repro.perf.config` — global knobs (:data:`CONFIG`,
+  :func:`configure`, :func:`overridden`);
+* :mod:`repro.perf.stats` — counters and stage timers
+  (:class:`PerfStats`, :data:`GLOBAL_STATS`);
+* :mod:`repro.perf.cache` — the view-layout template cache and the
+  decoder decision memo;
+* :mod:`repro.perf.parallel` — the process-pool neighborhood-graph
+  builder (loaded lazily; it sits above the neighborhood layer).
+"""
+
+from .cache import (
+    DecisionMemo,
+    LRUCache,
+    ViewLayoutCache,
+    clear_shared_caches,
+    default_layout_cache,
+    layouts_for_instance,
+    memoized_decide,
+    shared_decision_memo,
+)
+from .config import CONFIG, PerfConfig, configure, overridden
+from .stats import GLOBAL_STATS, PerfStats
+
+__all__ = [
+    "CONFIG",
+    "DecisionMemo",
+    "GLOBAL_STATS",
+    "LRUCache",
+    "PerfConfig",
+    "PerfStats",
+    "ViewLayoutCache",
+    "build_neighborhood_graph_parallel",
+    "clear_shared_caches",
+    "configure",
+    "default_layout_cache",
+    "layouts_for_instance",
+    "memoized_decide",
+    "overridden",
+    "shared_decision_memo",
+]
+
+
+def __getattr__(name: str):
+    # The parallel builder imports the neighborhood layer, which imports
+    # this package; resolving it lazily keeps the import graph acyclic.
+    if name == "build_neighborhood_graph_parallel":
+        from .parallel import build_neighborhood_graph_parallel
+
+        return build_neighborhood_graph_parallel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

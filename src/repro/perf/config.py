@@ -1,0 +1,68 @@
+"""Tunable knobs for the V(D, n) fast path.
+
+One module-level :class:`PerfConfig` governs every cache and the parallel
+builder; experiments, the CLI (``--workers``), and the benchmarks mutate
+it through :func:`configure` or scope changes with :func:`overridden`.
+All caches default to on — the knobs exist so benchmarks can measure the
+unoptimized baseline and so pathological workloads can opt out.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class PerfConfig:
+    """Switches and sizes for the performance subsystem.
+
+    * ``layout_cache`` — reuse view-layout templates per
+      ``(graph, ports, ids, radius)`` base instead of re-extracting and
+      re-canonicalizing views for every labeled instance.
+    * ``decision_memo`` — memoize ``decoder.decide`` per canonical view
+      (sound for decoders that are pure functions of the view, which the
+      LCP model requires).
+    * ``family_cache`` — cache the graph-family enumerations of
+      :mod:`repro.graphs.families` (yielded graphs are defensive copies).
+    * ``canonical_cache`` — memoize :func:`repro.graphs.encoding.canonical_form`
+      by labelled graph key.
+    * ``workers`` — default worker count for the parallel
+      neighborhood-graph builder; ``0`` or ``1`` means serial.
+    * ``chunk_size`` — instances per parallel work unit (``None`` picks a
+      chunking that preserves base-instance locality).
+    """
+
+    layout_cache: bool = True
+    layout_cache_size: int = 4096
+    decision_memo: bool = True
+    decision_memo_size: int = 65536
+    family_cache: bool = True
+    canonical_cache: bool = True
+    canonical_cache_size: int = 65536
+    workers: int = 0
+    chunk_size: int | None = None
+
+
+CONFIG = PerfConfig()
+
+
+def configure(**kwargs) -> PerfConfig:
+    """Update the global :data:`CONFIG` in place; returns it."""
+    valid = {f.name for f in fields(PerfConfig)}
+    for key, value in kwargs.items():
+        if key not in valid:
+            raise TypeError(f"unknown perf config field {key!r}")
+        setattr(CONFIG, key, value)
+    return CONFIG
+
+
+@contextmanager
+def overridden(**kwargs):
+    """Temporarily override :data:`CONFIG` fields (tests and benchmarks)."""
+    saved = {key: getattr(CONFIG, key) for key in kwargs}
+    configure(**kwargs)
+    try:
+        yield CONFIG
+    finally:
+        configure(**saved)

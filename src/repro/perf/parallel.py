@@ -1,0 +1,146 @@
+"""Process-pool parallel construction of the neighborhood graph.
+
+The expensive part of :func:`repro.neighborhood.ngraph.build_neighborhood_graph`
+— view extraction/relabeling plus decoder decisions, per labeled instance
+— is embarrassingly parallel; only the incremental ``add_view``/``add_edge``
+bookkeeping is order-sensitive.  The parallel builder therefore:
+
+1. materializes the labeled-instance stream and splits it into
+   **contiguous** chunks (the enumeration yields all labelings of one
+   base consecutively, so contiguity preserves view-layout reuse inside
+   each worker);
+2. has each worker scan its chunk with its own layout cache and decision
+   memo, returning per-instance ``(accepting (node, view) pairs, accepted
+   edges)`` in the exact order the serial builder would visit them;
+3. replays the chunks **in order** in the parent, so view indices, edge
+   set, and witness assignment are byte-identical to the serial build.
+
+Witness instances are taken from the parent's own list (workers only
+report node names), so provenance points at the caller's objects.  LCPs
+must be picklable to cross the process boundary; unpicklable ones fall
+back to the serial builder (recorded in the stats).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
+
+from .config import CONFIG
+from .stats import GLOBAL_STATS, PerfStats
+
+#: Below this many instances the pool overhead cannot pay for itself.
+_MIN_PARALLEL_INSTANCES = 8
+
+
+def _chunked(items: list, chunk_size: int) -> list[list]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _pick_chunk_size(n_instances: int, workers: int) -> int:
+    """Roughly 4 chunks per worker, but never tiny chunks.
+
+    Larger chunks keep consecutive same-base instances together (layout
+    reuse); more chunks smooth out load imbalance.
+    """
+    if CONFIG.chunk_size is not None:
+        return max(1, CONFIG.chunk_size)
+    target = max(1, n_instances // (workers * 4))
+    return max(target, min(16, n_instances))
+
+
+def _scan_chunk(payload: tuple) -> tuple[list, dict]:
+    """Worker: decide every view of every instance in one chunk.
+
+    Returns, per instance in chunk order, ``(accepting, edges)`` where
+    *accepting* lists ``(node, view)`` in graph-node order and *edges*
+    lists accepted edges in graph-edge order — the serial visit order.
+    """
+    from .cache import DecisionMemo, ViewLayoutCache
+
+    lcp, chunk = payload
+    stats = PerfStats()
+    layout_cache = ViewLayoutCache(CONFIG.layout_cache_size) if CONFIG.layout_cache else None
+    memo = DecisionMemo(lcp.decoder, CONFIG.decision_memo_size) if CONFIG.decision_memo else None
+    results = []
+    last_graph = None
+    last_edges: list = []
+    for instance in chunk:
+        views = _instance_views(lcp, instance, layout_cache, stats)
+        decide = (lambda view: memo.decide(view, stats=stats)) if memo else lcp.decoder.decide
+        votes = {v: decide(view) for v, view in views.items()}
+        accepting = [(v, views[v]) for v, accepted in votes.items() if accepted]
+        if instance.graph is not last_graph:
+            last_graph = instance.graph
+            last_edges = last_graph.edges
+        edges = [(u, v) for u, v in last_edges if votes.get(u) and votes.get(v)]
+        results.append((accepting, edges))
+    return results, stats.as_dict()
+
+
+def _instance_views(lcp, instance, layout_cache, stats: PerfStats) -> dict:
+    """Views of every node, through the layout cache when enabled."""
+    from ..local.views import extract_all_views
+
+    include_ids = not lcp.anonymous
+    if layout_cache is None:
+        views = extract_all_views(instance, lcp.radius, include_ids=include_ids)
+        stats.incr("views_extracted", len(views))
+        return views
+    return layout_cache.labeled_views(
+        instance, lcp.radius, include_ids, stats=stats
+    )
+
+
+def build_neighborhood_graph_parallel(
+    lcp,
+    labeled_instances: Iterable,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    stats: PerfStats | None = None,
+):
+    """Parallel drop-in for :func:`build_neighborhood_graph`.
+
+    Produces a :class:`~repro.neighborhood.ngraph.NeighborhoodGraph`
+    identical to the serial builder's (views, indices, edges, witnesses)
+    regardless of worker count or chunking.  Falls back to the serial
+    path for tiny inputs, ``workers <= 1``, or unpicklable LCPs.
+    """
+    from ..neighborhood.ngraph import NeighborhoodGraph, build_neighborhood_graph
+
+    stats = stats or GLOBAL_STATS
+    if workers is None:
+        workers = CONFIG.workers or (os.cpu_count() or 1)
+    instances = list(labeled_instances)
+    if workers <= 1 or len(instances) < _MIN_PARALLEL_INSTANCES:
+        return build_neighborhood_graph(lcp, instances, stats=stats)
+    try:
+        pickle.dumps(lcp)
+    except Exception:
+        stats.incr("parallel_fallbacks")
+        return build_neighborhood_graph(lcp, instances, stats=stats)
+
+    size = chunk_size if chunk_size is not None else _pick_chunk_size(len(instances), workers)
+    chunks = _chunked(instances, size)
+    stats.incr("parallel_builds")
+    stats.incr("parallel_chunks", len(chunks))
+
+    with stats.time_stage("parallel_scan"):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_scan_chunk, [(lcp, chunk) for chunk in chunks]))
+
+    ngraph = NeighborhoodGraph(radius=lcp.radius, include_ids=not lcp.anonymous)
+    with stats.time_stage("parallel_merge"):
+        for chunk, (chunk_results, worker_stats) in zip(chunks, outcomes):
+            stats.merge(worker_stats)
+            for instance, (accepting, edges) in zip(chunk, chunk_results):
+                ngraph.instances_scanned += 1
+                stats.incr("instances_scanned")
+                indices = {
+                    v: ngraph.add_view(view, instance, v) for v, view in accepting
+                }
+                for u, v in edges:
+                    ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+    return ngraph

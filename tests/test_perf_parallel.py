@@ -1,0 +1,109 @@
+"""Parallel neighborhood-graph builder: exact parity with the serial one.
+
+The acceptance bar of the perf subsystem is determinism: for any worker
+count, `build_neighborhood_graph_parallel` must produce the *same object
+content* as the serial builder — same view list in the same order, same
+edge set, and same downstream verdicts (2-colorability, odd cycles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DegreeOneLCP, EvenCycleLCP
+from repro.neighborhood import (
+    build_neighborhood_graph,
+    build_neighborhood_graph_auto,
+    yes_instances_up_to,
+)
+from repro.perf import PerfStats, overridden
+from repro.perf.parallel import build_neighborhood_graph_parallel
+
+
+def _serial(lcp, n):
+    return build_neighborhood_graph(lcp, yes_instances_up_to(lcp, n))
+
+
+def _assert_identical(parallel, serial):
+    assert parallel.views == serial.views
+    assert parallel.edges == serial.edges
+    assert parallel.index == serial.index
+    assert parallel.instances_scanned == serial.instances_scanned
+    assert parallel.is_k_colorable(2) == serial.is_k_colorable(2)
+    s_cycle = serial.find_odd_cycle()
+    p_cycle = parallel.find_odd_cycle()
+    assert (p_cycle is None) == (s_cycle is None)
+    if s_cycle is not None:
+        assert p_cycle == s_cycle
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("lcp_cls,n", [(DegreeOneLCP, 4), (DegreeOneLCP, 5), (EvenCycleLCP, 5)])
+def test_parallel_matches_serial(workers, lcp_cls, n):
+    lcp = lcp_cls()
+    serial = _serial(lcp, n)
+    parallel = build_neighborhood_graph_parallel(
+        lcp, yes_instances_up_to(lcp, n), workers=workers
+    )
+    _assert_identical(parallel, serial)
+
+
+def test_parallel_parity_across_chunk_sizes():
+    lcp = DegreeOneLCP()
+    serial = _serial(lcp, 4)
+    for chunk_size in (1, 3, 7, 1000):
+        parallel = build_neighborhood_graph_parallel(
+            lcp, yes_instances_up_to(lcp, 4), workers=2, chunk_size=chunk_size
+        )
+        _assert_identical(parallel, serial)
+
+
+def test_parallel_witnesses_point_at_parent_instances():
+    lcp = DegreeOneLCP()
+    instances = list(yes_instances_up_to(lcp, 4))
+    parallel = build_neighborhood_graph_parallel(lcp, iter(instances), workers=2)
+    pool = set(map(id, instances))
+    for instance, _node in parallel.view_witness.values():
+        assert id(instance) in pool
+    for instance, _edge in parallel.edge_witness.values():
+        assert id(instance) in pool
+
+
+def test_tiny_input_falls_back_to_serial():
+    lcp = EvenCycleLCP()
+    # The n=5 even-cycle sweep contains only C4: few instances, below the
+    # parallel threshold — must still return the correct graph.
+    stats = PerfStats()
+    parallel = build_neighborhood_graph_parallel(
+        lcp, yes_instances_up_to(lcp, 5), workers=4, stats=stats
+    )
+    _assert_identical(parallel, _serial(lcp, 5))
+
+
+def test_unpicklable_lcp_falls_back_to_serial():
+    lcp = DegreeOneLCP()
+    lcp._poison = lambda: None  # lambdas don't pickle
+    stats = PerfStats()
+    result = build_neighborhood_graph_parallel(
+        lcp, yes_instances_up_to(lcp, 4), workers=2, stats=stats
+    )
+    assert stats.get("parallel_fallbacks") == 1
+    _assert_identical(result, _serial(DegreeOneLCP(), 4))
+
+
+def test_auto_dispatches_on_config_workers():
+    lcp = DegreeOneLCP()
+    serial = _serial(lcp, 4)
+    with overridden(workers=2):
+        auto = build_neighborhood_graph_auto(lcp, yes_instances_up_to(lcp, 4))
+    _assert_identical(auto, serial)
+
+
+def test_parallel_with_caches_disabled_still_matches():
+    lcp = DegreeOneLCP()
+    with overridden(layout_cache=False, decision_memo=False):
+        serial = _serial(lcp, 4)
+        parallel = build_neighborhood_graph_parallel(
+            lcp, yes_instances_up_to(lcp, 4), workers=2
+        )
+    _assert_identical(parallel, serial)
