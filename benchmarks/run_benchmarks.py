@@ -1,31 +1,53 @@
-"""Neighborhood-pipeline benchmark: writes ``BENCH_neighborhood.json``.
+"""Neighborhood-pipeline and hiding-engine benchmarks.
 
-Measures the full Lemma 3.1 sweep (``yes_instances_up_to`` feeding
-``build_neighborhood_graph``) for ``DegreeOneLCP`` at ``n = 4, 5`` in
-four regimes:
+Writes two JSON reports:
 
-* **baseline** — every perf cache disabled *and* graph families
-  enumerated with the pre-optimization object-based algorithm; this is
-  the seed-equivalent cost.
-* **serial_cold** — the optimized pipeline with all process-wide caches
-  cleared first (what a fresh process pays).
-* **serial_warm** — the optimized pipeline again, caches populated
-  (what every subsequent sweep in the same process pays).
-* **parallel_N** — the process-pool builder at 2 and 4 workers.
+* ``BENCH_neighborhood.json`` — the full Lemma 3.1 sweep
+  (``yes_instances_up_to`` feeding ``build_neighborhood_graph``) for
+  ``DegreeOneLCP`` at ``n = 4, 5`` in four regimes:
 
-Every regime's resulting graph is checked for exact parity (views and
-edges) against the baseline before its numbers are recorded.  The JSON
-also records instance counts, views/sec, cache hit rates, and
-``cpu_count`` — on a single-core host the parallel rows measure pure
-pool overhead and are expected to *lose* to serial.
+  - **baseline** — every perf cache disabled *and* graph families
+    enumerated with the pre-optimization object-based algorithm; this is
+    the seed-equivalent cost.
+  - **serial_cold** — the optimized pipeline with all process-wide
+    caches cleared first (what a fresh process pays).
+  - **serial_warm** — the optimized pipeline again, caches populated
+    (what every subsequent sweep in the same process pays).
+  - **parallel_N** — the process-pool builder at 2 and 4 workers.
+    On a single-core host these rows are *skipped* (recorded with a
+    note): they would measure pure pool overhead, not parallelism.
+
+* ``BENCH_hiding.json`` — the hiding decision itself (early-exit vs
+  full build) for ``DegreeOneLCP`` at ``n = 4, 5``:
+
+  - **materialized_full** — build all of ``V(D, n)``, then color it
+    (the classic ``hiding_verdict_from_instances`` pipeline).
+  - **streaming_cold** — the streaming engine, no warm start, no disk:
+    the sweep exits at the first odd-walk witness.
+  - **streaming_warm_disk** — the streaming engine reading a populated
+    ``.repro_cache/`` entry (what a re-run of the same experiment pays).
+
+  Every streaming row is parity-checked against the materialized
+  verdict (same hiding flag; the witness must be a genuine odd closed
+  walk of adjacent views) before its numbers are recorded.
+
+Every regime row records ``workers_effective`` — the worker count the
+builder can actually use (``min(workers, cpu_count)``) — so single-core
+results are interpretable.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py [output.json]
+        [--hiding-output BENCH_hiding.json] [--early-exit]
+
+``--early-exit`` is the CI smoke mode: a quick streaming-vs-materialized
+parity sweep over several registry schemes (serial and 2-worker); the
+exit status is nonzero on any parity failure.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import statistics
@@ -34,13 +56,20 @@ import time
 from pathlib import Path
 
 from repro.core import DegreeOneLCP
+from repro.core.registry import all_lcps
 from repro.graphs.encoding import clear_canonical_cache
 from repro.graphs.families import (
     clear_family_cache,
     enumerate_graphs_exactly_reference,
 )
+from repro.graphs.properties import is_odd_closed_walk
 from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
 from repro.neighborhood.aviews import yes_instances_up_to
+from repro.neighborhood.hiding import hiding_verdict_from_instances
+from repro.neighborhood.streaming import (
+    clear_streaming_state,
+    streaming_hiding_verdict_up_to,
+)
 from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
 
@@ -51,6 +80,7 @@ def _clear_everything() -> None:
     clear_shared_caches()
     clear_family_cache()
     clear_canonical_cache()
+    clear_streaming_state()
     GLOBAL_STATS.reset()
 
 
@@ -80,12 +110,14 @@ def _sweep_baseline(lcp, n, stats):
     return build_neighborhood_graph(lcp, instances, stats=stats)
 
 
-def _record(name, n, best, mean, graph, stats, reference=None):
+def _record(name, n, best, mean, graph, stats, reference=None, workers=None):
+    cpus = os.cpu_count() or 1
     entry = {
         "regime": name,
         "n": n,
         "seconds_best": round(best, 6),
         "seconds_mean": round(mean, 6),
+        "workers_effective": min(workers, cpus) if workers else 1,
         "views": len(graph.views),
         "edges": len(graph.edges),
         "instances_scanned": graph.instances_scanned,
@@ -157,7 +189,22 @@ def run(n: int) -> list[dict]:
         _record("serial_warm", n, best, mean, warm_graph, warm_stats, reference=baseline)
     )
 
+    cpus = os.cpu_count() or 1
     for workers in (2, 4):
+        if cpus <= 1:
+            rows.append(
+                {
+                    "regime": f"parallel_{workers}",
+                    "n": n,
+                    "skipped": True,
+                    "note": (
+                        "single-core host: a process pool can only measure "
+                        "pool overhead here, not parallelism"
+                    ),
+                    "workers_effective": 1,
+                }
+            )
+            continue
         par_stats = PerfStats()
         best, mean, par_graph = _timed(
             lambda: build_neighborhood_graph_parallel(
@@ -173,13 +220,172 @@ def run(n: int) -> list[dict]:
                 par_graph,
                 par_stats,
                 reference=baseline,
+                workers=workers,
             )
         )
     return rows
 
 
+# ----------------------------------------------------------------------
+# The hiding benchmark: early exit vs full build, plus the disk cache
+# ----------------------------------------------------------------------
+
+
+def _hiding_parity(streamed, materialized) -> bool:
+    """Streamed verdict must agree with the materialized one; a hiding
+    witness must be a genuine odd closed walk in the streamed graph."""
+    if streamed.hiding != materialized.hiding:
+        return False
+    if streamed.hiding and streamed.odd_cycle is not None:
+        g = streamed.ngraph
+        walk = [g.index[view] for view in streamed.odd_cycle]
+        return is_odd_closed_walk(g.to_graph(), walk)
+    return True
+
+
+def run_hiding(n: int) -> list[dict]:
+    lcp = DegreeOneLCP()
+    rows = []
+
+    def materialized():
+        # include_all_accepted_labelings=True matches the streaming
+        # engine's (and hiding_verdict_up_to's) default enumeration.
+        instances = yes_instances_up_to(lcp, n, include_all_accepted_labelings=True)
+        return hiding_verdict_from_instances(lcp, instances, exhaustive=True)
+
+    mat_times = []
+    mat = None
+    for _ in range(REPEATS):
+        _clear_everything()
+        start = time.perf_counter()
+        mat = materialized()
+        mat_times.append(time.perf_counter() - start)
+    rows.append(
+        {
+            "regime": "materialized_full",
+            "n": n,
+            "seconds_best": round(min(mat_times), 6),
+            "seconds_mean": round(statistics.mean(mat_times), 6),
+            "workers_effective": 1,
+            "hiding": mat.hiding,
+            "views": len(mat.ngraph.views),
+            "edges": len(mat.ngraph.edges),
+            "instances_scanned": mat.ngraph.instances_scanned,
+        }
+    )
+
+    cold_times = []
+    streamed = None
+    stats = PerfStats()
+    for _ in range(REPEATS):
+        _clear_everything()
+        stats.reset()
+        start = time.perf_counter()
+        streamed = streaming_hiding_verdict_up_to(
+            lcp, n, stats=stats, warm_start=False, disk_cache=False
+        )
+        cold_times.append(time.perf_counter() - start)
+    rows.append(
+        {
+            "regime": "streaming_cold",
+            "n": n,
+            "seconds_best": round(min(cold_times), 6),
+            "seconds_mean": round(statistics.mean(cold_times), 6),
+            "workers_effective": 1,
+            "hiding": streamed.hiding,
+            "views": len(streamed.ngraph.views),
+            "edges": len(streamed.ngraph.edges),
+            "instances_scanned": streamed.ngraph.instances_scanned,
+            "early_exits": stats.get("streaming_early_exits"),
+            "parity_with_materialized": _hiding_parity(streamed, mat),
+            "early_exit_speedup": round(min(mat_times) / min(cold_times), 3),
+        }
+    )
+
+    # Populate the disk entry once (untimed), then measure pure reloads.
+    _clear_everything()
+    streaming_hiding_verdict_up_to(lcp, n, warm_start=False, disk_cache=True)
+    warm_times = []
+    warm = None
+    warm_stats = PerfStats()
+    for _ in range(REPEATS):
+        clear_streaming_state()  # keep the disk, drop the in-memory memo
+        warm_stats.reset()
+        start = time.perf_counter()
+        warm = streaming_hiding_verdict_up_to(
+            lcp, n, stats=warm_stats, warm_start=False, disk_cache=True
+        )
+        warm_times.append(time.perf_counter() - start)
+    rows.append(
+        {
+            "regime": "streaming_warm_disk",
+            "n": n,
+            "seconds_best": round(min(warm_times), 6),
+            "seconds_mean": round(statistics.mean(warm_times), 6),
+            "workers_effective": 1,
+            "hiding": warm.hiding,
+            "views": len(warm.ngraph.views),
+            "edges": len(warm.ngraph.edges),
+            "disk_hits": warm_stats.get("disk_hits"),
+            "parity_with_materialized": _hiding_parity(warm, mat),
+            "disk_speedup_vs_cold": round(min(cold_times) / min(warm_times), 3),
+        }
+    )
+    return rows
+
+
+def smoke_early_exit() -> int:
+    """CI smoke: streaming parity across registry schemes, serial and
+    2-worker; returns a nonzero exit status on any mismatch."""
+    failures = []
+    for name, lcp in all_lcps().items():
+        for n in (3, 4):
+            _clear_everything()
+            mat = hiding_verdict_from_instances(
+                lcp,
+                yes_instances_up_to(lcp, n, include_all_accepted_labelings=True),
+                exhaustive=True,
+            )
+            for workers in (1, 2):
+                clear_streaming_state()
+                streamed = streaming_hiding_verdict_up_to(
+                    lcp, n, workers=workers, warm_start=False, disk_cache=False
+                )
+                if not _hiding_parity(streamed, mat):
+                    failures.append((name, n, workers))
+                    print(
+                        f"PARITY FAILURE: {name} n={n} workers={workers}: "
+                        f"streaming={streamed.hiding} materialized={mat.hiding}",
+                        file=sys.stderr,
+                    )
+    if failures:
+        print(f"{len(failures)} parity failure(s)", file=sys.stderr)
+        return 1
+    print("early-exit smoke: all parity checks passed", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
-    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("BENCH_neighborhood.json")
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "output", nargs="?", default="BENCH_neighborhood.json", help="pipeline report"
+    )
+    parser.add_argument(
+        "--hiding-output",
+        default="BENCH_hiding.json",
+        metavar="PATH",
+        help="hiding-engine report path",
+    )
+    parser.add_argument(
+        "--early-exit",
+        action="store_true",
+        help="CI smoke mode: parity checks only, no timing reports",
+    )
+    args = parser.parse_args()
+    if args.early_exit:
+        return smoke_early_exit()
+
+    target = Path(args.output)
     rows = []
     for n in (4, 5):
         print(f"benchmarking n={n} ...", file=sys.stderr)
@@ -207,7 +413,32 @@ def main() -> int:
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))
     print(f"written to {target}", file=sys.stderr)
-    return 0 if payload["parity_ok"] else 1
+
+    hiding_rows = []
+    for n in (4, 5):
+        print(f"benchmarking hiding n={n} ...", file=sys.stderr)
+        hiding_rows.extend(run_hiding(n))
+    by_key = {(r["regime"], r["n"]): r for r in hiding_rows}
+    hiding_payload = {
+        "benchmark": "hiding_engine",
+        "lcp": "DegreeOneLCP",
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "early_exit_speedup_n5": by_key[("streaming_cold", 5)]["early_exit_speedup"],
+        "disk_speedup_vs_cold_n5": by_key[("streaming_warm_disk", 5)][
+            "disk_speedup_vs_cold"
+        ],
+        "parity_ok": all(
+            r.get("parity_with_materialized", True) for r in hiding_rows
+        ),
+        "rows": hiding_rows,
+    }
+    Path(args.hiding_output).write_text(
+        json.dumps(hiding_payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(hiding_payload, indent=2))
+    print(f"written to {args.hiding_output}", file=sys.stderr)
+    return 0 if payload["parity_ok"] and hiding_payload["parity_ok"] else 1
 
 
 if __name__ == "__main__":

@@ -30,6 +30,43 @@ from .lcp import LCP
 from .prover import Prover
 
 
+def unanimously_accepted_labelings(
+    decoder: Decoder,
+    instance: Instance,
+    alphabet: list[Certificate],
+    radius: int,
+    include_ids: bool,
+    seen: set[tuple] | None = None,
+) -> Iterator[Labeling]:
+    """Labelings of *instance* over *alphabet* that every node accepts.
+
+    The executable "there exists a labeling accepted at every node" of
+    completeness, shared by :class:`SearchProver` and the Lemma 3.1 sweep
+    (:func:`repro.neighborhood.aviews.labeled_yes_instances`).  Runs
+    through the performance layer: layouts are extracted once per
+    instance base and decoder verdicts are memoized per canonical view.
+
+    *seen* deduplicates by :func:`labeling_key`; passing a caller-owned
+    set lets the sweep skip labelings its prover already produced (the
+    set is updated in place).
+    """
+    layouts = layouts_for_instance(instance, radius, include_ids=include_ids)
+    decide = memoized_decide(decoder)
+    node_order = node_sort_order(instance.graph)
+    if seen is None:
+        seen = set()
+    for labeling in all_labelings(instance.graph, alphabet):
+        key = labeling_key(labeling, node_order)
+        if key in seen:
+            continue
+        if all(
+            decide(relabel_view(template, order, labeling))
+            for template, order in layouts.values()
+        ):
+            seen.add(key)
+            yield labeling
+
+
 class SearchProver(Prover):
     """Find accepted labelings by exhaustive search over an alphabet.
 
@@ -58,24 +95,13 @@ class SearchProver(Prover):
             raise PromiseViolationError(
                 f"labeling space exceeds the search limit ({self.search_limit})"
             )
-        layouts = layouts_for_instance(
+        yield from unanimously_accepted_labelings(
+            self._decoder,
             instance.without_labeling(),
+            self._alphabet,
             self._decoder.radius,
             include_ids=not self._decoder.anonymous,
         )
-        decide = memoized_decide(self._decoder)
-        node_order = node_sort_order(instance.graph)
-        seen: set[tuple] = set()
-        for labeling in all_labelings(instance.graph, self._alphabet):
-            if all(
-                decide(relabel_view(template, order, labeling))
-                for template, order in layouts.values()
-            ):
-                key = labeling_key(labeling, node_order)
-                if key in seen:
-                    continue
-                seen.add(key)
-                yield labeling
 
     @property
     def name(self) -> str:

@@ -15,6 +15,11 @@ Subcommands
     ``repro certify watermelon melon:2,3,3``.
 ``repro views <scheme> <graph-spec>``
     Print every node's certified view and its verdict.
+``repro hiding <scheme> --n N``
+    Decide hiding via the streaming early-exit engine (or
+    ``--materialized`` for the classic full-build pipeline).
+``repro cache stats|clear``
+    Inspect or empty the persistent sweep cache under ``.repro_cache/``.
 """
 
 from __future__ import annotations
@@ -71,6 +76,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     if args.workers is not None:
         configure(workers=args.workers)
+    if args.streaming:
+        configure(streaming=True)
+    if args.disk_cache:
+        configure(disk_cache=True)
     if args.perf_stats:
         GLOBAL_STATS.reset()
     if "all" in args.experiments:
@@ -131,6 +140,70 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0 if result.unanimous else 1
 
 
+def cmd_hiding(args: argparse.Namespace) -> int:
+    from .perf import GLOBAL_STATS, PerfStats, configure
+    from .neighborhood.hiding import hiding_verdict_up_to
+    from .neighborhood.streaming import streaming_hiding_verdict_up_to
+
+    lcp = make_lcp(args.scheme)
+    stats = PerfStats() if args.perf_stats else GLOBAL_STATS
+    if args.cache_dir:
+        configure(disk_cache_dir=args.cache_dir)
+    if args.materialized:
+        verdict = hiding_verdict_up_to(lcp, args.n, streaming=False)
+        pipeline = "materialized (full V(D, n) build)"
+    else:
+        verdict = streaming_hiding_verdict_up_to(
+            lcp,
+            args.n,
+            workers=args.workers,
+            stats=stats,
+            disk_cache=not args.no_disk_cache,
+        )
+        pipeline = "streaming (early-exit engine)"
+    g = verdict.ngraph
+    print(f"scheme:    {lcp.name}  ({PAPER_REFERENCES[args.scheme]})")
+    print(f"pipeline:  {pipeline}")
+    print(f"sweep:     n <= {args.n}, {g.instances_scanned} labeled instances scanned")
+    print(f"V(D, n):   {g.order} views, {g.size} edges"
+          + ("" if g.has_provenance else "  [from disk cache, no provenance]"))
+    print(f"verdict:   {verdict.summary()}")
+    if verdict.odd_cycle:
+        walk = " -> ".join(str(g.index[v]) for v in verdict.odd_cycle)
+        print(f"witness:   view walk {walk}")
+    if args.perf_stats:
+        print()
+        print(stats.render())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .perf import configure, default_verdict_cache
+
+    if args.cache_dir:
+        configure(disk_cache_dir=args.cache_dir)
+    cache = default_verdict_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached sweep(s) from {cache.root}")
+        return 0
+    summary = cache.stats_summary()
+    print(f"directory:       {summary['directory']}")
+    print(f"entries:         {summary['entries']}")
+    print(f"bytes:           {summary['bytes']}")
+    print(f"format version:  {summary['current_version']}")
+    print(f"stale entries:   {summary['stale_entries']}")
+    for entry in cache.entries():
+        key = entry.get("key", {})
+        label = key.get("lcp_name", entry.get("file"))
+        print(
+            f"  {entry['file']}  {label}  n={key.get('n')}  "
+            f"views={entry.get('views')}  edges={entry.get('edges')}  "
+            f"v{entry.get('version')}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -155,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print cache hit rates and stage timings after the reports",
     )
+    run_parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="route hiding sweeps through the early-exit streaming engine",
+    )
+    run_parser.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="persist streaming sweep verdicts under .repro_cache/",
+    )
     run_parser.set_defaults(fn=cmd_run)
 
     sub.add_parser("schemes", help="show the LCP scheme catalog").set_defaults(
@@ -174,6 +257,49 @@ def build_parser() -> argparse.ArgumentParser:
     views_parser.add_argument("graph", help="graph spec, e.g. path:4")
     views_parser.add_argument("--radius", type=int, default=1)
     views_parser.set_defaults(fn=cmd_views)
+
+    hiding_parser = sub.add_parser(
+        "hiding", help="decide hiding via the streaming early-exit engine"
+    )
+    hiding_parser.add_argument("scheme", choices=scheme_names())
+    hiding_parser.add_argument(
+        "--n", type=int, required=True, metavar="N", help="sweep bound (max nodes)"
+    )
+    hiding_parser.add_argument(
+        "--materialized",
+        action="store_true",
+        help="use the classic full-build pipeline instead of streaming",
+    )
+    hiding_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for the sweep (default: serial)",
+    )
+    hiding_parser.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="skip the persistent .repro_cache/ for this run",
+    )
+    hiding_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR", help="cache directory override"
+    )
+    hiding_parser.add_argument(
+        "--perf-stats",
+        action="store_true",
+        help="print counters and stage timings after the verdict",
+    )
+    hiding_parser.set_defaults(fn=cmd_hiding)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent sweep cache"
+    )
+    cache_parser.add_argument("action", choices=["stats", "clear"])
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR", help="cache directory override"
+    )
+    cache_parser.set_defaults(fn=cmd_cache)
     return parser
 
 

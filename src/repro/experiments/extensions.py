@@ -55,7 +55,9 @@ def run_ext_chromatic() -> ExperimentResult:
         ("degree-one", DegreeOneLCP(), 4),
         ("even-cycle", EvenCycleLCP(), 6),
     ]:
-        verdict = hiding_verdict_up_to(lcp, n)
+        # χ needs the COMPLETE V(D, n) — the streaming engine's early
+        # exit would stop at the first odd cycle and under-count.
+        verdict = hiding_verdict_up_to(lcp, n, streaming=False)
         graph = verdict.ngraph.to_graph()
         if graph.has_loop():
             chi = None  # a view adjacent to itself: no finite coloring

@@ -16,15 +16,28 @@ from .registry import ExperimentResult, all_experiments
 from .report import render_perf_stats, render_results
 
 
-def run_all(verbose: bool = True, workers: int | None = None) -> list[ExperimentResult]:
+def run_all(
+    verbose: bool = True,
+    workers: int | None = None,
+    streaming: bool | None = None,
+    disk_cache: bool | None = None,
+) -> list[ExperimentResult]:
     """Run every registered experiment, in id order.
 
     With *workers* > 1 the neighborhood-graph sweeps inside the
     experiments run on a process pool (results are identical; see
-    :mod:`repro.perf.parallel`).
+    :mod:`repro.perf.parallel`).  *streaming* routes the hiding sweeps
+    through the early-exit engine, and *disk_cache* persists their
+    verdicts under ``.repro_cache/`` across runs — experiments that need
+    the complete ``V(D, n)`` opt out per call, so all verdicts are
+    unchanged either way.
     """
     if workers is not None:
         configure(workers=workers)
+    if streaming is not None:
+        configure(streaming=streaming)
+    if disk_cache is not None:
+        configure(disk_cache=disk_cache)
     results = []
     for experiment in all_experiments():
         start = time.perf_counter()
@@ -39,7 +52,11 @@ def run_all(verbose: bool = True, workers: int | None = None) -> list[Experiment
 
 
 def run_all_and_save(
-    path: str | Path, verbose: bool = True, workers: int | None = None
+    path: str | Path,
+    verbose: bool = True,
+    workers: int | None = None,
+    streaming: bool | None = None,
+    disk_cache: bool | None = None,
 ) -> bool:
     """Run everything, write the rendered report (plus the perf-stats
     section) to *path*.
@@ -47,7 +64,9 @@ def run_all_and_save(
     Returns True iff every experiment reproduced OK.
     """
     GLOBAL_STATS.reset()
-    results = run_all(verbose=verbose, workers=workers)
+    results = run_all(
+        verbose=verbose, workers=workers, streaming=streaming, disk_cache=disk_cache
+    )
     report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
     Path(path).write_text(report + "\n", encoding="utf-8")
     return all(r.ok for r in results)
@@ -68,8 +87,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="processes for the neighborhood-graph sweeps (default: serial)",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="route hiding sweeps through the early-exit streaming engine",
+    )
+    parser.add_argument(
+        "--disk-cache",
+        action="store_true",
+        help="persist streaming sweep verdicts under .repro_cache/",
+    )
     args = parser.parse_args(argv)
-    ok = run_all_and_save(args.target, workers=args.workers)
+    ok = run_all_and_save(
+        args.target,
+        workers=args.workers,
+        streaming=args.streaming or None,
+        disk_cache=args.disk_cache or None,
+    )
     print(f"report written to {args.target}")
     return 0 if ok else 1
 

@@ -35,34 +35,58 @@ def k_coloring(graph: Graph, k: int) -> dict[Node, int] | None:
 
     order = sorted(graph.nodes, key=lambda v: (-graph.degree(v), repr(v)))
     coloring: dict[Node, int] = {}
+    # DSATUR bookkeeping: for every uncolored node, how many colored
+    # neighbors use each color.  Maintained on assign/unassign, so picking
+    # the next node never rescans neighborhoods — the saturation of v is
+    # just len(neighbor_colors[v]).  The recursion assigns and unassigns
+    # in strict stack order, so while a node is colored its own counts go
+    # untouched and are exact again by the time it is uncolored.
+    neighbor_colors: dict[Node, dict[int, int]] = {v: {} for v in order}
+
+    def assign(v: Node, color: int) -> None:
+        coloring[v] = color
+        for u in graph.neighbors(v):
+            if u not in coloring:
+                counts = neighbor_colors[u]
+                counts[color] = counts.get(color, 0) + 1
+
+    def unassign(v: Node, color: int) -> None:
+        del coloring[v]
+        for u in graph.neighbors(v):
+            if u not in coloring:
+                counts = neighbor_colors[u]
+                if counts[color] == 1:
+                    del counts[color]
+                else:
+                    counts[color] -= 1
 
     def choose_next() -> Node | None:
+        # `order` is sorted by (degree desc, repr), so scanning it and
+        # keeping the first strict maximum reproduces the original
+        # (-saturation, -degree, repr) tie-break exactly.
         best = None
-        best_key = None
+        best_saturation = -1
         for v in order:
             if v in coloring:
                 continue
-            saturation = len({coloring[u] for u in graph.neighbors(v) if u in coloring})
-            key = (-saturation, -graph.degree(v), repr(v))
-            if best_key is None or key < best_key:
-                best, best_key = v, key
+            saturation = len(neighbor_colors[v])
+            if saturation > best_saturation:
+                best, best_saturation = v, saturation
         return best
 
     def backtrack() -> bool:
         v = choose_next()
         if v is None:
             return True
-        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        used = set(neighbor_colors[v])
         for color in range(k):
             if color in used:
                 continue
-            coloring[v] = color
+            assign(v, color)
             if backtrack():
                 return True
-            del coloring[v]
-            if color not in used and color > max(
-                (coloring[u] for u in coloring), default=-1
-            ):
+            unassign(v, color)
+            if color > max((coloring[u] for u in coloring), default=-1):
                 # Symmetry breaking: trying a strictly larger fresh color
                 # than any used so far is equivalent to this one.
                 break

@@ -103,6 +103,22 @@ def find_odd_cycle(graph: Graph) -> list[Node] | None:
     return bipartition(graph).odd_cycle
 
 
+def is_odd_closed_walk(graph: Graph, walk: list[Node]) -> bool:
+    """True iff *walk* is a closed walk of odd length along edges of
+    *graph*, in the ``[v0, ..., vk, v0]`` convention of
+    :func:`find_odd_cycle`.
+
+    Used to validate non-bipartiteness witnesses regardless of which
+    detector produced them (BFS bipartition or the streaming
+    :class:`~repro.graphs.incremental.ParityForest`).
+    """
+    if len(walk) < 2 or walk[0] != walk[-1]:
+        return False
+    if (len(walk) - 1) % 2 == 0:
+        return False
+    return all(graph.has_edge(u, v) for u, v in zip(walk, walk[1:]))
+
+
 def proper_coloring_ok(graph: Graph, coloring: dict[Node, object]) -> bool:
     """True iff *coloring* assigns distinct values across every edge."""
     return all(

@@ -2,7 +2,7 @@
 characterization of Lemma 3.2, with the extraction decoder for the
 converse direction."""
 
-from .aviews import labeled_yes_instances, yes_instances_up_to
+from .aviews import labeled_yes_instances, yes_instances_between, yes_instances_up_to
 from .extraction import (
     UNKNOWN_VIEW,
     ExtractionDecoder,
@@ -17,24 +17,35 @@ from .hiding import (
     hiding_verdict_up_to,
 )
 from .ngraph import (
+    GraphConsumer,
     NeighborhoodGraph,
     build_neighborhood_graph,
     build_neighborhood_graph_auto,
+)
+from .streaming import (
+    StreamingHidingEngine,
+    clear_streaming_state,
+    streaming_hiding_verdict_up_to,
 )
 
 __all__ = [
     "ExtractionDecoder",
     "ExtractionOutcome",
+    "GraphConsumer",
     "HidingVerdict",
     "NeighborhoodGraph",
+    "StreamingHidingEngine",
     "UNKNOWN_VIEW",
     "build_extraction_decoder",
     "build_neighborhood_graph",
     "build_neighborhood_graph_auto",
+    "clear_streaming_state",
     "hiding_verdict_from_instances",
     "hiding_verdict_on_witnesses",
     "hiding_verdict_up_to",
     "labeled_yes_instances",
     "run_extraction",
+    "streaming_hiding_verdict_up_to",
+    "yes_instances_between",
     "yes_instances_up_to",
 ]

@@ -23,15 +23,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+from ..certification.enumeration import unanimously_accepted_labelings
 from ..certification.lcp import LCP
-from ..graphs.families import all_graphs_up_to
+from ..graphs.families import all_graphs_exactly, all_graphs_up_to
 from ..graphs.graph import Graph
 from ..local.identifiers import IdentifierAssignment, all_order_types
 from ..local.instance import Instance
-from ..local.labeling import all_labelings, count_labelings, labeling_key, node_sort_order
+from ..local.labeling import count_labelings, labeling_key, node_sort_order
 from ..local.ports import PortAssignment, all_port_assignments, count_port_assignments
-from ..local.views import relabel_view
-from ..perf.cache import layouts_for_instance, memoized_decide
 
 
 def labeled_yes_instances(
@@ -88,20 +87,15 @@ def labeled_yes_instances(
                         continue
                     if count_labelings(graph, len(alphabet)) > labeling_limit:
                         continue
-                    layouts = layouts_for_instance(
-                        base, lcp.radius, include_ids=not lcp.anonymous
-                    )
-                    decide = memoized_decide(lcp.decoder)
-                    for labeling in all_labelings(graph, alphabet):
-                        key = labeling_key(labeling, node_order)
-                        if key in seen:
-                            continue
-                        if all(
-                            decide(relabel_view(template, order, labeling))
-                            for template, order in layouts.values()
-                        ):
-                            seen.add(key)
-                            yield base.with_labeling(labeling)
+                    for labeling in unanimously_accepted_labelings(
+                        lcp.decoder,
+                        base,
+                        alphabet,
+                        lcp.radius,
+                        include_ids=not lcp.anonymous,
+                        seen=seen,
+                    ):
+                        yield base.with_labeling(labeling)
 
 
 def yes_instances_up_to(
@@ -126,6 +120,40 @@ def yes_instances_up_to(
         port_limit=port_limit,
         id_order_types=id_order_types,
         id_bound=n,
+        include_all_accepted_labelings=include_all_accepted_labelings,
+        labeling_limit=labeling_limit,
+    )
+
+
+def yes_instances_between(
+    lcp: LCP,
+    lo: int,
+    hi: int,
+    port_limit: int = 64,
+    id_order_types: bool = False,
+    include_all_accepted_labelings: bool = False,
+    labeling_limit: int = 20_000,
+) -> Iterator[Instance]:
+    """The suffix of the Lemma 3.1 sweep: sizes ``lo+1 .. hi`` only.
+
+    Because :func:`yes_instances_up_to` enumerates graph sizes in
+    ascending order, the sweep at ``hi`` is exactly the sweep at ``lo``
+    followed by this suffix — the prefix property the streaming engine's
+    cross-``n`` warm start relies on.  Anonymous schemes only: views
+    carry no identifiers there, so the ``id_bound`` difference between
+    the two sweeps cannot reach the neighborhood graph.
+    """
+
+    def suffix_graphs() -> Iterator[Graph]:
+        for size in range(lo + 1, hi + 1):
+            yield from all_graphs_exactly(size)
+
+    yield from labeled_yes_instances(
+        lcp,
+        suffix_graphs(),
+        port_limit=port_limit,
+        id_order_types=id_order_types,
+        id_bound=hi,
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
     )

@@ -74,6 +74,7 @@ def hiding_verdict_up_to(
     id_order_types: bool = False,
     include_all_accepted_labelings: bool = True,
     labeling_limit: int = 20_000,
+    streaming: bool | None = None,
 ) -> HidingVerdict:
     """Check hiding over the full Lemma 3.1 enumeration up to *n* nodes.
 
@@ -81,7 +82,29 @@ def hiding_verdict_up_to(
     kick in at larger ``n`` when the verdict is non-hiding).  Results are
     memoized per (scheme, decoder, parameters) — the enumeration is
     deterministic, and the returned verdict is immutable by convention.
+
+    *streaming* routes the sweep through the early-exit engine of
+    :mod:`repro.neighborhood.streaming` (default: the global
+    ``CONFIG.streaming`` knob).  The hiding flag is identical either way,
+    but on hiding verdicts the streamed graph covers only the scanned
+    prefix of ``V(D, n)`` — callers that need the complete graph (e.g.
+    chromatic-number measurements) must pass ``streaming=False``.
     """
+    from ..perf.config import CONFIG
+
+    if streaming is None:
+        streaming = CONFIG.streaming
+    if streaming:
+        from .streaming import streaming_hiding_verdict_up_to
+
+        return streaming_hiding_verdict_up_to(
+            lcp,
+            n,
+            port_limit=port_limit,
+            id_order_types=id_order_types,
+            include_all_accepted_labelings=include_all_accepted_labelings,
+            labeling_limit=labeling_limit,
+        )
     cache_key = (
         type(lcp).__name__,
         lcp.name,

@@ -43,6 +43,10 @@ class NeighborhoodGraph:
     #: so neighborhood queries don't scan the full edge set.
     adjacency: dict[int, list[int]] = field(default_factory=dict)
     instances_scanned: int = 0
+    #: False for graphs reconstructed from the persistent cache, whose
+    #: view/edge witnesses (instance provenance) did not survive the
+    #: round trip.
+    has_provenance: bool = True
 
     # ------------------------------------------------------------------
     # Construction
@@ -50,24 +54,43 @@ class NeighborhoodGraph:
 
     def add_view(self, view: View, instance: Instance, node: Node) -> int:
         """Register an accepting view; returns its index."""
+        return self.add_view_tracked(view, instance, node)[0]
+
+    def add_view_tracked(
+        self, view: View, instance: Instance, node: Node
+    ) -> tuple[int, bool]:
+        """Register an accepting view; returns ``(index, created)``.
+
+        *created* tells streaming consumers whether this event introduced
+        a new node of ``V(D, n)`` (views repeat massively across
+        instances, and consumers must see each node exactly once).
+        """
         existing = self.index.get(view)
         if existing is not None:
-            return existing
+            return existing, False
         idx = len(self.views)
         self.views.append(view)
         self.index[view] = idx
         self.view_witness[idx] = (instance, node)
-        return idx
+        return idx, True
 
     def add_edge(self, i: int, j: int, instance: Instance, edge: tuple[Node, Node]) -> None:
         """Register a yes-instance-compatible pair."""
+        self.add_edge_tracked(i, j, instance, edge)
+
+    def add_edge_tracked(
+        self, i: int, j: int, instance: Instance, edge: tuple[Node, Node]
+    ) -> bool:
+        """Register a compatible pair; returns whether the edge is new."""
         key = (i, j) if i <= j else (j, i)
-        if key not in self.edges:
-            self.edges.add(key)
-            self.edge_witness[key] = (instance, edge)
-            self.adjacency.setdefault(i, []).append(j)
-            if j != i:
-                self.adjacency.setdefault(j, []).append(i)
+        if key in self.edges:
+            return False
+        self.edges.add(key)
+        self.edge_witness[key] = (instance, edge)
+        self.adjacency.setdefault(i, []).append(j)
+        if j != i:
+            self.adjacency.setdefault(j, []).append(i)
+        return True
 
     # ------------------------------------------------------------------
     # Queries
@@ -136,10 +159,37 @@ def _labeled_views(lcp: LCP, instance: Instance, stats: PerfStats) -> dict[Node,
     )
 
 
+class GraphConsumer:
+    """Contract for consumers driven by the neighborhood-graph builders.
+
+    The builders changed contract from "return a finished graph" to
+    "drive a consumer": as the scan discovers each *new* view and edge of
+    ``V(D, n)``, it calls :meth:`on_view` / :meth:`on_edge` immediately —
+    before the next instance is even enumerated.  A consumer that sets
+    ``done`` stops the scan on the spot (the streaming hiding engine does
+    this the moment a non-``k``-colorability witness exists).
+
+    The event order is identical between the serial and parallel builders
+    for any worker count or chunking, so an early exit fires at the same
+    event everywhere — the parity guarantee the tests pin.
+    """
+
+    #: Builders stop scanning as soon as this turns True.
+    done: bool = False
+
+    def on_view(self, idx: int, view: View) -> None:
+        """A new node of ``V(D, n)`` (called once per distinct view)."""
+
+    def on_edge(self, i: int, j: int) -> None:
+        """A new edge of ``V(D, n)`` (called once per distinct edge)."""
+
+
 def build_neighborhood_graph(
     lcp: LCP,
     labeled_instances: Iterable[Instance],
     stats: PerfStats | None = None,
+    consumer: GraphConsumer | None = None,
+    into: NeighborhoodGraph | None = None,
 ) -> NeighborhoodGraph:
     """Scan labeled yes-instances and assemble (a subgraph of) ``V(D, n)``.
 
@@ -150,6 +200,15 @@ def build_neighborhood_graph(
     exact ``V(D, n)`` (up to the enumeration bounds); feeding a hand-built
     witness list yields the subgraph the paper's hiding proofs use.
 
+    With a *consumer*, every new view/edge is streamed out as it is
+    found, and the scan stops (mid-instance, mid-enumeration) as soon as
+    ``consumer.done`` is set — this is what makes the hiding decision
+    early-exit without materializing the rest of the graph, and because
+    the instance stream is a generator, the un-scanned suffix is never
+    even enumerated.  *into* continues an existing graph instead of
+    starting fresh (the cross-``n`` warm start: ``V(D, n-1)`` embeds into
+    ``V(D, n)``).
+
     The scan goes through the performance layer (:mod:`repro.perf`): view
     layouts are extracted once per ``(graph, ports, ids)`` base and
     re-labeled per instance, and decoder verdicts are memoized per
@@ -158,9 +217,12 @@ def build_neighborhood_graph(
     disabled via :data:`repro.perf.CONFIG`.
     """
     stats = stats or GLOBAL_STATS
-    ngraph = NeighborhoodGraph(radius=lcp.radius, include_ids=not lcp.anonymous)
+    ngraph = into if into is not None else NeighborhoodGraph(
+        radius=lcp.radius, include_ids=not lcp.anonymous
+    )
     decide = memoized_decide(lcp.decoder, stats=stats)
     scanned = 0
+    stopped = False
     # One-slot edge-list cache: the enumeration yields all labelings of a
     # base consecutively, so the graph object repeats in runs.
     last_graph = None
@@ -170,17 +232,36 @@ def build_neighborhood_graph(
             scanned += 1
             views = _labeled_views(lcp, instance, stats)
             votes = {v: decide(view) for v, view in views.items()}
-            indices = {
-                v: ngraph.add_view(views[v], instance, v)
-                for v, accepted in votes.items()
-                if accepted
-            }
+            indices = {}
+            for v, accepted in votes.items():
+                if not accepted:
+                    continue
+                idx, created = ngraph.add_view_tracked(views[v], instance, v)
+                indices[v] = idx
+                if created and consumer is not None:
+                    consumer.on_view(idx, views[v])
+                    if consumer.done:
+                        stopped = True
+                        break
+            if stopped:
+                stats.incr("streaming_early_exits")
+                break
             if instance.graph is not last_graph:
                 last_graph = instance.graph
                 last_edges = last_graph.edges
             for u, v in last_edges:
                 if votes.get(u) and votes.get(v):
-                    ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+                    created = ngraph.add_edge_tracked(
+                        indices[u], indices[v], instance, (u, v)
+                    )
+                    if created and consumer is not None:
+                        consumer.on_edge(indices[u], indices[v])
+                        if consumer.done:
+                            stopped = True
+                            break
+            if stopped:
+                stats.incr("streaming_early_exits")
+                break
     ngraph.instances_scanned += scanned
     stats.incr("instances_scanned", scanned)
     return ngraph
@@ -191,17 +272,28 @@ def build_neighborhood_graph_auto(
     labeled_instances: Iterable[Instance],
     workers: int | None = None,
     stats: PerfStats | None = None,
+    consumer: GraphConsumer | None = None,
+    into: NeighborhoodGraph | None = None,
 ) -> NeighborhoodGraph:
     """Serial or parallel build, per *workers* (default: the global config).
 
-    The parallel builder produces an identical graph; this dispatcher is
-    what the CLI's ``--workers`` flag and the experiment runner feed.
+    The parallel builder produces an identical graph and fires consumer
+    events in the identical order; this dispatcher is what the CLI's
+    ``--workers`` flag, the experiment runner, and the streaming hiding
+    engine feed.
     """
     effective = CONFIG.workers if workers is None else workers
     if effective and effective > 1:
         from ..perf.parallel import build_neighborhood_graph_parallel
 
         return build_neighborhood_graph_parallel(
-            lcp, labeled_instances, workers=effective, stats=stats
+            lcp,
+            labeled_instances,
+            workers=effective,
+            stats=stats,
+            consumer=consumer,
+            into=into,
         )
-    return build_neighborhood_graph(lcp, labeled_instances, stats=stats)
+    return build_neighborhood_graph(
+        lcp, labeled_instances, stats=stats, consumer=consumer, into=into
+    )

@@ -1,0 +1,451 @@
+"""The streaming hiding engine: early-exit witness search over ``V(D, n)``.
+
+Lemma 3.2 reduces hiding to "``V(D, n)`` is not ``k``-colorable for some
+``n``", and the bipartiteness companion paper (arXiv:2502.13854) observes
+that the ``k = 2`` witness is just an odd closed walk.  The materialized
+pipeline (:func:`repro.neighborhood.hiding.hiding_verdict_up_to`) pays
+for every view and edge of the full enumeration before it even starts
+coloring; the engine here fuses the two phases:
+
+1. **Incremental decision.** The builders drive the engine as a
+   :class:`~repro.neighborhood.ngraph.GraphConsumer`: every new view and
+   edge is fed, the moment it is discovered, into an incremental
+   odd-cycle detector (union-find with parity, ``k = 2``) or an
+   incremental DSATUR re-solver with conflict-driven restarts (general
+   ``k``).  The scan stops — mid-instance, mid-enumeration — the moment a
+   non-``k``-colorability witness exists; the witness is reported as the
+   actual :class:`~repro.local.views.View` sequence, as in the paper's
+   Figures 3–6.
+2. **Cross-``n`` warm start.** ``V(D, n-1)`` embeds into ``V(D, n)``
+   (for anonymous schemes the enumeration at ``n`` literally extends the
+   one at ``n - 1``), so consecutive sweeps resume from the previous
+   state: a found witness answers instantly for every larger ``n``, and a
+   completed coloring is extended instead of re-derived from scratch.
+3. **Persistent cross-run cache.** Completed sweeps are written to the
+   on-disk store of :mod:`repro.perf.persist` (content-addressed,
+   JSON-lines, versioned), so repeated experiment/CLI runs skip the
+   enumeration entirely.
+
+Parity guarantee: for every LCP, the streaming verdict's ``hiding`` flag
+equals the materialized one, the witness is a genuine odd closed walk of
+adjacent views, and on non-hiding sweeps the streamed graph *is* the full
+``V(D, n)`` (identical views, edges, and extraction decoder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..certification.lcp import LCP
+from ..graphs.incremental import IncrementalKColoring, ParityForest
+from ..local.views import View
+from ..perf.config import CONFIG
+from ..perf.stats import GLOBAL_STATS, PerfStats
+from .aviews import yes_instances_between, yes_instances_up_to
+from .hiding import HidingVerdict
+from .ngraph import GraphConsumer, NeighborhoodGraph, build_neighborhood_graph_auto
+
+#: Engine revision; folded into warm-state and disk keys so algorithmic
+#: changes can never resurrect stale state.
+ENGINE_VERSION = 1
+
+
+class StreamingHidingEngine(GraphConsumer):
+    """Consumes builder events and decides ``k``-colorability on the fly.
+
+    Owns the :class:`NeighborhoodGraph` being grown (``self.ngraph``) so
+    warm starts can hand the same graph back to the builder via ``into``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        radius: int,
+        include_ids: bool,
+        early_exit: bool = True,
+        stats: PerfStats | None = None,
+    ) -> None:
+        self.k = k
+        self.early_exit = early_exit
+        self.stats = stats or GLOBAL_STATS
+        self.ngraph = NeighborhoodGraph(radius=radius, include_ids=include_ids)
+        self.forest = ParityForest() if k == 2 else None
+        self.coloring = IncrementalKColoring(k) if k != 2 else None
+        #: Odd closed walk over view indices (k = 2 witnesses only).
+        self.witness_indices: list[int] | None = None
+        #: True once the accumulated subgraph is proved non-k-colorable.
+        self.witness_found = False
+
+    # ------------------------------------------------------------------
+    # GraphConsumer protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.early_exit and self.witness_found
+
+    def on_view(self, idx: int, view: View) -> None:
+        self.stats.incr("stream_views")
+        if self.forest is not None:
+            self.forest.ensure(idx)
+        else:
+            self.coloring.add_node(idx)
+            if self.coloring.failed and not self.witness_found:
+                self.witness_found = True  # only reachable for k == 0
+
+    def on_edge(self, i: int, j: int) -> None:
+        self.stats.incr("stream_edges")
+        if self.witness_found:
+            # Keep the *first* witness (stream order) even in exhaustive
+            # mode, so early-exit and full scans report the same walk.
+            if self.forest is not None:
+                self.forest.add_edge(i, j)
+            else:
+                self.coloring.add_edge(i, j)
+            return
+        if self.forest is not None:
+            walk = self.forest.add_edge(i, j)
+            if walk is not None:
+                self.witness_indices = walk
+                self.witness_found = True
+        else:
+            self.coloring.add_edge(i, j)
+            if self.coloring.failed:
+                self.witness_found = True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def odd_cycle_views(self) -> tuple[View, ...] | None:
+        if self.witness_indices is None:
+            return None
+        return tuple(self.ngraph.views[i] for i in self.witness_indices)
+
+    def proper_coloring(self) -> dict[int, int] | None:
+        """The maintained coloring, or ``None`` once a witness exists."""
+        if self.witness_found:
+            return None
+        if self.forest is not None:
+            return self.forest.two_coloring()
+        return dict(self.coloring.color)
+
+    def verdict(self, exhaustive: bool = True) -> HidingVerdict:
+        if self.witness_found:
+            return HidingVerdict(
+                k=self.k,
+                hiding=True,
+                ngraph=self.ngraph,
+                odd_cycle=self.odd_cycle_views(),
+            )
+        return HidingVerdict(
+            k=self.k,
+            hiding=(False if exhaustive else None),
+            ngraph=self.ngraph,
+            coloring=self.proper_coloring(),
+        )
+
+    def clone(self) -> "StreamingHidingEngine":
+        """Deep-enough copy for warm starts: extending the clone never
+        mutates the original (memoized verdicts stay immutable)."""
+        other = StreamingHidingEngine(
+            self.k,
+            self.ngraph.radius,
+            self.ngraph.include_ids,
+            early_exit=self.early_exit,
+            stats=self.stats,
+        )
+        g = self.ngraph
+        other.ngraph = NeighborhoodGraph(
+            radius=g.radius,
+            include_ids=g.include_ids,
+            views=list(g.views),
+            index=dict(g.index),
+            edges=set(g.edges),
+            view_witness=dict(g.view_witness),
+            edge_witness=dict(g.edge_witness),
+            adjacency={k: list(v) for k, v in g.adjacency.items()},
+            instances_scanned=g.instances_scanned,
+        )
+        other.ngraph.has_provenance = g.has_provenance
+        other.forest = self.forest.clone() if self.forest is not None else None
+        other.coloring = self.coloring.clone() if self.coloring is not None else None
+        other.witness_indices = (
+            list(self.witness_indices) if self.witness_indices is not None else None
+        )
+        other.witness_found = self.witness_found
+        return other
+
+
+# ----------------------------------------------------------------------
+# The sweep driver: warm starts, memoization, disk persistence
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SweepState:
+    """Last finished streaming sweep for one (LCP, parameters) family."""
+
+    n: int
+    engine: StreamingHidingEngine
+
+
+#: Completed sweep verdicts per full parameter key (mirrors the
+#: materialized `_SWEEP_CACHE`, kept separate because witnesses differ).
+_STREAM_MEMO: dict[tuple, HidingVerdict] = {}
+
+#: Warm-start states per parameter key *without* ``n``.
+_WARM_STATES: dict[tuple, _SweepState] = {}
+
+
+def clear_streaming_state() -> None:
+    """Drop all in-memory streaming memos and warm states (benchmarks)."""
+    _STREAM_MEMO.clear()
+    _WARM_STATES.clear()
+
+
+def _family_key(
+    lcp: LCP,
+    port_limit: int,
+    id_order_types: bool,
+    include_all_accepted_labelings: bool,
+    labeling_limit: int,
+    early_exit: bool,
+) -> tuple:
+    return (
+        ENGINE_VERSION,
+        type(lcp).__name__,
+        lcp.name,
+        lcp.decoder.name,
+        lcp.k,
+        lcp.radius,
+        lcp.anonymous,
+        port_limit,
+        id_order_types,
+        include_all_accepted_labelings,
+        labeling_limit,
+        early_exit,
+    )
+
+
+def _disk_key(family_key: tuple, n: int) -> dict:
+    (
+        engine_version,
+        lcp_type,
+        lcp_name,
+        decoder_name,
+        k,
+        radius,
+        anonymous,
+        port_limit,
+        id_order_types,
+        include_all,
+        labeling_limit,
+        early_exit,
+    ) = family_key
+    return {
+        "engine_version": engine_version,
+        "lcp_type": lcp_type,
+        "lcp_name": lcp_name,
+        "decoder": decoder_name,
+        "k": k,
+        "radius": radius,
+        "anonymous": anonymous,
+        "n": n,
+        "port_limit": port_limit,
+        "id_order_types": id_order_types,
+        "include_all_accepted_labelings": include_all,
+        "labeling_limit": labeling_limit,
+        "early_exit": early_exit,
+    }
+
+
+def _serialize_verdict(verdict: HidingVerdict, early_exit: bool) -> dict:
+    from ..perf import persist
+
+    g = verdict.ngraph
+    return {
+        "hiding": verdict.hiding,
+        "k": verdict.k,
+        "radius": g.radius,
+        "include_ids": g.include_ids,
+        "early_exit": early_exit,
+        "instances_scanned": g.instances_scanned,
+        "views": [persist.encode_view(view) for view in g.views],
+        "edges": [list(edge) for edge in sorted(g.edges)],
+        "odd_cycle": (
+            None
+            if verdict.odd_cycle is None
+            else [g.index[view] for view in verdict.odd_cycle]
+        ),
+        "coloring": (
+            None
+            if verdict.coloring is None
+            else {str(i): c for i, c in verdict.coloring.items()}
+        ),
+    }
+
+
+def _deserialize_verdict(body: dict) -> HidingVerdict:
+    from ..perf import persist
+
+    views = [persist.decode_view(payload) for payload in body["views"]]
+    ngraph = NeighborhoodGraph(
+        radius=body["radius"], include_ids=body["include_ids"]
+    )
+    ngraph.views = views
+    ngraph.index = {view: i for i, view in enumerate(views)}
+    for i, j in body["edges"]:
+        ngraph.edges.add((i, j))
+        ngraph.adjacency.setdefault(i, []).append(j)
+        if j != i:
+            ngraph.adjacency.setdefault(j, []).append(i)
+    ngraph.instances_scanned = body["instances_scanned"]
+    # Provenance (instance witnesses per view/edge) does not survive the
+    # disk round trip; consumers that trace views back to instances must
+    # run a fresh sweep.
+    ngraph.has_provenance = False
+    odd_cycle = (
+        None
+        if body["odd_cycle"] is None
+        else tuple(views[i] for i in body["odd_cycle"])
+    )
+    coloring = (
+        None
+        if body["coloring"] is None
+        else {int(i): c for i, c in body["coloring"].items()}
+    )
+    return HidingVerdict(
+        k=body["k"],
+        hiding=body["hiding"],
+        ngraph=ngraph,
+        odd_cycle=odd_cycle,
+        coloring=coloring,
+    )
+
+
+def streaming_hiding_verdict_up_to(
+    lcp: LCP,
+    n: int,
+    port_limit: int = 64,
+    id_order_types: bool = False,
+    include_all_accepted_labelings: bool = True,
+    labeling_limit: int = 20_000,
+    workers: int | None = None,
+    stats: PerfStats | None = None,
+    early_exit: bool = True,
+    warm_start: bool | None = None,
+    disk_cache: bool | None = None,
+) -> HidingVerdict:
+    """Streaming counterpart of :func:`~repro.neighborhood.hiding.
+    hiding_verdict_up_to` — same parameters, same verdict semantics.
+
+    * With *early_exit* (default) the sweep stops at the first witness;
+      the verdict's graph then covers only the scanned prefix, which is
+      sound for the hiding direction (Lemma 3.2 accepts witnesses in any
+      subgraph of ``V(D, n)``).  Pass ``early_exit=False`` to keep the
+      incremental decision but still materialize all of ``V(D, n)``.
+    * *warm_start* (default: ``CONFIG.warm_start``) resumes from the last
+      finished sweep of the same scheme at a smaller ``n`` — anonymous
+      schemes only, where the instance stream at ``n`` provably extends
+      the one at ``n - 1``.
+    * *disk_cache* (default: ``CONFIG.disk_cache``) persists finished
+      sweeps across processes; cached graphs carry no instance
+      provenance (``ngraph.has_provenance`` is False).
+    """
+    stats = stats or GLOBAL_STATS
+    use_warm = CONFIG.warm_start if warm_start is None else warm_start
+    use_disk = CONFIG.disk_cache if disk_cache is None else disk_cache
+    family = _family_key(
+        lcp,
+        port_limit,
+        id_order_types,
+        include_all_accepted_labelings,
+        labeling_limit,
+        early_exit,
+    )
+    full_key = family + (n,)
+    cached = _STREAM_MEMO.get(full_key)
+    if cached is not None:
+        stats.incr("stream_memo_hits")
+        return cached
+
+    state = _WARM_STATES.get(family) if use_warm and lcp.anonymous else None
+
+    # A previously found witness answers every larger sweep instantly:
+    # V(D, m) ⊇ V(D, n) for m ≥ n keeps the odd walk intact.
+    if state is not None and state.n <= n and state.engine.witness_found:
+        stats.incr("warm_witness_hits")
+        verdict = state.engine.verdict(exhaustive=True)
+        _STREAM_MEMO[full_key] = verdict
+        if use_disk:
+            _persist(family, n, verdict, early_exit, stats)
+        return verdict
+
+    if use_disk:
+        from ..perf.persist import default_verdict_cache
+
+        body = default_verdict_cache().load(_disk_key(family, n), stats=stats)
+        if body is not None:
+            with stats.time_stage("disk_cache_load"):
+                verdict = _deserialize_verdict(body)
+            _STREAM_MEMO[full_key] = verdict
+            return verdict
+
+    with stats.time_stage("streaming_sweep"):
+        if state is not None and state.n <= n:
+            stats.incr("warm_starts")
+            engine = state.engine.clone()
+            engine.stats = stats
+            instances = yes_instances_between(
+                lcp,
+                state.n,
+                n,
+                port_limit=port_limit,
+                id_order_types=id_order_types,
+                include_all_accepted_labelings=include_all_accepted_labelings,
+                labeling_limit=labeling_limit,
+            )
+        else:
+            engine = StreamingHidingEngine(
+                lcp.k,
+                lcp.radius,
+                not lcp.anonymous,
+                early_exit=early_exit,
+                stats=stats,
+            )
+            instances = yes_instances_up_to(
+                lcp,
+                n,
+                port_limit=port_limit,
+                id_order_types=id_order_types,
+                include_all_accepted_labelings=include_all_accepted_labelings,
+                labeling_limit=labeling_limit,
+            )
+        build_neighborhood_graph_auto(
+            lcp,
+            instances,
+            workers=workers,
+            stats=stats,
+            consumer=engine,
+            into=engine.ngraph,
+        )
+
+    verdict = engine.verdict(exhaustive=True)
+    _STREAM_MEMO[full_key] = verdict
+    if use_warm and lcp.anonymous:
+        _WARM_STATES[family] = _SweepState(n=n, engine=engine)
+    if use_disk:
+        _persist(family, n, verdict, early_exit, stats)
+    return verdict
+
+
+def _persist(
+    family: tuple, n: int, verdict: HidingVerdict, early_exit: bool, stats: PerfStats
+) -> None:
+    from ..perf.persist import default_verdict_cache
+
+    with stats.time_stage("disk_cache_store"):
+        default_verdict_cache().store(
+            _disk_key(family, n), _serialize_verdict(verdict, early_exit), stats=stats
+        )

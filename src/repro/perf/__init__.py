@@ -25,20 +25,30 @@ from .cache import (
     shared_decision_memo,
 )
 from .config import CONFIG, PerfConfig, configure, overridden
+from .persist import (
+    CACHE_VERSION,
+    PersistentVerdictCache,
+    cache_dir,
+    default_verdict_cache,
+)
 from .stats import GLOBAL_STATS, PerfStats
 
 __all__ = [
+    "CACHE_VERSION",
     "CONFIG",
     "DecisionMemo",
     "GLOBAL_STATS",
     "LRUCache",
     "PerfConfig",
     "PerfStats",
+    "PersistentVerdictCache",
     "ViewLayoutCache",
     "build_neighborhood_graph_parallel",
+    "cache_dir",
     "clear_shared_caches",
     "configure",
     "default_layout_cache",
+    "default_verdict_cache",
     "layouts_for_instance",
     "memoized_decide",
     "overridden",

@@ -31,6 +31,21 @@ class PerfConfig:
       neighborhood-graph builder; ``0`` or ``1`` means serial.
     * ``chunk_size`` — instances per parallel work unit (``None`` picks a
       chunking that preserves base-instance locality).
+    * ``streaming`` — route the full Lemma 3.1 hiding sweeps
+      (:func:`repro.neighborhood.hiding.hiding_verdict_up_to`) through
+      the streaming engine: the colorability decision is fused into the
+      graph build and exits the moment a witness exists.  Callers that
+      need the *complete* ``V(D, n)`` (e.g. chromatic-number
+      measurements) opt out per call.
+    * ``warm_start`` — let consecutive streaming sweeps of the same LCP
+      at growing ``n`` resume from the previous state instead of
+      recoloring from scratch (anonymous schemes only; ``V(D, n-1)``
+      embeds into ``V(D, n)``).
+    * ``disk_cache`` — persist streaming sweep verdicts under
+      ``.repro_cache/`` so repeated processes skip re-enumeration
+      entirely (see :mod:`repro.perf.persist`).
+    * ``disk_cache_dir`` — override the cache directory (default:
+      ``$REPRO_CACHE_DIR`` or ``./.repro_cache``).
     """
 
     layout_cache: bool = True
@@ -42,6 +57,10 @@ class PerfConfig:
     canonical_cache_size: int = 65536
     workers: int = 0
     chunk_size: int | None = None
+    streaming: bool = False
+    warm_start: bool = True
+    disk_cache: bool = False
+    disk_cache_dir: str | None = None
 
 
 CONFIG = PerfConfig()

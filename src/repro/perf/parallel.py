@@ -100,6 +100,8 @@ def build_neighborhood_graph_parallel(
     workers: int | None = None,
     chunk_size: int | None = None,
     stats: PerfStats | None = None,
+    consumer=None,
+    into=None,
 ):
     """Parallel drop-in for :func:`build_neighborhood_graph`.
 
@@ -107,7 +109,16 @@ def build_neighborhood_graph_parallel(
     identical to the serial builder's (views, indices, edges, witnesses)
     regardless of worker count or chunking.  Falls back to the serial
     path for tiny inputs, ``workers <= 1``, or unpicklable LCPs.
+
+    Chunk results are *streamed*: chunks are submitted with a bounded
+    in-flight window and replayed in submission order the moment each
+    finishes, feeding *consumer* events exactly as the serial builder
+    would.  When the consumer signals ``done`` (an early-exit witness),
+    the remaining chunks are cancelled instead of scanned — the parallel
+    path pays at most one window of extra decode work past the witness.
     """
+    from collections import deque
+
     from ..neighborhood.ngraph import NeighborhoodGraph, build_neighborhood_graph
 
     stats = stats or GLOBAL_STATS
@@ -115,32 +126,80 @@ def build_neighborhood_graph_parallel(
         workers = CONFIG.workers or (os.cpu_count() or 1)
     instances = list(labeled_instances)
     if workers <= 1 or len(instances) < _MIN_PARALLEL_INSTANCES:
-        return build_neighborhood_graph(lcp, instances, stats=stats)
+        return build_neighborhood_graph(
+            lcp, instances, stats=stats, consumer=consumer, into=into
+        )
     try:
         pickle.dumps(lcp)
     except Exception:
         stats.incr("parallel_fallbacks")
-        return build_neighborhood_graph(lcp, instances, stats=stats)
+        return build_neighborhood_graph(
+            lcp, instances, stats=stats, consumer=consumer, into=into
+        )
 
     size = chunk_size if chunk_size is not None else _pick_chunk_size(len(instances), workers)
     chunks = _chunked(instances, size)
     stats.incr("parallel_builds")
     stats.incr("parallel_chunks", len(chunks))
 
+    ngraph = into if into is not None else NeighborhoodGraph(
+        radius=lcp.radius, include_ids=not lcp.anonymous
+    )
+    stopped = False
     with stats.time_stage("parallel_scan"):
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_scan_chunk, [(lcp, chunk) for chunk in chunks]))
-
-    ngraph = NeighborhoodGraph(radius=lcp.radius, include_ids=not lcp.anonymous)
-    with stats.time_stage("parallel_merge"):
-        for chunk, (chunk_results, worker_stats) in zip(chunks, outcomes):
-            stats.merge(worker_stats)
-            for instance, (accepting, edges) in zip(chunk, chunk_results):
-                ngraph.instances_scanned += 1
-                stats.incr("instances_scanned")
-                indices = {
-                    v: ngraph.add_view(view, instance, v) for v, view in accepting
-                }
-                for u, v in edges:
-                    ngraph.add_edge(indices[u], indices[v], instance, (u, v))
+            window = max(2, workers * 2)
+            pending: deque = deque()
+            for chunk in chunks[: window]:
+                pending.append((pool.submit(_scan_chunk, (lcp, chunk)), chunk))
+            next_index = len(pending)
+            while pending:
+                future, chunk = pending.popleft()
+                chunk_results, worker_stats = future.result()
+                stats.merge(worker_stats)
+                with stats.time_stage("parallel_merge"):
+                    stopped = _replay_chunk(
+                        ngraph, chunk, chunk_results, stats, consumer
+                    )
+                if stopped:
+                    stats.incr("streaming_early_exits")
+                    stats.incr("parallel_chunks_cancelled", len(pending))
+                    for queued_future, _queued_chunk in pending:
+                        queued_future.cancel()
+                    break
+                if next_index < len(chunks):
+                    pending.append(
+                        (
+                            pool.submit(_scan_chunk, (lcp, chunks[next_index])),
+                            chunks[next_index],
+                        )
+                    )
+                    next_index += 1
     return ngraph
+
+
+def _replay_chunk(ngraph, chunk, chunk_results, stats: PerfStats, consumer) -> bool:
+    """Replay one chunk's scan into the parent graph, in serial order.
+
+    Returns True when the consumer signalled ``done`` mid-replay; the
+    replay stops at that exact event, so the assembled graph matches the
+    serial builder's early-exit prefix byte for byte.
+    """
+    for instance, (accepting, edges) in zip(chunk, chunk_results):
+        ngraph.instances_scanned += 1
+        stats.incr("instances_scanned")
+        indices = {}
+        for v, view in accepting:
+            idx, created = ngraph.add_view_tracked(view, instance, v)
+            indices[v] = idx
+            if created and consumer is not None:
+                consumer.on_view(idx, view)
+                if consumer.done:
+                    return True
+        for u, v in edges:
+            created = ngraph.add_edge_tracked(indices[u], indices[v], instance, (u, v))
+            if created and consumer is not None:
+                consumer.on_edge(indices[u], indices[v])
+                if consumer.done:
+                    return True
+    return False

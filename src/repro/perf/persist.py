@@ -1,0 +1,240 @@
+"""Persistent on-disk cache for streaming hiding sweeps.
+
+The full Lemma 3.1 sweep is deterministic per ``(scheme, decoder,
+parameters)``, so its verdict can outlive the process.  This module
+stores one JSON-lines file per sweep under ``.repro_cache/hiding/``:
+
+* the file name is content-addressed — a SHA-256 digest of the canonical
+  identity key (LCP type/name, decoder name, ``k``, radius, anonymity,
+  ``n``, and every enumeration bound) plus the cache format version;
+* line 1 is the **header** record (version, the readable key, counts) —
+  readable with ``head -1``, and enough for ``repro cache stats``;
+* line 2 is the **body** record: the scanned views (fully serialized),
+  edges, the witness walk / coloring, and scan counters.
+
+Version bumps (:data:`CACHE_VERSION`) invalidate every old entry: a
+reader that finds a different version treats the entry as a miss and
+overwrites it on the next store.  Entries whose certificate labels
+cannot be represented in JSON are skipped rather than corrupted
+(counted as ``persist_skips``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .config import CONFIG
+from .stats import GLOBAL_STATS, PerfStats
+
+#: Format version; bump whenever the payload layout or the semantics of
+#: the sweep change in a way that stale entries must not survive.
+CACHE_VERSION = 1
+
+_SUBDIR = "hiding"
+
+
+def cache_dir() -> Path:
+    """The active cache directory (config > environment > ``./.repro_cache``)."""
+    if CONFIG.disk_cache_dir:
+        return Path(CONFIG.disk_cache_dir)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(".repro_cache")
+
+
+# ----------------------------------------------------------------------
+# Label / view codecs
+# ----------------------------------------------------------------------
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def encode_label(label: Any) -> Any:
+    """JSON-safe encoding of a certificate label.
+
+    Primitives pass through; tuples/lists are tagged so the distinction
+    survives the round trip (certificates are hashable, hence tuples).
+    Unsupported types raise ``TypeError`` — callers skip persistence.
+    """
+    if isinstance(label, bool) or label is None or isinstance(label, (int, float, str)):
+        return label
+    if isinstance(label, tuple):
+        return {"t": [encode_label(x) for x in label]}
+    if isinstance(label, list):
+        return {"l": [encode_label(x) for x in label]}
+    if isinstance(label, frozenset):
+        return {"fs": sorted((encode_label(x) for x in label), key=repr)}
+    raise TypeError(f"cannot persist certificate label of type {type(label).__name__}")
+
+
+def decode_label(payload: Any) -> Any:
+    if isinstance(payload, dict):
+        if "t" in payload:
+            return tuple(decode_label(x) for x in payload["t"])
+        if "l" in payload:
+            return [decode_label(x) for x in payload["l"]]
+        if "fs" in payload:
+            return frozenset(decode_label(x) for x in payload["fs"])
+        raise ValueError(f"unknown label encoding {payload!r}")
+    return payload
+
+
+def encode_view(view) -> dict:
+    return {
+        "radius": view.radius,
+        "dist": list(view.dist),
+        "edges": [list(e) for e in view.edges],
+        "ports": [list(p) for p in view.ports],
+        "ids": None if view.ids is None else list(view.ids),
+        "id_bound": view.id_bound,
+        "labels": [encode_label(label) for label in view.labels],
+    }
+
+
+def decode_view(payload: dict):
+    from ..local.views import View
+
+    return View(
+        radius=payload["radius"],
+        dist=tuple(payload["dist"]),
+        edges=tuple((a, b) for a, b in payload["edges"]),
+        ports=tuple((a, b) for a, b in payload["ports"]),
+        ids=None if payload["ids"] is None else tuple(payload["ids"]),
+        id_bound=payload["id_bound"],
+        labels=tuple(decode_label(label) for label in payload["labels"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+
+
+def digest_for(key: dict) -> str:
+    """Content address: SHA-256 over the canonical key + format version."""
+    canonical = json.dumps(
+        {"version": CACHE_VERSION, "key": key}, sort_keys=True, ensure_ascii=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class PersistentVerdictCache:
+    """JSON-lines verdict store under ``<dir>/hiding/<digest>.jsonl``."""
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.root = Path(directory) if directory is not None else cache_dir()
+
+    @property
+    def _dir(self) -> Path:
+        return self.root / _SUBDIR
+
+    def _path(self, key: dict) -> Path:
+        return self._dir / f"{digest_for(key)}.jsonl"
+
+    def load(self, key: dict, stats: PerfStats | None = None) -> dict | None:
+        """The body record for *key*, or ``None`` on miss/stale version."""
+        stats = stats or GLOBAL_STATS
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                header = json.loads(fh.readline())
+                if header.get("version") != CACHE_VERSION:
+                    stats.incr("disk_misses")
+                    return None
+                body = json.loads(fh.readline())
+        except (OSError, ValueError):
+            stats.incr("disk_misses")
+            return None
+        stats.incr("disk_hits")
+        return body
+
+    def store(self, key: dict, body: dict, stats: PerfStats | None = None) -> bool:
+        """Write header+body atomically; returns False when the payload
+        cannot be serialized (unsupported label types)."""
+        stats = stats or GLOBAL_STATS
+        header = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "views": len(body.get("views", ())),
+            "edges": len(body.get("edges", ())),
+        }
+        try:
+            blob = (
+                json.dumps(header, ensure_ascii=False)
+                + "\n"
+                + json.dumps(body, ensure_ascii=False)
+                + "\n"
+            )
+        except (TypeError, ValueError):
+            stats.incr("persist_skips")
+            return False
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(blob, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            stats.incr("persist_skips")
+            return False
+        stats.incr("persist_writes")
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance (the `repro cache` CLI)
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Header records of every entry (stale-version ones included)."""
+        out = []
+        if not self._dir.is_dir():
+            return out
+        for path in sorted(self._dir.glob("*.jsonl")):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    header = json.loads(fh.readline())
+            except (OSError, ValueError):
+                header = {"version": None, "key": {"corrupt": path.name}}
+            header["file"] = path.name
+            header["bytes"] = path.stat().st_size if path.exists() else 0
+            out.append(header)
+        return out
+
+    def stats_summary(self) -> dict:
+        entries = self.entries()
+        return {
+            "directory": str(self._dir),
+            "entries": len(entries),
+            "bytes": sum(e["bytes"] for e in entries),
+            "current_version": CACHE_VERSION,
+            "stale_entries": sum(
+                1 for e in entries if e.get("version") != CACHE_VERSION
+            ),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        if not self._dir.is_dir():
+            return removed
+        for path in self._dir.glob("*.jsonl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def default_verdict_cache() -> PersistentVerdictCache:
+    """A cache bound to the *currently configured* directory.
+
+    Constructed per call (cheap: one Path) so config/env changes made by
+    tests and the CLI take effect immediately.
+    """
+    return PersistentVerdictCache()

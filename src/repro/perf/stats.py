@@ -80,7 +80,7 @@ class PerfStats:
         lines = ["perf stats:"]
         for name in sorted(self.counters):
             lines.append(f"  {name:<28s} {self.counters[name]}")
-        for prefix in ("layout", "memo", "family_cache", "canonical"):
+        for prefix in ("layout", "memo", "family_cache", "canonical", "disk"):
             rate = self.hit_rate(prefix)
             if rate is not None:
                 lines.append(f"  {prefix + '_hit_rate':<28s} {rate:.1%}")

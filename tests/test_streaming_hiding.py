@@ -1,0 +1,374 @@
+"""Tests for the streaming hiding engine (early-exit Lemma 3.2).
+
+Covers the parity guarantee (streaming verdict == materialized verdict
+for every registry scheme, serial and parallel), the incremental
+structures underneath (union-find with parity; incremental DSATUR), the
+persistent verdict cache (round trip + version invalidation), the
+cross-``n`` warm start, and the witness-length regressions pinning the
+paper's Figure 3–6 odd walks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import all_lcps, make_lcp
+from repro.core import DegreeOneLCP, EvenCycleLCP, RevealingLCP
+from repro.graphs.graph import Graph
+from repro.graphs.incremental import IncrementalKColoring, ParityForest
+from repro.graphs.properties import is_odd_closed_walk
+from repro.neighborhood import (
+    build_extraction_decoder,
+    hiding_verdict_up_to,
+    streaming_hiding_verdict_up_to,
+)
+from repro.neighborhood.streaming import clear_streaming_state
+from repro.perf import PerfStats, overridden
+from repro.perf.persist import PersistentVerdictCache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_streaming_state():
+    clear_streaming_state()
+    yield
+    clear_streaming_state()
+
+
+# ----------------------------------------------------------------------
+# The parity property: streaming == materialized, any scheme, any workers
+# ----------------------------------------------------------------------
+
+
+def _assert_parity(lcp, n, workers):
+    materialized = hiding_verdict_up_to(lcp, n, streaming=False)
+    streamed = streaming_hiding_verdict_up_to(
+        lcp, n, workers=workers, warm_start=False, disk_cache=False
+    )
+    assert streamed.hiding == materialized.hiding
+    if streamed.hiding:
+        # The witness need not be the identical walk, but it must be a
+        # genuine odd closed walk of adjacent views in the streamed graph.
+        if lcp.k == 2:
+            assert streamed.odd_cycle is not None
+            g = streamed.ngraph
+            walk = [g.index[view] for view in streamed.odd_cycle]
+            assert is_odd_closed_walk(g.to_graph(), walk)
+        # Early exit: never scan more than the full enumeration.
+        assert (
+            streamed.ngraph.instances_scanned
+            <= materialized.ngraph.instances_scanned
+        )
+    else:
+        # Non-hiding sweeps must materialize the exact same V(D, n).
+        assert streamed.ngraph.views == materialized.ngraph.views
+        assert streamed.ngraph.edges == materialized.ngraph.edges
+        assert streamed.coloring == materialized.coloring
+
+
+@pytest.mark.parametrize("scheme", sorted(all_lcps()))
+@pytest.mark.parametrize("n", [3, 4])
+def test_streaming_matches_materialized_serial(scheme, n):
+    _assert_parity(make_lcp(scheme), n, workers=None)
+
+
+@pytest.mark.parametrize("scheme", sorted(all_lcps()))
+def test_streaming_matches_materialized_n5_serial(scheme):
+    _assert_parity(make_lcp(scheme), 5, workers=None)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("scheme", sorted(all_lcps()))
+def test_streaming_matches_materialized_parallel(scheme, workers):
+    _assert_parity(make_lcp(scheme), 4, workers=workers)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+@pytest.mark.parametrize("scheme", ["degree-one", "revealing"])
+def test_streaming_matches_materialized_n5_parallel(scheme, workers):
+    _assert_parity(make_lcp(scheme), 5, workers=workers)
+
+
+def test_non_hiding_extraction_decoders_are_equal():
+    """On non-hiding sweeps the streamed graph feeds the extraction
+    direction of Lemma 3.2 exactly as the materialized one does."""
+    lcp = RevealingLCP()
+    materialized = hiding_verdict_up_to(lcp, 4, streaming=False)
+    streamed = streaming_hiding_verdict_up_to(
+        lcp, 4, warm_start=False, disk_cache=False
+    )
+    dec_m = build_extraction_decoder(materialized.ngraph, k=2)
+    dec_s = build_extraction_decoder(streamed.ngraph, k=2)
+    assert dec_m._table == dec_s._table
+
+
+def test_early_exit_scans_fewer_instances():
+    lcp = DegreeOneLCP()
+    materialized = hiding_verdict_up_to(lcp, 4, streaming=False)
+    stats = PerfStats()
+    streamed = streaming_hiding_verdict_up_to(
+        lcp, 4, stats=stats, warm_start=False, disk_cache=False
+    )
+    assert streamed.hiding is True
+    assert stats.get("streaming_early_exits") >= 1
+    assert (
+        streamed.ngraph.instances_scanned < materialized.ngraph.instances_scanned
+    )
+
+
+def test_hiding_verdict_up_to_streaming_route():
+    """The ``streaming=`` parameter and the global config knob both route
+    through the engine; the flag parity holds either way."""
+    lcp = DegreeOneLCP()
+    materialized = hiding_verdict_up_to(lcp, 4, streaming=False)
+    routed = hiding_verdict_up_to(lcp, 4, streaming=True)
+    assert routed.hiding == materialized.hiding
+    with overridden(streaming=True):
+        via_config = hiding_verdict_up_to(lcp, 4)
+    assert via_config.hiding == materialized.hiding
+
+
+# ----------------------------------------------------------------------
+# Union-find with parity
+# ----------------------------------------------------------------------
+
+
+class TestParityForest:
+    def test_triangle_yields_length_three_walk(self):
+        f = ParityForest()
+        assert f.add_edge(0, 1) is None
+        assert f.add_edge(1, 2) is None
+        walk = f.add_edge(0, 2)
+        assert walk is not None
+        assert walk[0] == walk[-1]
+        assert (len(walk) - 1) % 2 == 1
+        assert len(walk) - 1 == 3
+
+    def test_even_cycle_stays_bipartite(self):
+        f = ParityForest()
+        for i in range(4):
+            assert f.add_edge(i, (i + 1) % 4) is None
+        coloring = f.two_coloring()
+        for i in range(4):
+            assert coloring[i] != coloring[(i + 1) % 4]
+
+    def test_loop_is_a_witness(self):
+        f = ParityForest()
+        assert f.add_edge(5, 5) == [5, 5]
+
+    def test_cross_component_union_keeps_parity(self):
+        f = ParityForest()
+        assert f.add_edge(0, 1) is None
+        assert f.add_edge(2, 3) is None
+        assert f.add_edge(1, 2) is None  # merge the two components
+        # 0-1-2-3 is a path; closing 0-3 keeps it even (4-cycle)...
+        assert f.add_edge(0, 3) is None
+        # ...but chording it with 0-2 creates a triangle 0-1-2.
+        walk = f.add_edge(0, 2)
+        assert walk is not None
+        assert (len(walk) - 1) % 2 == 1
+
+    def test_odd_walk_is_valid_in_fed_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)]
+        f = ParityForest()
+        witness = None
+        g = Graph(nodes=range(5))
+        for u, v in edges:
+            g.add_edge(u, v)
+            witness = f.add_edge(u, v) or witness
+        assert witness is not None
+        assert is_odd_closed_walk(g, witness)
+
+    def test_clone_is_independent(self):
+        f = ParityForest()
+        f.add_edge(0, 1)
+        g = f.clone()
+        assert g.add_edge(1, 2) is None
+        assert 2 not in f.parent
+
+
+# ----------------------------------------------------------------------
+# Incremental DSATUR (general k)
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalKColoring:
+    def test_triangle_needs_three_colors(self):
+        c = IncrementalKColoring(3)
+        for v in range(3):
+            c.add_node(v)
+        c.add_edge(0, 1)
+        c.add_edge(1, 2)
+        c.add_edge(0, 2)
+        assert not c.failed
+        assert len({c.color[0], c.color[1], c.color[2]}) == 3
+
+    def test_k4_is_not_three_colorable(self):
+        c = IncrementalKColoring(3)
+        for v in range(4):
+            c.add_node(v)
+        for u in range(4):
+            for v in range(u + 1, 4):
+                c.add_edge(u, v)
+        assert c.failed
+
+    def test_restart_recovers_from_greedy_dead_end(self):
+        # A 6-cycle plus chords that force repairs/restarts but remains
+        # 2-degenerate, hence 3-colorable.
+        c = IncrementalKColoring(3)
+        for v in range(6):
+            c.add_node(v)
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (3, 5)]
+        for u, v in edges:
+            c.add_edge(u, v)
+        assert not c.failed
+        for u, v in edges:
+            assert c.color[u] != c.color[v]
+
+    def test_loop_fails_any_k(self):
+        c = IncrementalKColoring(3)
+        c.add_node(0)
+        c.add_edge(0, 0)
+        assert c.failed
+
+
+# ----------------------------------------------------------------------
+# Persistent cache
+# ----------------------------------------------------------------------
+
+
+class TestPersistentCache:
+    def test_round_trip(self, tmp_path):
+        cache = PersistentVerdictCache(tmp_path)
+        key = {"lcp_name": "x", "n": 4}
+        body = {"hiding": True, "views": [1, 2], "edges": [[0, 1]]}
+        assert cache.store(key, body)
+        assert cache.load(key) == body
+        assert cache.load({"lcp_name": "x", "n": 5}) is None
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        from repro.perf import persist
+
+        cache = PersistentVerdictCache(tmp_path)
+        key = {"lcp_name": "x", "n": 4}
+        assert cache.store(key, {"hiding": False, "views": [], "edges": []})
+        assert cache.load(key) is not None
+        monkeypatch.setattr(persist, "CACHE_VERSION", persist.CACHE_VERSION + 1)
+        # Same digest input would now differ too, but even a forced read
+        # of the old file must reject the stale version header.
+        assert cache.load(key) is None
+
+    def test_unserializable_labels_are_skipped(self, tmp_path):
+        cache = PersistentVerdictCache(tmp_path)
+        stats = PerfStats()
+        assert not cache.store({"n": 1}, {"views": [object()]}, stats=stats)
+        assert stats.get("persist_skips") == 1
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = PersistentVerdictCache(tmp_path)
+        cache.store({"n": 1}, {"views": [], "edges": []})
+        cache.store({"n": 2}, {"views": [], "edges": []})
+        summary = cache.stats_summary()
+        assert summary["entries"] == 2
+        assert summary["stale_entries"] == 0
+        assert cache.clear() == 2
+        assert cache.stats_summary()["entries"] == 0
+
+    def test_streaming_disk_round_trip_preserves_verdict(self, tmp_path):
+        lcp = DegreeOneLCP()
+        with overridden(disk_cache_dir=str(tmp_path)):
+            stats = PerfStats()
+            first = streaming_hiding_verdict_up_to(
+                lcp, 4, stats=stats, warm_start=False, disk_cache=True
+            )
+            assert stats.get("persist_writes") == 1
+            clear_streaming_state()
+            stats = PerfStats()
+            second = streaming_hiding_verdict_up_to(
+                lcp, 4, stats=stats, warm_start=False, disk_cache=True
+            )
+            assert stats.get("disk_hits") == 1
+        assert second.hiding == first.hiding
+        assert second.ngraph.views == first.ngraph.views
+        assert second.ngraph.edges == first.ngraph.edges
+        assert second.odd_cycle == first.odd_cycle
+        assert first.ngraph.has_provenance
+        assert not second.ngraph.has_provenance
+
+
+# ----------------------------------------------------------------------
+# Warm start
+# ----------------------------------------------------------------------
+
+
+class TestWarmStart:
+    def test_chain_matches_cold_runs(self):
+        lcp = RevealingLCP()
+        cold = {}
+        for n in (3, 4, 5):
+            clear_streaming_state()
+            cold[n] = streaming_hiding_verdict_up_to(
+                lcp, n, warm_start=False, disk_cache=False
+            )
+        clear_streaming_state()
+        stats = PerfStats()
+        for n in (3, 4, 5):
+            warm = streaming_hiding_verdict_up_to(
+                lcp, n, stats=stats, warm_start=True, disk_cache=False
+            )
+            assert warm.hiding == cold[n].hiding
+            assert warm.ngraph.views == cold[n].ngraph.views
+            assert warm.ngraph.edges == cold[n].ngraph.edges
+        assert stats.get("warm_starts") == 2
+
+    def test_witness_short_circuits_larger_n(self):
+        lcp = DegreeOneLCP()
+        streaming_hiding_verdict_up_to(lcp, 4, disk_cache=False)
+        stats = PerfStats()
+        v5 = streaming_hiding_verdict_up_to(lcp, 5, stats=stats, disk_cache=False)
+        assert v5.hiding is True
+        assert stats.get("warm_witness_hits") == 1
+        # No new instances were scanned for n = 5.
+        assert stats.get("instances_scanned") == 0
+
+    def test_warm_state_not_mutated_by_resume(self):
+        lcp = RevealingLCP()
+        v3 = streaming_hiding_verdict_up_to(lcp, 3, disk_cache=False)
+        views_before = list(v3.ngraph.views)
+        streaming_hiding_verdict_up_to(lcp, 4, disk_cache=False)
+        assert v3.ngraph.views == views_before
+
+
+# ----------------------------------------------------------------------
+# Witness-length regressions (the paper's Figure 3–6 odd walks)
+# ----------------------------------------------------------------------
+
+
+class TestWitnessRegressions:
+    def test_degree_one_n4_walk_length(self):
+        verdict = hiding_verdict_up_to(DegreeOneLCP(), 4, streaming=False)
+        assert verdict.hiding is True
+        # Closed walk [v0, ..., v6, v0]: 8 entries, 7 views, 7 edges.
+        assert len(verdict.odd_cycle) == 8
+        assert verdict.odd_cycle[0] == verdict.odd_cycle[-1]
+        assert (len(verdict.odd_cycle) - 1) % 2 == 1
+        assert "odd closed walk of 7 views" in verdict.summary()
+
+    def test_even_cycle_n6_loop_witness(self):
+        verdict = hiding_verdict_up_to(EvenCycleLCP(), 6, streaming=False)
+        assert verdict.hiding is True
+        # The 2-labeled-cycles witness collapses to a self-loop: a view
+        # adjacent to itself is an odd closed walk of length 1.
+        assert len(verdict.odd_cycle) == 2
+        assert verdict.odd_cycle[0] == verdict.odd_cycle[-1]
+        assert "odd closed walk of 1 views" in verdict.summary()
+
+    def test_summary_counts_edges_not_entries(self):
+        """``len(odd_cycle) - 1`` is the number of edges of the closed
+        walk, which equals the number of distinct view *slots* traversed
+        — the convention `summary()` reports.  (Checked against
+        `find_odd_cycle`'s ``[v0, ..., vk, v0]`` shape.)"""
+        verdict = hiding_verdict_up_to(DegreeOneLCP(), 4, streaming=False)
+        walk = [verdict.ngraph.index[v] for v in verdict.odd_cycle]
+        edge_count = len(walk) - 1
+        assert is_odd_closed_walk(verdict.ngraph.to_graph(), walk)
+        assert f"odd closed walk of {edge_count} views" in verdict.summary()
