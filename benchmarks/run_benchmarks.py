@@ -57,6 +57,7 @@ from pathlib import Path
 
 from repro.core import DegreeOneLCP
 from repro.core.registry import all_lcps
+from repro.engine import ExecutionPlan, RunContext, clear_engine_state, decide_hiding
 from repro.graphs.encoding import clear_canonical_cache
 from repro.graphs.families import (
     clear_family_cache,
@@ -66,21 +67,26 @@ from repro.graphs.properties import is_odd_closed_walk
 from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
 from repro.neighborhood.aviews import yes_instances_up_to
 from repro.neighborhood.hiding import hiding_verdict_from_instances
-from repro.neighborhood.streaming import (
-    clear_streaming_state,
-    streaming_hiding_verdict_up_to,
-)
 from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
 
 REPEATS = 5
+
+#: Streaming plans for the timed regimes: the in-process memo tier is off
+#: so every repeat pays the honest sweep/reload cost, not a dict lookup.
+STREAM_COLD = ExecutionPlan(
+    backend="streaming", warm_start=False, disk_cache=False, memory_cache=False
+)
+STREAM_DISK = ExecutionPlan(
+    backend="streaming", warm_start=False, disk_cache=True, memory_cache=False
+)
 
 
 def _clear_everything() -> None:
     clear_shared_caches()
     clear_family_cache()
     clear_canonical_cache()
-    clear_streaming_state()
+    clear_engine_state()
     GLOBAL_STATS.reset()
 
 
@@ -232,13 +238,16 @@ def run(n: int) -> list[dict]:
 
 
 def _hiding_parity(streamed, materialized) -> bool:
-    """Streamed verdict must agree with the materialized one; a hiding
-    witness must be a genuine odd closed walk in the streamed graph."""
+    """Streamed engine verdict must agree with the materialized one; a
+    hiding witness must be a genuine odd closed walk in the streamed
+    graph, and the provenance must name the backend that was asked for."""
+    if streamed.provenance.backend != "streaming":
+        return False
     if streamed.hiding != materialized.hiding:
         return False
-    if streamed.hiding and streamed.odd_cycle is not None:
+    if streamed.hiding and streamed.witness is not None:
         g = streamed.ngraph
-        walk = [g.index[view] for view in streamed.odd_cycle]
+        walk = [g.index[view] for view in streamed.witness]
         return is_odd_closed_walk(g.to_graph(), walk)
     return True
 
@@ -281,9 +290,7 @@ def run_hiding(n: int) -> list[dict]:
         _clear_everything()
         stats.reset()
         start = time.perf_counter()
-        streamed = streaming_hiding_verdict_up_to(
-            lcp, n, stats=stats, warm_start=False, disk_cache=False
-        )
+        streamed = decide_hiding(lcp, n, STREAM_COLD, ctx=RunContext(stats=stats))
         cold_times.append(time.perf_counter() - start)
     rows.append(
         {
@@ -302,19 +309,17 @@ def run_hiding(n: int) -> list[dict]:
         }
     )
 
-    # Populate the disk entry once (untimed), then measure pure reloads.
+    # Populate the disk entry once (untimed), then measure pure reloads
+    # (the plan's memory tier is off, so every repeat reads the disk).
     _clear_everything()
-    streaming_hiding_verdict_up_to(lcp, n, warm_start=False, disk_cache=True)
+    decide_hiding(lcp, n, STREAM_DISK)
     warm_times = []
     warm = None
     warm_stats = PerfStats()
     for _ in range(REPEATS):
-        clear_streaming_state()  # keep the disk, drop the in-memory memo
         warm_stats.reset()
         start = time.perf_counter()
-        warm = streaming_hiding_verdict_up_to(
-            lcp, n, stats=warm_stats, warm_start=False, disk_cache=True
-        )
+        warm = decide_hiding(lcp, n, STREAM_DISK, ctx=RunContext(stats=warm_stats))
         warm_times.append(time.perf_counter() - start)
     rows.append(
         {
@@ -347,10 +352,14 @@ def smoke_early_exit() -> int:
                 exhaustive=True,
             )
             for workers in (1, 2):
-                clear_streaming_state()
-                streamed = streaming_hiding_verdict_up_to(
-                    lcp, n, workers=workers, warm_start=False, disk_cache=False
+                plan = ExecutionPlan(
+                    backend="streaming",
+                    workers=workers,
+                    warm_start=False,
+                    disk_cache=False,
+                    memory_cache=False,
                 )
+                streamed = decide_hiding(lcp, n, plan)
                 if not _hiding_parity(streamed, mat):
                     failures.append((name, n, workers))
                     print(

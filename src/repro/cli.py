@@ -72,20 +72,20 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .experiments import all_experiments, render_results, run_experiment
-    from .perf import GLOBAL_STATS, configure
+    from .perf import GLOBAL_STATS
+    from .perf.config import CONFIG
 
-    if args.workers is not None:
-        configure(workers=args.workers)
-    if args.streaming:
-        configure(streaming=True)
-    if args.disk_cache:
-        configure(disk_cache=True)
     if args.perf_stats:
         GLOBAL_STATS.reset()
-    if "all" in args.experiments:
-        results = [e.run() for e in all_experiments()]
-    else:
-        results = [run_experiment(exp_id) for exp_id in args.experiments]
+    with CONFIG.overridden(
+        workers=args.workers,
+        streaming=True if args.streaming else None,
+        disk_cache=True if args.disk_cache else None,
+    ):
+        if "all" in args.experiments:
+            results = [e.run() for e in all_experiments()]
+        else:
+            results = [run_experiment(exp_id) for exp_id in args.experiments]
     print(render_results(results))
     if args.perf_stats:
         from .experiments.report import render_perf_stats
@@ -141,35 +141,31 @@ def cmd_certify(args: argparse.Namespace) -> int:
 
 
 def cmd_hiding(args: argparse.Namespace) -> int:
-    from .perf import GLOBAL_STATS, PerfStats, configure
-    from .neighborhood.hiding import hiding_verdict_up_to
-    from .neighborhood.streaming import streaming_hiding_verdict_up_to
+    from .engine import RunContext, decide_hiding, resolve_plan
+    from .perf import GLOBAL_STATS, PerfStats
+    from .perf.config import CONFIG
 
     lcp = make_lcp(args.scheme)
     stats = PerfStats() if args.perf_stats else GLOBAL_STATS
-    if args.cache_dir:
-        configure(disk_cache_dir=args.cache_dir)
-    if args.materialized:
-        verdict = hiding_verdict_up_to(lcp, args.n, streaming=False)
-        pipeline = "materialized (full V(D, n) build)"
-    else:
-        verdict = streaming_hiding_verdict_up_to(
-            lcp,
-            args.n,
+    with CONFIG.overridden(disk_cache_dir=args.cache_dir):
+        # The routing decision (flags -> backend/caches) is the engine's
+        # plan resolver; the CLI only translates its vocabulary.
+        plan = resolve_plan(
+            streaming=not args.materialized,
             workers=args.workers,
-            stats=stats,
-            disk_cache=not args.no_disk_cache,
+            disk_cache=False if args.materialized else not args.no_disk_cache,
         )
-        pipeline = "streaming (early-exit engine)"
+        verdict = decide_hiding(lcp, args.n, plan, ctx=RunContext(stats=stats))
     g = verdict.ngraph
     print(f"scheme:    {lcp.name}  ({PAPER_REFERENCES[args.scheme]})")
-    print(f"pipeline:  {pipeline}")
+    print(f"plan:      {plan.describe()}")
     print(f"sweep:     n <= {args.n}, {g.instances_scanned} labeled instances scanned")
     print(f"V(D, n):   {g.order} views, {g.size} edges"
           + ("" if g.has_provenance else "  [from disk cache, no provenance]"))
     print(f"verdict:   {verdict.summary()}")
-    if verdict.odd_cycle:
-        walk = " -> ".join(str(g.index[v]) for v in verdict.odd_cycle)
+    print(f"produced:  {verdict.provenance.summary()}")
+    if verdict.witness:
+        walk = " -> ".join(str(g.index[v]) for v in verdict.witness)
         print(f"witness:   view walk {walk}")
     if args.perf_stats:
         print()
@@ -178,11 +174,11 @@ def cmd_hiding(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    from .perf import configure, default_verdict_cache
+    from .perf import default_verdict_cache
+    from .perf.config import CONFIG
 
-    if args.cache_dir:
-        configure(disk_cache_dir=args.cache_dir)
-    cache = default_verdict_cache()
+    with CONFIG.overridden(disk_cache_dir=args.cache_dir):
+        cache = default_verdict_cache()
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached sweep(s) from {cache.root}")

@@ -1,0 +1,308 @@
+"""Engine backends: the interchangeable ways to decide Lemma 3.2.
+
+A backend answers one question — *is* ``V(D, n)`` *k-colorable?* — under
+the contract that the ``hiding`` flag, the canonical stream-order
+witness, and (on conclusive non-hiding sweeps) the complete graph and
+coloring are byte-identical across backends, worker counts, and cache
+tiers.  Two ship today:
+
+* ``materialized`` — build all of ``V(D, n)`` (serial or process-pool),
+  then decide: BFS bipartition / DSATUR coloring on the finished graph.
+  The historical pipeline; its legacy envelope keeps the BFS witness
+  walk the figure experiments pin.  An incremental parity detector rides
+  along (``k = 2``) purely to report the canonical stream witness.
+* ``streaming`` — the fused early-exit engine of
+  :mod:`repro.neighborhood.streaming`: incremental decision per builder
+  event, optional cross-``n`` warm start, stop at the first witness.
+
+Registering a new backend is one class + one :func:`register_backend`
+call — sharded sweeps, async workers, or remote executors plug in here
+without touching any call site.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..certification.lcp import LCP
+from ..neighborhood.aviews import yes_instances_between, yes_instances_up_to
+from ..neighborhood.hiding import HidingVerdict, classic_verdict
+from ..neighborhood.ngraph import build_neighborhood_graph_auto
+from .context import RunContext
+from .plan import ExecutionPlan
+from .verdict import Provenance, Verdict
+
+#: Engine revision; folded into memo, warm-state, and disk keys so
+#: algorithmic changes can never resurrect stale state.  Value 1 keeps
+#: pre-engine ``.repro_cache/`` entries readable.
+ENGINE_VERSION = 1
+
+
+class Backend:
+    """One way to run a hiding sweep.  Subclasses override :meth:`run`;
+    :meth:`shortcut` may answer from backend-private state (the
+    streaming warm-start witness) before any cache tier is consulted."""
+
+    name: str = "?"
+
+    def shortcut(
+        self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext
+    ) -> Verdict | None:
+        return None
+
+    def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
+        raise NotImplementedError
+
+
+_BACKENDS: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add *backend* to the engine's dispatch table (name-keyed)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {', '.join(_BACKENDS)}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    return list(_BACKENDS)
+
+
+# ----------------------------------------------------------------------
+# Sweep identity keys (shared by every cache tier)
+# ----------------------------------------------------------------------
+
+
+def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
+    """The sweep identity *without* ``n``: one key per (scheme, decoder,
+    enumeration bounds, backend semantics) family.  Worker count is
+    deliberately absent — verdicts are byte-identical for any."""
+    return (
+        ENGINE_VERSION,
+        plan.backend,
+        type(lcp).__name__,
+        lcp.name,
+        lcp.decoder.name,
+        lcp.k,
+        lcp.radius,
+        lcp.anonymous,
+        plan.port_limit,
+        plan.id_order_types,
+        plan.include_all_accepted_labelings,
+        plan.labeling_limit,
+        plan.early_exit,
+    )
+
+
+def memory_key(lcp: LCP, n: int, plan: ExecutionPlan) -> tuple:
+    return family_key(lcp, plan) + (n,)
+
+
+def disk_key(lcp: LCP, n: int, plan: ExecutionPlan) -> dict:
+    """Readable persistent-store key.  For streaming sweeps this is the
+    exact pre-engine layout (same fields, same values), so existing
+    ``.repro_cache/`` entries keep their content addresses."""
+    key = {
+        "engine_version": ENGINE_VERSION,
+        "lcp_type": type(lcp).__name__,
+        "lcp_name": lcp.name,
+        "decoder": lcp.decoder.name,
+        "k": lcp.k,
+        "radius": lcp.radius,
+        "anonymous": lcp.anonymous,
+        "n": n,
+        "port_limit": plan.port_limit,
+        "id_order_types": plan.id_order_types,
+        "include_all_accepted_labelings": plan.include_all_accepted_labelings,
+        "labeling_limit": plan.labeling_limit,
+        "early_exit": plan.early_exit,
+    }
+    if plan.backend != "streaming":
+        key["backend"] = plan.backend
+    return key
+
+
+def _enumeration_bounds(plan: ExecutionPlan) -> dict:
+    return {
+        "port_limit": plan.port_limit,
+        "id_order_types": plan.id_order_types,
+        "include_all_accepted_labelings": plan.include_all_accepted_labelings,
+        "labeling_limit": plan.labeling_limit,
+    }
+
+
+def _envelope(
+    lcp: LCP,
+    n: int,
+    plan: ExecutionPlan,
+    legacy: HidingVerdict,
+    witness,
+    elapsed: float,
+    **flags,
+) -> Verdict:
+    g = legacy.ngraph
+    provenance = Provenance(
+        backend=plan.backend,
+        n=n,
+        workers=plan.workers or 0,
+        early_exit=plan.early_exit,
+        instances_scanned=g.instances_scanned,
+        views=g.order,
+        edges=g.size,
+        wall_time_s=elapsed,
+        **flags,
+    )
+    return Verdict(
+        k=legacy.k,
+        hiding=legacy.hiding,
+        witness=witness,
+        coloring=legacy.coloring,
+        ngraph=g,
+        provenance=provenance,
+        legacy=legacy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Materialized backend
+# ----------------------------------------------------------------------
+
+
+class MaterializedBackend(Backend):
+    """Full build, then decide — the classic Lemma 3.2 pipeline."""
+
+    name = "materialized"
+
+    def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
+        from ..neighborhood.streaming import StreamingHidingEngine
+
+        start = time.perf_counter()
+        instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
+        # The parity detector rides along (k = 2, near-free union-find)
+        # so this backend reports the same canonical stream witness as
+        # the streaming one; it never stops the scan (early_exit=False).
+        tracker = None
+        into = None
+        if lcp.k == 2:
+            tracker = StreamingHidingEngine(
+                lcp.k, lcp.radius, not lcp.anonymous, early_exit=False, stats=ctx.stats
+            )
+            into = tracker.ngraph
+        ngraph = build_neighborhood_graph_auto(
+            lcp,
+            instances,
+            workers=plan.workers,
+            stats=ctx.stats,
+            consumer=tracker,
+            into=into,
+        )
+        legacy = classic_verdict(lcp, ngraph, exhaustive=True)
+        witness = tracker.odd_cycle_views() if tracker is not None else None
+        return _envelope(
+            lcp, n, plan, legacy, witness, time.perf_counter() - start
+        )
+
+
+# ----------------------------------------------------------------------
+# Streaming backend (early exit, warm starts)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SweepState:
+    """Last finished streaming sweep for one sweep family."""
+
+    n: int
+    engine: object  # StreamingHidingEngine
+
+
+#: Warm-start states per family key (without ``n``); process-wide like
+#: the memo tiers, cleared via :func:`clear_warm_states`.
+_WARM_STATES: dict[tuple, _SweepState] = {}
+
+
+def clear_warm_states() -> None:
+    _WARM_STATES.clear()
+
+
+class StreamingBackend(Backend):
+    """Fused incremental decision with early exit and warm starts."""
+
+    name = "streaming"
+
+    def shortcut(
+        self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext
+    ) -> Verdict | None:
+        """A previously found witness answers every larger sweep
+        instantly: ``V(D, m) ⊇ V(D, n)`` for ``m ≥ n`` keeps the odd
+        walk intact."""
+        if not (plan.warm_start and lcp.anonymous):
+            return None
+        state = _WARM_STATES.get(family_key(lcp, plan))
+        if state is None or state.n > n or not state.engine.witness_found:
+            return None
+        ctx.stats.incr("warm_witness_hits")
+        legacy = state.engine.verdict(exhaustive=True)
+        witness = legacy.odd_cycle
+        return _envelope(lcp, n, plan, legacy, witness, 0.0, warm_witness_hit=True)
+
+    def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
+        from ..neighborhood.streaming import StreamingHidingEngine
+
+        family = family_key(lcp, plan)
+        state = (
+            _WARM_STATES.get(family) if plan.warm_start and lcp.anonymous else None
+        )
+        start = time.perf_counter()
+        warm_started = False
+        with ctx.stats.time_stage("streaming_sweep"):
+            if state is not None and state.n <= n:
+                ctx.stats.incr("warm_starts")
+                warm_started = True
+                engine = state.engine.clone()
+                engine.stats = ctx.stats
+                instances = yes_instances_between(
+                    lcp, state.n, n, **_enumeration_bounds(plan)
+                )
+            else:
+                engine = StreamingHidingEngine(
+                    lcp.k,
+                    lcp.radius,
+                    not lcp.anonymous,
+                    early_exit=plan.early_exit,
+                    stats=ctx.stats,
+                )
+                instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
+            build_neighborhood_graph_auto(
+                lcp,
+                instances,
+                workers=plan.workers,
+                stats=ctx.stats,
+                consumer=engine,
+                into=engine.ngraph,
+            )
+        legacy = engine.verdict(exhaustive=True)
+        if plan.warm_start and lcp.anonymous:
+            _WARM_STATES[family] = _SweepState(n=n, engine=engine)
+        return _envelope(
+            lcp,
+            n,
+            plan,
+            legacy,
+            legacy.odd_cycle,
+            time.perf_counter() - start,
+            warm_started=warm_started,
+        )
+
+
+register_backend(MaterializedBackend())
+register_backend(StreamingBackend())

@@ -1,0 +1,87 @@
+"""Explicit run context for the engine: config + stats + cache tiers.
+
+Pre-engine code threaded the perf knobs and counters through two mutable
+module globals (``repro.perf.CONFIG`` and ``GLOBAL_STATS``), which every
+layer imported and mutated on its own.  A :class:`RunContext` carries
+them explicitly: :func:`repro.engine.decide_hiding` resolves its plan
+against ``ctx.config`` once, records counters on ``ctx.stats``, and
+consults ``ctx.memory_store(backend)`` / ``ctx.disk`` — nothing in the
+engine writes a module global.  ``RunContext.default()`` binds the
+process-wide objects, so call sites that never build a context keep the
+historical behavior; tests and benchmarks build isolated contexts
+instead of save/restore dances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..perf.config import CONFIG, PerfConfig
+from ..perf.stats import GLOBAL_STATS, PerfStats
+from .stores import DiskVerdictStore, MemoryVerdictStore, VerdictStore
+
+#: Process-wide memo tiers, one per backend.  ``stream_memo_hits`` keeps
+#: its pre-engine counter name; the materialized memo gains its own.
+_SHARED_MEMORY_STORES: dict[str, MemoryVerdictStore] = {
+    "materialized": MemoryVerdictStore(hit_counter="sweep_memo_hits"),
+    "streaming": MemoryVerdictStore(hit_counter="stream_memo_hits"),
+}
+
+_SHARED_DISK_STORE = DiskVerdictStore()
+
+
+def shared_memory_store(backend: str) -> MemoryVerdictStore:
+    """The process-wide memo tier for *backend* (created on demand)."""
+    store = _SHARED_MEMORY_STORES.get(backend)
+    if store is None:
+        store = _SHARED_MEMORY_STORES[backend] = MemoryVerdictStore(
+            hit_counter=f"{backend}_memo_hits"
+        )
+    return store
+
+
+@dataclass
+class RunContext:
+    """Everything a hiding decision needs besides the question itself.
+
+    * ``config`` — the :class:`PerfConfig` plans resolve against
+      (default: the live global ``CONFIG``, read once per decision).
+    * ``stats`` — the :class:`PerfStats` sink for every counter and
+      stage timer of the run.
+    * ``memory`` — per-backend memo tiers; ``None`` entries fall back to
+      the shared process-wide stores.
+    * ``disk`` — the persistent tier.
+    """
+
+    config: PerfConfig = field(default_factory=lambda: CONFIG)
+    stats: PerfStats = field(default_factory=lambda: GLOBAL_STATS)
+    memory: dict[str, MemoryVerdictStore] | None = None
+    disk: VerdictStore = field(default_factory=lambda: _SHARED_DISK_STORE)
+
+    @classmethod
+    def default(cls) -> "RunContext":
+        """The context bound to the process-wide config/stats/stores."""
+        return cls()
+
+    @classmethod
+    def isolated(cls, config: PerfConfig | None = None) -> "RunContext":
+        """A context with private stats and memo tiers (tests,
+        benchmarks) — nothing it records leaks into the process state."""
+        return cls(
+            config=config if config is not None else CONFIG,
+            stats=PerfStats(),
+            memory={
+                "materialized": MemoryVerdictStore(hit_counter="sweep_memo_hits"),
+                "streaming": MemoryVerdictStore(hit_counter="stream_memo_hits"),
+            },
+        )
+
+    def memory_store(self, backend: str) -> MemoryVerdictStore:
+        if self.memory is not None:
+            store = self.memory.get(backend)
+            if store is None:
+                store = self.memory[backend] = MemoryVerdictStore(
+                    hit_counter=f"{backend}_memo_hits"
+                )
+            return store
+        return shared_memory_store(backend)

@@ -1,0 +1,94 @@
+"""`decide_hiding` — the single entrypoint for every hiding decision.
+
+Every surface (CLI, experiment runner, benchmarks, library callers, and
+the legacy keyword shims) answers "does ``D`` hide a ``k``-coloring up
+to ``n``?" through this one function.  The tier order per decision:
+
+1. **memory memo** — a hit returns the originally produced envelope
+   object as-is (``is``-level memo semantics);
+2. **backend shortcut** — backend-private state that answers without a
+   sweep (the streaming warm-start witness); counts as fresh for the
+   write-back tiers below;
+3. **disk store** — a hit is recorded in the envelope's provenance and
+   memoized, but never written back to disk;
+4. **backend sweep** — compute, then populate memory and (when the plan
+   says so) disk.
+"""
+
+from __future__ import annotations
+
+from ..certification.lcp import LCP
+from .backends import clear_warm_states, disk_key, get_backend, memory_key
+from .context import RunContext, _SHARED_MEMORY_STORES
+from .plan import ExecutionPlan
+from .verdict import Verdict
+
+
+def decide_hiding(
+    lcp: LCP,
+    n: int,
+    plan: ExecutionPlan | None = None,
+    *,
+    k: int | None = None,
+    ctx: RunContext | None = None,
+) -> Verdict:
+    """Decide whether *lcp* hides a ``k``-coloring up to *n* nodes.
+
+    *plan* says how (backend, workers, caches); an unresolved plan — or
+    ``None``, meaning "all defaults" — is resolved against ``ctx.config``
+    first.  *k* is a guard, not a parameter: the decided ``k`` is always
+    ``lcp.k``, and passing a different value raises.  *ctx* defaults to
+    the process-wide context (global config, stats, shared cache tiers).
+
+    Returns the unified :class:`~repro.engine.verdict.Verdict` envelope;
+    pre-engine consumers read ``verdict.legacy``.
+    """
+    if k is not None and k != lcp.k:
+        raise ValueError(
+            f"decide_hiding(k={k}) conflicts with the scheme's k={lcp.k}; "
+            "the decided k is always lcp.k"
+        )
+    if ctx is None:
+        ctx = RunContext.default()
+    plan = (plan if plan is not None else ExecutionPlan()).resolve(ctx.config)
+    backend = get_backend(plan.backend)
+
+    memory = ctx.memory_store(plan.backend) if plan.memory_cache else None
+    mem_key = memory_key(lcp, n, plan)
+    if memory is not None:
+        cached = memory.load(mem_key, stats=ctx.stats)
+        if cached is not None:
+            return cached
+
+    verdict = backend.shortcut(lcp, n, plan, ctx)
+    if verdict is None and plan.disk_cache:
+        verdict = ctx.disk.load(disk_key(lcp, n, plan), stats=ctx.stats)
+        if verdict is not None:
+            if memory is not None:
+                memory.store(mem_key, verdict, stats=ctx.stats)
+            return verdict
+
+    if verdict is None:
+        verdict = backend.run(lcp, n, plan, ctx)
+
+    if memory is not None:
+        memory.store(mem_key, verdict, stats=ctx.stats)
+    if plan.disk_cache:
+        ctx.disk.store(disk_key(lcp, n, plan), verdict, stats=ctx.stats)
+    return verdict
+
+
+def clear_memory_store(backend: str) -> None:
+    """Drop the shared in-process memo tier for one backend."""
+    store = _SHARED_MEMORY_STORES.get(backend)
+    if store is not None:
+        store.clear()
+
+
+def clear_engine_state() -> None:
+    """Drop every shared in-process engine state: all backend memo tiers
+    and the streaming warm-start states (benchmarks, test isolation).
+    The persistent disk store is left alone (``repro cache clear``)."""
+    for store in _SHARED_MEMORY_STORES.values():
+        store.clear()
+    clear_warm_states()

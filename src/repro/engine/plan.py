@@ -1,0 +1,165 @@
+"""Declarative execution plans for the hiding decision.
+
+An :class:`ExecutionPlan` says *how* a Lemma 3.2 sweep should run —
+which backend decides ``k``-colorability, how many workers scan the
+enumeration, whether the streaming early exit / cross-``n`` warm start
+apply, and which cache tiers (in-memory memo, on-disk store) may serve
+or record the verdict — without saying anything about *what* is decided.
+The what (scheme, ``n``) goes to :func:`repro.engine.decide_hiding`;
+the plan is reusable across schemes and sweeps.
+
+Fields left at ``None`` are resolved against a :class:`~repro.perf.config.
+PerfConfig` at decision time (:meth:`ExecutionPlan.resolve`), so a plan
+built once by a surface (CLI, runner, benchmark) picks up the session's
+knobs without re-reading globals itself.  :func:`resolve_plan` is the
+single translation from the legacy keyword vocabulary
+(``streaming=``/``workers=``/``disk_cache=``) into a plan — the CLI and
+the deprecation shims both delegate to it, so the streaming-vs-
+materialized choice lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..perf.config import CONFIG, PerfConfig
+
+#: Known backend names; "auto" defers to ``PerfConfig.streaming``.
+BACKEND_AUTO = "auto"
+BACKEND_MATERIALIZED = "materialized"
+BACKEND_STREAMING = "streaming"
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a hiding decision should execute.
+
+    * ``backend`` — ``"materialized"`` (build all of ``V(D, n)``, then
+      decide), ``"streaming"`` (fused incremental decision, early exit),
+      or ``"auto"`` (the ``CONFIG.streaming`` knob decides).
+    * ``workers`` — processes for the enumeration scan; ``None`` defers
+      to ``CONFIG.workers``, ``0``/``1`` mean serial.  The verdict is
+      byte-identical for every worker count (the parallel builder
+      replays chunks in serial order).
+    * ``early_exit`` — streaming backend only: stop the sweep at the
+      first non-``k``-colorability witness.  ``False`` keeps the fused
+      decision but still materializes the complete graph.
+    * ``warm_start`` — streaming backend only: resume from the last
+      finished sweep of the same scheme at smaller ``n`` (anonymous
+      schemes).  ``None`` defers to ``CONFIG.warm_start``.
+    * ``memory_cache`` — consult/populate the in-process verdict memo.
+    * ``disk_cache`` — consult/populate the persistent store under
+      ``.repro_cache/``.  ``None`` defers to ``CONFIG.disk_cache``.
+    * ``port_limit`` / ``id_order_types`` / ``include_all_accepted_labelings``
+      / ``labeling_limit`` — the Lemma 3.1 enumeration bounds; part of
+      the plan because they define the sweep's identity for every cache
+      tier.
+    """
+
+    backend: str = BACKEND_AUTO
+    workers: int | None = None
+    early_exit: bool = True
+    warm_start: bool | None = None
+    memory_cache: bool = True
+    disk_cache: bool | None = None
+    port_limit: int = 64
+    id_order_types: bool = False
+    include_all_accepted_labelings: bool = True
+    labeling_limit: int = 20_000
+
+    @property
+    def is_resolved(self) -> bool:
+        return (
+            self.backend != BACKEND_AUTO
+            and self.workers is not None
+            and self.warm_start is not None
+            and self.disk_cache is not None
+        )
+
+    def resolve(self, config: PerfConfig | None = None) -> "ExecutionPlan":
+        """Fill every ``None``/``auto`` field from *config* (default: the
+        global :data:`~repro.perf.config.CONFIG`).
+
+        The materialized backend is normalized to ``early_exit=False``
+        and ``warm_start=False`` — it always scans the full enumeration —
+        so equivalent plans share one cache identity.
+        """
+        config = config if config is not None else CONFIG
+        backend = self.backend
+        if backend == BACKEND_AUTO:
+            backend = BACKEND_STREAMING if config.streaming else BACKEND_MATERIALIZED
+        if backend not in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+            from .backends import available_backends
+
+            if backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {backend!r}; "
+                    f"known: {', '.join(available_backends())}"
+                )
+        workers = self.workers if self.workers is not None else config.workers
+        warm = self.warm_start if self.warm_start is not None else config.warm_start
+        disk = self.disk_cache if self.disk_cache is not None else config.disk_cache
+        early_exit = self.early_exit
+        if backend == BACKEND_MATERIALIZED:
+            early_exit = False
+            warm = False
+        return replace(
+            self,
+            backend=backend,
+            workers=workers,
+            early_exit=early_exit,
+            warm_start=warm,
+            disk_cache=disk,
+        )
+
+    def describe(self) -> str:
+        """One-line human summary (CLI provenance output)."""
+        tiers = [
+            name
+            for name, on in (("memory", self.memory_cache), ("disk", self.disk_cache))
+            if on
+        ]
+        workers = "auto" if self.workers is None else (self.workers or "serial")
+        return (
+            f"backend={self.backend} workers={workers} "
+            f"early_exit={self.early_exit} warm_start={self.warm_start} "
+            f"cache={'+'.join(tiers) if tiers else 'none'}"
+        )
+
+
+def resolve_plan(
+    streaming: bool | None = None,
+    workers: int | None = None,
+    early_exit: bool = True,
+    warm_start: bool | None = None,
+    memory_cache: bool = True,
+    disk_cache: bool | None = None,
+    port_limit: int = 64,
+    id_order_types: bool = False,
+    include_all_accepted_labelings: bool = True,
+    labeling_limit: int = 20_000,
+    config: PerfConfig | None = None,
+) -> ExecutionPlan:
+    """The plan resolver: legacy keyword vocabulary → resolved plan.
+
+    This is the only place the streaming-vs-materialized routing decision
+    is made.  ``streaming=None`` defers to ``config.streaming`` (the
+    historical behavior of ``hiding_verdict_up_to``); every other
+    ``None`` likewise falls back to the config knob.
+    """
+    if streaming is None:
+        backend = BACKEND_AUTO
+    else:
+        backend = BACKEND_STREAMING if streaming else BACKEND_MATERIALIZED
+    return ExecutionPlan(
+        backend=backend,
+        workers=workers,
+        early_exit=early_exit,
+        warm_start=warm_start,
+        memory_cache=memory_cache,
+        disk_cache=disk_cache,
+        port_limit=port_limit,
+        id_order_types=id_order_types,
+        include_all_accepted_labelings=include_all_accepted_labelings,
+        labeling_limit=labeling_limit,
+    ).resolve(config)

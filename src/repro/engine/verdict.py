@@ -1,0 +1,116 @@
+"""The unified verdict envelope returned by :func:`repro.engine.decide_hiding`.
+
+A :class:`Verdict` carries the decision (*is the scheme hiding up to
+``n``?*), the canonical witness, the scanned (sub-)graph of ``V(D, n)``,
+and a :class:`Provenance` record saying how the answer was produced —
+which backend ran, how much was scanned, which cache tier served it, and
+how long it took.  The legacy
+:class:`~repro.neighborhood.hiding.HidingVerdict` stays available as
+``verdict.legacy`` so every pre-engine consumer keeps working unchanged.
+
+Canonical witness
+-----------------
+``Verdict.witness`` (for ``k = 2`` hiding verdicts) is always the
+*stream-order first* odd closed walk: the walk closed by the first edge
+of ``V(D, n)``, in the builders' deterministic event order, that creates
+an odd cycle.  Both backends report this same walk — the streaming
+backend finds it by construction, and the materialized backend runs the
+same incremental detector alongside the full build — so the witness is
+byte-identical across every plan (backend × workers × cache tiers).
+``verdict.legacy.odd_cycle`` keeps each backend's historical derivation
+(BFS bipartition walk for materialized sweeps), which existing tests and
+figures pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..local.views import View
+from ..neighborhood.hiding import HidingVerdict
+from ..neighborhood.ngraph import NeighborhoodGraph
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How a verdict was produced (per fresh compute or disk reload; a
+    memory-tier hit returns the originally produced envelope as-is, so
+    identity — not provenance — tells you about memo hits)."""
+
+    backend: str
+    n: int
+    workers: int
+    early_exit: bool
+    instances_scanned: int
+    views: int
+    edges: int
+    memory_cache_hit: bool = False
+    disk_cache_hit: bool = False
+    warm_started: bool = False
+    warm_witness_hit: bool = False
+    wall_time_s: float = 0.0
+
+    def summary(self) -> str:
+        source = "computed"
+        if self.disk_cache_hit:
+            source = "disk cache"
+        elif self.warm_witness_hit:
+            source = "warm-start witness"
+        elif self.warm_started:
+            source = "warm-started sweep"
+        return (
+            f"{self.backend} backend ({source}), workers={self.workers}, "
+            f"{self.instances_scanned} instances scanned, "
+            f"{self.views} views / {self.edges} edges, "
+            f"{self.wall_time_s * 1000:.1f} ms"
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class Verdict:
+    """Unified hiding verdict: decision + witness + graph + provenance.
+
+    Equality is identity (``eq=False``): the memo tier returns the same
+    object for repeated identical sweeps, and content comparison is done
+    explicitly via :meth:`decision_fingerprint`.
+    """
+
+    k: int
+    hiding: bool | None
+    #: Canonical stream-order odd closed walk (``k = 2`` hiding verdicts).
+    witness: tuple[View, ...] | None
+    coloring: dict[int, int] | None
+    ngraph: NeighborhoodGraph
+    provenance: Provenance
+    #: The backend's historical envelope, for pre-engine consumers.
+    legacy: HidingVerdict = field(repr=False)
+
+    def summary(self) -> str:
+        return self.legacy.summary()
+
+    def decision_fingerprint(self) -> bytes:
+        """Canonical bytes of the *decision content* — identical across
+        every plan that answers the same question.
+
+        Covers the flag, the canonical witness walk, and (for conclusive
+        non-hiding sweeps, where every backend materializes the complete
+        graph) the full view/edge/coloring content.  Excludes provenance
+        and, on hiding verdicts, graph coverage — an early-exit sweep
+        soundly stops at a prefix of ``V(D, n)``.
+        """
+        from ..perf.persist import encode_view
+
+        payload: dict = {"k": self.k, "hiding": self.hiding}
+        payload["witness"] = (
+            None if self.witness is None else [encode_view(v) for v in self.witness]
+        )
+        if self.hiding is False:
+            payload["views"] = [encode_view(v) for v in self.ngraph.views]
+            payload["edges"] = sorted(self.ngraph.edges)
+            payload["coloring"] = (
+                None
+                if self.coloring is None
+                else sorted(self.coloring.items())
+            )
+        return json.dumps(payload, sort_keys=True, ensure_ascii=False).encode("utf-8")

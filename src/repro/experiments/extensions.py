@@ -31,8 +31,8 @@ from ..core.even_cycle import EvenCycleLCP
 from ..core.trivial import RevealingLCP
 from ..graphs import complete_graph, cycle_graph, is_bipartite, theta_graph
 from ..graphs.coloring import chromatic_number
+from ..engine import ExecutionPlan, decide_hiding
 from ..neighborhood.aviews import labeled_yes_instances
-from ..neighborhood.hiding import hiding_verdict_up_to
 from ..neighborhood.ngraph import build_neighborhood_graph
 from .registry import ExperimentResult, register
 
@@ -55,9 +55,9 @@ def run_ext_chromatic() -> ExperimentResult:
         ("degree-one", DegreeOneLCP(), 4),
         ("even-cycle", EvenCycleLCP(), 6),
     ]:
-        # χ needs the COMPLETE V(D, n) — the streaming engine's early
+        # χ needs the COMPLETE V(D, n) — the streaming backend's early
         # exit would stop at the first odd cycle and under-count.
-        verdict = hiding_verdict_up_to(lcp, n, streaming=False)
+        verdict = decide_hiding(lcp, n, ExecutionPlan(backend="materialized"))
         graph = verdict.ngraph.to_graph()
         if graph.has_loop():
             chi = None  # a view adjacent to itself: no finite coloring

@@ -11,7 +11,8 @@ import sys
 import time
 from pathlib import Path
 
-from ..perf import GLOBAL_STATS, configure
+from ..perf import GLOBAL_STATS
+from ..perf.config import CONFIG
 from .registry import ExperimentResult, all_experiments
 from .report import render_perf_stats, render_results
 
@@ -31,23 +32,26 @@ def run_all(
     verdicts under ``.repro_cache/`` across runs — experiments that need
     the complete ``V(D, n)`` opt out per call, so all verdicts are
     unchanged either way.
+
+    The knobs are scoped to this call (``CONFIG.overridden``): a runner
+    invocation can no longer leak ``workers``/``streaming``/``disk_cache``
+    into subsequent in-process work.
     """
-    if workers is not None:
-        configure(workers=workers)
-    if streaming is not None:
-        configure(streaming=streaming)
-    if disk_cache is not None:
-        configure(disk_cache=disk_cache)
     results = []
-    for experiment in all_experiments():
-        start = time.perf_counter()
-        result = experiment.run()
-        elapsed = time.perf_counter() - start
-        if verbose:
-            status = "OK" if result.ok else "MISMATCH"
-            print(f"[{status}] {experiment.exp_id} ({elapsed:.1f}s)", file=sys.stderr)
-        result.notes.append(f"wall time: {elapsed:.2f}s")
-        results.append(result)
+    with CONFIG.overridden(
+        workers=workers, streaming=streaming, disk_cache=disk_cache
+    ):
+        for experiment in all_experiments():
+            start = time.perf_counter()
+            result = experiment.run()
+            elapsed = time.perf_counter() - start
+            if verbose:
+                status = "OK" if result.ok else "MISMATCH"
+                print(
+                    f"[{status}] {experiment.exp_id} ({elapsed:.1f}s)", file=sys.stderr
+                )
+            result.notes.append(f"wall time: {elapsed:.2f}s")
+            results.append(result)
     return results
 
 

@@ -13,6 +13,7 @@ some ``n``.  Both directions are runnable:
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -20,8 +21,27 @@ from ..certification.lcp import LCP
 from ..graphs.graph import Graph
 from ..local.instance import Instance
 from ..local.views import View
-from .aviews import labeled_yes_instances, yes_instances_up_to
+from .aviews import labeled_yes_instances
 from .ngraph import NeighborhoodGraph, build_neighborhood_graph_auto
+
+#: Sentinel distinguishing "caller never passed streaming=" (route via
+#: the config knob, no deprecation) from an explicit legacy routing ask.
+_UNSET = object()
+
+#: Deprecation shims warn exactly once per process per shim name.
+_WARNED: set[str] = set()
+
+
+def _warn_once(name: str, message: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _reset_deprecation_guards() -> None:
+    """Test hook: make the next shim call warn again."""
+    _WARNED.clear()
 
 
 @dataclass(frozen=True)
@@ -59,12 +79,7 @@ def hiding_verdict_from_instances(
 ) -> HidingVerdict:
     """Check hiding over the neighborhood subgraph spanned by *labeled*."""
     ngraph = build_neighborhood_graph_auto(lcp, labeled)
-    return _verdict(lcp, ngraph, exhaustive=exhaustive)
-
-
-#: Memo for full Lemma 3.1 sweeps — they are deterministic per scheme and
-#: parameters, and several experiments/tests ask for the same ones.
-_SWEEP_CACHE: dict[tuple, "HidingVerdict"] = {}
+    return classic_verdict(lcp, ngraph, exhaustive=exhaustive)
 
 
 def hiding_verdict_up_to(
@@ -74,7 +89,7 @@ def hiding_verdict_up_to(
     id_order_types: bool = False,
     include_all_accepted_labelings: bool = True,
     labeling_limit: int = 20_000,
-    streaming: bool | None = None,
+    streaming: bool | None = _UNSET,  # type: ignore[assignment]
 ) -> HidingVerdict:
     """Check hiding over the full Lemma 3.1 enumeration up to *n* nodes.
 
@@ -83,55 +98,32 @@ def hiding_verdict_up_to(
     memoized per (scheme, decoder, parameters) — the enumeration is
     deterministic, and the returned verdict is immutable by convention.
 
-    *streaming* routes the sweep through the early-exit engine of
-    :mod:`repro.neighborhood.streaming` (default: the global
-    ``CONFIG.streaming`` knob).  The hiding flag is identical either way,
-    but on hiding verdicts the streamed graph covers only the scanned
-    prefix of ``V(D, n)`` — callers that need the complete graph (e.g.
-    chromatic-number measurements) must pass ``streaming=False``.
+    This is now a thin front over :func:`repro.engine.decide_hiding`:
+    the call builds an :class:`~repro.engine.ExecutionPlan` via the
+    engine's plan resolver and returns ``verdict.legacy``.  Passing
+    ``streaming=`` explicitly is deprecated — build a plan instead
+    (``ExecutionPlan(backend="materialized")`` for callers that need the
+    complete ``V(D, n)``, e.g. chromatic-number measurements).  Without
+    the keyword, the backend follows the session config, as before.
     """
-    from ..perf.config import CONFIG
+    from ..engine import decide_hiding, resolve_plan
 
-    if streaming is None:
-        streaming = CONFIG.streaming
-    if streaming:
-        from .streaming import streaming_hiding_verdict_up_to
-
-        return streaming_hiding_verdict_up_to(
-            lcp,
-            n,
-            port_limit=port_limit,
-            id_order_types=id_order_types,
-            include_all_accepted_labelings=include_all_accepted_labelings,
-            labeling_limit=labeling_limit,
+    if streaming is _UNSET:
+        streaming = None
+    else:
+        _warn_once(
+            "hiding_verdict_up_to.streaming",
+            "hiding_verdict_up_to(streaming=...) is deprecated; build an "
+            "ExecutionPlan and call repro.engine.decide_hiding instead",
         )
-    cache_key = (
-        type(lcp).__name__,
-        lcp.name,
-        lcp.decoder.name,
-        lcp.k,
-        lcp.radius,
-        n,
-        port_limit,
-        id_order_types,
-        include_all_accepted_labelings,
-        labeling_limit,
-    )
-    cached = _SWEEP_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
-    labeled = yes_instances_up_to(
-        lcp,
-        n,
+    plan = resolve_plan(
+        streaming=streaming,
         port_limit=port_limit,
         id_order_types=id_order_types,
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
     )
-    ngraph = build_neighborhood_graph_auto(lcp, labeled)
-    verdict = _verdict(lcp, ngraph, exhaustive=True)
-    _SWEEP_CACHE[cache_key] = verdict
-    return verdict
+    return decide_hiding(lcp, n, plan).legacy
 
 
 def hiding_verdict_on_witnesses(
@@ -142,10 +134,12 @@ def hiding_verdict_on_witnesses(
         lcp, graphs, port_limit=port_limit, id_bound=id_bound
     )
     ngraph = build_neighborhood_graph_auto(lcp, labeled)
-    return _verdict(lcp, ngraph, exhaustive=False)
+    return classic_verdict(lcp, ngraph, exhaustive=False)
 
 
-def _verdict(lcp: LCP, ngraph: NeighborhoodGraph, exhaustive: bool) -> HidingVerdict:
+def classic_verdict(
+    lcp: LCP, ngraph: NeighborhoodGraph, exhaustive: bool
+) -> HidingVerdict:
     if lcp.k == 2:
         odd_cycle = ngraph.find_odd_cycle()
         if odd_cycle is not None:

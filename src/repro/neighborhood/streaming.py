@@ -34,20 +34,23 @@ adjacent views, and on non-hiding sweeps the streamed graph *is* the full
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..certification.lcp import LCP
 from ..graphs.incremental import IncrementalKColoring, ParityForest
 from ..local.views import View
-from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS, PerfStats
-from .aviews import yes_instances_between, yes_instances_up_to
 from .hiding import HidingVerdict
-from .ngraph import GraphConsumer, NeighborhoodGraph, build_neighborhood_graph_auto
+from .ngraph import GraphConsumer, NeighborhoodGraph
 
-#: Engine revision; folded into warm-state and disk keys so algorithmic
-#: changes can never resurrect stale state.
-ENGINE_VERSION = 1
+
+def __getattr__(name: str):
+    # Back-compat: the canonical engine revision now lives in
+    # repro.engine (imported lazily — the engine package imports this
+    # module's StreamingHidingEngine).
+    if name == "ENGINE_VERSION":
+        from ..engine import ENGINE_VERSION
+
+        return ENGINE_VERSION
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class StreamingHidingEngine(GraphConsumer):
@@ -178,150 +181,20 @@ class StreamingHidingEngine(GraphConsumer):
 
 
 # ----------------------------------------------------------------------
-# The sweep driver: warm starts, memoization, disk persistence
+# Legacy driver surface (now thin fronts over repro.engine)
 # ----------------------------------------------------------------------
 
 
-@dataclass
-class _SweepState:
-    """Last finished streaming sweep for one (LCP, parameters) family."""
-
-    n: int
-    engine: StreamingHidingEngine
-
-
-#: Completed sweep verdicts per full parameter key (mirrors the
-#: materialized `_SWEEP_CACHE`, kept separate because witnesses differ).
-_STREAM_MEMO: dict[tuple, HidingVerdict] = {}
-
-#: Warm-start states per parameter key *without* ``n``.
-_WARM_STATES: dict[tuple, _SweepState] = {}
-
-
 def clear_streaming_state() -> None:
-    """Drop all in-memory streaming memos and warm states (benchmarks)."""
-    _STREAM_MEMO.clear()
-    _WARM_STATES.clear()
+    """Drop the in-memory streaming memo and warm states (benchmarks).
 
+    The materialized memo is left alone — use
+    :func:`repro.engine.clear_engine_state` to drop everything.
+    """
+    from ..engine import clear_memory_store, clear_warm_states
 
-def _family_key(
-    lcp: LCP,
-    port_limit: int,
-    id_order_types: bool,
-    include_all_accepted_labelings: bool,
-    labeling_limit: int,
-    early_exit: bool,
-) -> tuple:
-    return (
-        ENGINE_VERSION,
-        type(lcp).__name__,
-        lcp.name,
-        lcp.decoder.name,
-        lcp.k,
-        lcp.radius,
-        lcp.anonymous,
-        port_limit,
-        id_order_types,
-        include_all_accepted_labelings,
-        labeling_limit,
-        early_exit,
-    )
-
-
-def _disk_key(family_key: tuple, n: int) -> dict:
-    (
-        engine_version,
-        lcp_type,
-        lcp_name,
-        decoder_name,
-        k,
-        radius,
-        anonymous,
-        port_limit,
-        id_order_types,
-        include_all,
-        labeling_limit,
-        early_exit,
-    ) = family_key
-    return {
-        "engine_version": engine_version,
-        "lcp_type": lcp_type,
-        "lcp_name": lcp_name,
-        "decoder": decoder_name,
-        "k": k,
-        "radius": radius,
-        "anonymous": anonymous,
-        "n": n,
-        "port_limit": port_limit,
-        "id_order_types": id_order_types,
-        "include_all_accepted_labelings": include_all,
-        "labeling_limit": labeling_limit,
-        "early_exit": early_exit,
-    }
-
-
-def _serialize_verdict(verdict: HidingVerdict, early_exit: bool) -> dict:
-    from ..perf import persist
-
-    g = verdict.ngraph
-    return {
-        "hiding": verdict.hiding,
-        "k": verdict.k,
-        "radius": g.radius,
-        "include_ids": g.include_ids,
-        "early_exit": early_exit,
-        "instances_scanned": g.instances_scanned,
-        "views": [persist.encode_view(view) for view in g.views],
-        "edges": [list(edge) for edge in sorted(g.edges)],
-        "odd_cycle": (
-            None
-            if verdict.odd_cycle is None
-            else [g.index[view] for view in verdict.odd_cycle]
-        ),
-        "coloring": (
-            None
-            if verdict.coloring is None
-            else {str(i): c for i, c in verdict.coloring.items()}
-        ),
-    }
-
-
-def _deserialize_verdict(body: dict) -> HidingVerdict:
-    from ..perf import persist
-
-    views = [persist.decode_view(payload) for payload in body["views"]]
-    ngraph = NeighborhoodGraph(
-        radius=body["radius"], include_ids=body["include_ids"]
-    )
-    ngraph.views = views
-    ngraph.index = {view: i for i, view in enumerate(views)}
-    for i, j in body["edges"]:
-        ngraph.edges.add((i, j))
-        ngraph.adjacency.setdefault(i, []).append(j)
-        if j != i:
-            ngraph.adjacency.setdefault(j, []).append(i)
-    ngraph.instances_scanned = body["instances_scanned"]
-    # Provenance (instance witnesses per view/edge) does not survive the
-    # disk round trip; consumers that trace views back to instances must
-    # run a fresh sweep.
-    ngraph.has_provenance = False
-    odd_cycle = (
-        None
-        if body["odd_cycle"] is None
-        else tuple(views[i] for i in body["odd_cycle"])
-    )
-    coloring = (
-        None
-        if body["coloring"] is None
-        else {int(i): c for i, c in body["coloring"].items()}
-    )
-    return HidingVerdict(
-        k=body["k"],
-        hiding=body["hiding"],
-        ngraph=ngraph,
-        odd_cycle=odd_cycle,
-        coloring=coloring,
-    )
+    clear_memory_store("streaming")
+    clear_warm_states()
 
 
 def streaming_hiding_verdict_up_to(
@@ -337,8 +210,10 @@ def streaming_hiding_verdict_up_to(
     warm_start: bool | None = None,
     disk_cache: bool | None = None,
 ) -> HidingVerdict:
-    """Streaming counterpart of :func:`~repro.neighborhood.hiding.
-    hiding_verdict_up_to` — same parameters, same verdict semantics.
+    """Deprecated streaming front — build an
+    :class:`~repro.engine.ExecutionPlan` with ``backend="streaming"`` and
+    call :func:`repro.engine.decide_hiding` instead.  Same parameters,
+    same verdict semantics:
 
     * With *early_exit* (default) the sweep stops at the first witness;
       the verdict's graph then covers only the scanned prefix, which is
@@ -353,99 +228,25 @@ def streaming_hiding_verdict_up_to(
       sweeps across processes; cached graphs carry no instance
       provenance (``ngraph.has_provenance`` is False).
     """
-    stats = stats or GLOBAL_STATS
-    use_warm = CONFIG.warm_start if warm_start is None else warm_start
-    use_disk = CONFIG.disk_cache if disk_cache is None else disk_cache
-    family = _family_key(
-        lcp,
-        port_limit,
-        id_order_types,
-        include_all_accepted_labelings,
-        labeling_limit,
-        early_exit,
+    from ..engine import ExecutionPlan, RunContext, decide_hiding
+    from .hiding import _warn_once
+
+    _warn_once(
+        "streaming_hiding_verdict_up_to",
+        "streaming_hiding_verdict_up_to() is deprecated; build an "
+        'ExecutionPlan(backend="streaming") and call '
+        "repro.engine.decide_hiding instead",
     )
-    full_key = family + (n,)
-    cached = _STREAM_MEMO.get(full_key)
-    if cached is not None:
-        stats.incr("stream_memo_hits")
-        return cached
-
-    state = _WARM_STATES.get(family) if use_warm and lcp.anonymous else None
-
-    # A previously found witness answers every larger sweep instantly:
-    # V(D, m) ⊇ V(D, n) for m ≥ n keeps the odd walk intact.
-    if state is not None and state.n <= n and state.engine.witness_found:
-        stats.incr("warm_witness_hits")
-        verdict = state.engine.verdict(exhaustive=True)
-        _STREAM_MEMO[full_key] = verdict
-        if use_disk:
-            _persist(family, n, verdict, early_exit, stats)
-        return verdict
-
-    if use_disk:
-        from ..perf.persist import default_verdict_cache
-
-        body = default_verdict_cache().load(_disk_key(family, n), stats=stats)
-        if body is not None:
-            with stats.time_stage("disk_cache_load"):
-                verdict = _deserialize_verdict(body)
-            _STREAM_MEMO[full_key] = verdict
-            return verdict
-
-    with stats.time_stage("streaming_sweep"):
-        if state is not None and state.n <= n:
-            stats.incr("warm_starts")
-            engine = state.engine.clone()
-            engine.stats = stats
-            instances = yes_instances_between(
-                lcp,
-                state.n,
-                n,
-                port_limit=port_limit,
-                id_order_types=id_order_types,
-                include_all_accepted_labelings=include_all_accepted_labelings,
-                labeling_limit=labeling_limit,
-            )
-        else:
-            engine = StreamingHidingEngine(
-                lcp.k,
-                lcp.radius,
-                not lcp.anonymous,
-                early_exit=early_exit,
-                stats=stats,
-            )
-            instances = yes_instances_up_to(
-                lcp,
-                n,
-                port_limit=port_limit,
-                id_order_types=id_order_types,
-                include_all_accepted_labelings=include_all_accepted_labelings,
-                labeling_limit=labeling_limit,
-            )
-        build_neighborhood_graph_auto(
-            lcp,
-            instances,
-            workers=workers,
-            stats=stats,
-            consumer=engine,
-            into=engine.ngraph,
-        )
-
-    verdict = engine.verdict(exhaustive=True)
-    _STREAM_MEMO[full_key] = verdict
-    if use_warm and lcp.anonymous:
-        _WARM_STATES[family] = _SweepState(n=n, engine=engine)
-    if use_disk:
-        _persist(family, n, verdict, early_exit, stats)
-    return verdict
-
-
-def _persist(
-    family: tuple, n: int, verdict: HidingVerdict, early_exit: bool, stats: PerfStats
-) -> None:
-    from ..perf.persist import default_verdict_cache
-
-    with stats.time_stage("disk_cache_store"):
-        default_verdict_cache().store(
-            _disk_key(family, n), _serialize_verdict(verdict, early_exit), stats=stats
-        )
+    plan = ExecutionPlan(
+        backend="streaming",
+        workers=workers,
+        early_exit=early_exit,
+        warm_start=warm_start,
+        disk_cache=disk_cache,
+        port_limit=port_limit,
+        id_order_types=id_order_types,
+        include_all_accepted_labelings=include_all_accepted_labelings,
+        labeling_limit=labeling_limit,
+    )
+    ctx = RunContext(stats=stats) if stats is not None else None
+    return decide_hiding(lcp, n, plan, ctx=ctx).legacy

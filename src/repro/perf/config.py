@@ -62,26 +62,41 @@ class PerfConfig:
     disk_cache: bool = False
     disk_cache_dir: str | None = None
 
+    def apply(self, **kwargs) -> "PerfConfig":
+        """Update fields in place (unknown names raise); returns self."""
+        valid = {f.name for f in fields(PerfConfig)}
+        for key, value in kwargs.items():
+            if key not in valid:
+                raise TypeError(f"unknown perf config field {key!r}")
+            setattr(self, key, value)
+        return self
+
+    @contextmanager
+    def overridden(self, **kwargs):
+        """Scope field overrides to a ``with`` block — the preferred way
+        for surfaces (runner, CLI, tests) to set knobs without leaking
+        them into the rest of the process.  ``None`` values mean "leave
+        this knob alone", so call sites can forward optional arguments
+        unfiltered."""
+        effective = {k: v for k, v in kwargs.items() if v is not None}
+        saved = {key: getattr(self, key) for key in effective}
+        self.apply(**effective)
+        try:
+            yield self
+        finally:
+            self.apply(**saved)
+
 
 CONFIG = PerfConfig()
 
 
 def configure(**kwargs) -> PerfConfig:
     """Update the global :data:`CONFIG` in place; returns it."""
-    valid = {f.name for f in fields(PerfConfig)}
-    for key, value in kwargs.items():
-        if key not in valid:
-            raise TypeError(f"unknown perf config field {key!r}")
-        setattr(CONFIG, key, value)
-    return CONFIG
+    return CONFIG.apply(**kwargs)
 
 
 @contextmanager
 def overridden(**kwargs):
     """Temporarily override :data:`CONFIG` fields (tests and benchmarks)."""
-    saved = {key: getattr(CONFIG, key) for key in kwargs}
-    configure(**kwargs)
-    try:
-        yield CONFIG
-    finally:
-        configure(**saved)
+    with CONFIG.overridden(**kwargs) as config:
+        yield config

@@ -1,0 +1,121 @@
+"""Deprecation shims: the legacy keyword surfaces still work, still give
+correct verdicts, and warn exactly once per process per surface."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import DegreeOneLCP
+from repro.engine import ExecutionPlan, clear_engine_state, decide_hiding
+from repro.neighborhood import hiding_verdict_up_to, streaming_hiding_verdict_up_to
+from repro.neighborhood.hiding import HidingVerdict, _reset_deprecation_guards
+from repro.perf import overridden
+from repro.perf.persist import default_verdict_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_engine_state()
+    _reset_deprecation_guards()
+    yield
+    clear_engine_state()
+    _reset_deprecation_guards()
+
+
+def test_streaming_keyword_warns_exactly_once():
+    lcp = DegreeOneLCP()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        hiding_verdict_up_to(lcp, 3, streaming=False)
+        hiding_verdict_up_to(lcp, 4, streaming=False)
+        hiding_verdict_up_to(lcp, 3, streaming=True)
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert "ExecutionPlan" in str(deprecations[0].message)
+
+
+def test_plain_call_does_not_warn():
+    lcp = DegreeOneLCP()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        hiding_verdict_up_to(lcp, 3)
+    assert [w for w in caught if w.category is DeprecationWarning] == []
+
+
+def test_streaming_front_warns_exactly_once():
+    lcp = DegreeOneLCP()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        streaming_hiding_verdict_up_to(lcp, 3, warm_start=False, disk_cache=False)
+        streaming_hiding_verdict_up_to(lcp, 4, warm_start=False, disk_cache=False)
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+
+
+def test_shimmed_verdicts_match_the_engine():
+    lcp = DegreeOneLCP()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy_mat = hiding_verdict_up_to(lcp, 4, streaming=False)
+        legacy_stream = streaming_hiding_verdict_up_to(
+            lcp, 4, warm_start=False, disk_cache=False
+        )
+    assert isinstance(legacy_mat, HidingVerdict)
+    assert isinstance(legacy_stream, HidingVerdict)
+    engine_mat = decide_hiding(
+        lcp, 4, ExecutionPlan(backend="materialized", disk_cache=False)
+    )
+    engine_stream = decide_hiding(
+        lcp,
+        4,
+        ExecutionPlan(backend="streaming", warm_start=False, disk_cache=False),
+    )
+    # The shim returns the engine verdict's legacy envelope — and the
+    # memo tier makes repeated asks hand back the very same object.
+    assert legacy_mat is engine_mat.legacy
+    assert legacy_stream is engine_stream.legacy
+    assert legacy_mat.hiding is True
+    assert len(legacy_mat.odd_cycle) == 8  # historical BFS walk
+
+
+def test_shim_routing_is_the_engines():
+    """The config knob routes the plain call exactly like a plan left on
+    auto — no routing logic hides in the shim."""
+    lcp = DegreeOneLCP()
+    with overridden(streaming=True):
+        via_shim = hiding_verdict_up_to(lcp, 4)
+        via_engine = decide_hiding(lcp, 4)
+    assert via_shim is via_engine.legacy
+
+
+def test_pre_engine_disk_entries_still_load(tmp_path):
+    """A ``.repro_cache/`` body written by the pre-engine streaming
+    driver (no ``witness`` key) still loads: key layout and body format
+    are byte-compatible."""
+    from repro.engine.backends import disk_key
+    from repro.engine.stores import _body_from_verdict
+
+    lcp = DegreeOneLCP()
+    plan = ExecutionPlan(
+        backend="streaming", warm_start=False, disk_cache=True, memory_cache=False
+    ).resolve()
+    with overridden(disk_cache_dir=str(tmp_path)):
+        fresh = decide_hiding(lcp, 4, plan)
+        key = disk_key(lcp, 4, plan)
+        body = _body_from_verdict(fresh)
+        # Streaming bodies must not carry the engine-only witness field,
+        # and the key must keep the exact pre-engine vocabulary.
+        assert "witness" not in body
+        assert "backend" not in key
+        assert key["engine_version"] == 1
+        # Simulate a pre-engine entry: rewrite the body minus any
+        # engine-era extras, then reload through the engine.
+        cache = default_verdict_cache()
+        assert cache.store(key, body)
+        clear_engine_state()
+        reloaded = decide_hiding(lcp, 4, plan)
+    assert reloaded.provenance.disk_cache_hit is True
+    assert reloaded.decision_fingerprint() == fresh.decision_fingerprint()
+    assert reloaded.legacy.odd_cycle == fresh.legacy.odd_cycle

@@ -1,0 +1,308 @@
+"""Plan-equivalence properties of the unified hiding engine.
+
+The engine's contract: every plan (backend × workers × cache tiers) that
+answers the same question yields the *identical* decision — same hiding
+flag, byte-identical canonical witness walk, and on conclusive
+non-hiding sweeps the same complete graph and coloring — and the
+verdict's provenance reports the backend that actually ran.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import all_lcps, make_lcp
+from repro.engine import (
+    BACKEND_MATERIALIZED,
+    BACKEND_STREAMING,
+    ExecutionPlan,
+    RunContext,
+    Verdict,
+    available_backends,
+    clear_engine_state,
+    decide_hiding,
+    resolve_plan,
+)
+from repro.graphs.properties import is_odd_closed_walk
+from repro.perf import PerfStats, overridden
+from repro.perf.config import PerfConfig
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_state():
+    clear_engine_state()
+    yield
+    clear_engine_state()
+
+
+def _plan_grid(tmp_path):
+    """Every (backend × workers × cache tier) combination of the
+    acceptance criterion.  Disk-tier plans get a private cache dir."""
+    plans = []
+    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+        for workers in (1, 2):
+            plans.append(
+                (
+                    f"{backend}-w{workers}-nocache",
+                    ExecutionPlan(
+                        backend=backend,
+                        workers=workers,
+                        warm_start=False,
+                        memory_cache=False,
+                        disk_cache=False,
+                    ),
+                    None,
+                )
+            )
+            plans.append(
+                (
+                    f"{backend}-w{workers}-memory",
+                    ExecutionPlan(
+                        backend=backend,
+                        workers=workers,
+                        warm_start=False,
+                        memory_cache=True,
+                        disk_cache=False,
+                    ),
+                    None,
+                )
+            )
+            plans.append(
+                (
+                    f"{backend}-w{workers}-memory+disk",
+                    ExecutionPlan(
+                        backend=backend,
+                        workers=workers,
+                        warm_start=False,
+                        memory_cache=True,
+                        disk_cache=True,
+                    ),
+                    str(tmp_path / f"{backend}-w{workers}"),
+                )
+            )
+    return plans
+
+
+@pytest.mark.parametrize("scheme", sorted(all_lcps()))
+def test_every_plan_yields_the_identical_decision(scheme, tmp_path):
+    """The acceptance criterion: for every registry scheme, every plan in
+    the grid produces the same decision fingerprint — including the
+    canonical witness walk — and honest backend provenance."""
+    lcp = make_lcp(scheme)
+    n = 4
+    fingerprints = {}
+    for label, plan, cache_dir in _plan_grid(tmp_path):
+        clear_engine_state()
+        with overridden(disk_cache_dir=cache_dir):
+            verdict = decide_hiding(lcp, n, plan, ctx=RunContext.isolated())
+        assert isinstance(verdict, Verdict), label
+        assert verdict.provenance.backend == plan.backend, label
+        assert verdict.hiding in (True, False), label
+        if verdict.hiding and lcp.k == 2:
+            g = verdict.ngraph
+            walk = [g.index[view] for view in verdict.witness]
+            assert is_odd_closed_walk(g.to_graph(), walk), label
+        fingerprints[label] = verdict.decision_fingerprint()
+    distinct = set(fingerprints.values())
+    assert len(distinct) == 1, (
+        f"{scheme}: plans disagree: "
+        f"{ {label: fp[:60] for label, fp in fingerprints.items()} }"
+    )
+
+
+@pytest.mark.parametrize("scheme", ["degree-one", "revealing", "even-cycle"])
+def test_plan_equivalence_at_n5_serial(scheme, tmp_path):
+    lcp = make_lcp(scheme)
+    fps = set()
+    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+        clear_engine_state()
+        plan = ExecutionPlan(
+            backend=backend, workers=1, warm_start=False, disk_cache=False
+        )
+        fps.add(decide_hiding(lcp, 5, plan).decision_fingerprint())
+    assert len(fps) == 1
+
+
+def test_warm_started_chain_keeps_the_fingerprint():
+    """Warm-started sweeps (including the witness shortcut) answer with
+    the same decision bytes as cold ones, and say so in provenance."""
+    lcp = make_lcp("degree-one")
+    cold = {}
+    for n in (3, 4, 5):
+        clear_engine_state()
+        cold[n] = decide_hiding(
+            lcp,
+            n,
+            ExecutionPlan(backend="streaming", warm_start=False, disk_cache=False),
+        )
+    clear_engine_state()
+    warm4 = None
+    for n in (3, 4, 5):
+        warm = decide_hiding(
+            lcp,
+            n,
+            ExecutionPlan(backend="streaming", warm_start=True, disk_cache=False),
+        )
+        assert warm.decision_fingerprint() == cold[n].decision_fingerprint()
+        if n == 4:
+            warm4 = warm
+    # degree-one hides at n = 4, so n = 5 was answered by the witness
+    # shortcut without a sweep.
+    assert warm4.hiding is True
+    last = decide_hiding(
+        lcp,
+        5,
+        ExecutionPlan(
+            backend="streaming", warm_start=True, disk_cache=False, memory_cache=False
+        ),
+    )
+    assert last.provenance.warm_witness_hit is True
+
+
+def test_provenance_reports_the_backend_that_ran():
+    lcp = make_lcp("degree-one")
+    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+        verdict = decide_hiding(
+            lcp, 3, ExecutionPlan(backend=backend, disk_cache=False)
+        )
+        assert verdict.provenance.backend == backend
+        assert verdict.provenance.n == 3
+        assert verdict.provenance.summary()
+
+
+def test_auto_backend_follows_the_config():
+    lcp = make_lcp("degree-one")
+    with overridden(streaming=False):
+        v = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False))
+    assert v.provenance.backend == BACKEND_MATERIALIZED
+    clear_engine_state()
+    with overridden(streaming=True):
+        v = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False))
+    assert v.provenance.backend == BACKEND_STREAMING
+
+
+def test_memory_tier_returns_the_identical_object():
+    lcp = make_lcp("revealing")
+    plan = ExecutionPlan(backend="materialized", disk_cache=False)
+    first = decide_hiding(lcp, 4, plan)
+    again = decide_hiding(lcp, 4, plan)
+    assert again is first
+
+
+def test_disk_tier_round_trip_marks_provenance(tmp_path):
+    lcp = make_lcp("degree-one")
+    plan = ExecutionPlan(
+        backend="streaming", warm_start=False, disk_cache=True, memory_cache=False
+    )
+    with overridden(disk_cache_dir=str(tmp_path)):
+        stats = PerfStats()
+        first = decide_hiding(lcp, 4, plan, ctx=RunContext(stats=stats))
+        assert stats.get("persist_writes") == 1
+        assert first.provenance.disk_cache_hit is False
+        stats = PerfStats()
+        second = decide_hiding(lcp, 4, plan, ctx=RunContext(stats=stats))
+        assert stats.get("disk_hits") == 1
+    assert second.provenance.disk_cache_hit is True
+    assert second.decision_fingerprint() == first.decision_fingerprint()
+    assert first.ngraph.has_provenance
+    assert not second.ngraph.has_provenance
+
+
+def test_materialized_disk_entries_do_not_collide_with_streaming(tmp_path):
+    """The two backends persist under distinct keys: a materialized run
+    never serves a streaming request and vice versa."""
+    lcp = make_lcp("degree-one")
+    with overridden(disk_cache_dir=str(tmp_path)):
+        mat = decide_hiding(
+            lcp,
+            4,
+            ExecutionPlan(backend="materialized", disk_cache=True, memory_cache=False),
+        )
+        assert mat.provenance.disk_cache_hit is False
+        stream = decide_hiding(
+            lcp,
+            4,
+            ExecutionPlan(
+                backend="streaming",
+                warm_start=False,
+                disk_cache=True,
+                memory_cache=False,
+            ),
+        )
+    assert stream.provenance.disk_cache_hit is False
+    assert mat.decision_fingerprint() == stream.decision_fingerprint()
+
+
+def test_decide_hiding_k_guard():
+    lcp = make_lcp("degree-one")
+    with pytest.raises(ValueError):
+        decide_hiding(lcp, 3, k=lcp.k + 1)
+    ok = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False), k=lcp.k)
+    assert ok.k == lcp.k
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        ExecutionPlan(backend="quantum").resolve()
+
+
+def test_legacy_envelope_is_attached():
+    lcp = make_lcp("degree-one")
+    v = decide_hiding(lcp, 4, ExecutionPlan(backend="materialized", disk_cache=False))
+    assert v.legacy.hiding == v.hiding
+    # The legacy materialized witness keeps its historical BFS derivation
+    # (the Figure 3–4 regression walk), distinct from the canonical
+    # stream-order walk carried by the envelope.
+    assert len(v.legacy.odd_cycle) == 8
+    assert v.summary() == v.legacy.summary()
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        streaming=st.sampled_from([None, True, False]),
+        workers=st.sampled_from([None, 0, 1, 2, 7]),
+        warm_start=st.sampled_from([None, True, False]),
+        disk_cache=st.sampled_from([None, True, False]),
+        config_streaming=st.booleans(),
+        config_workers=st.sampled_from([0, 3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_resolve_plan_invariants(
+        streaming, workers, warm_start, disk_cache, config_streaming, config_workers
+    ):
+        """resolve_plan always produces a fully resolved plan honoring the
+        explicit-beats-config precedence, and resolution is idempotent."""
+        config = PerfConfig(streaming=config_streaming, workers=config_workers)
+        plan = resolve_plan(
+            streaming=streaming,
+            workers=workers,
+            warm_start=warm_start,
+            disk_cache=disk_cache,
+            config=config,
+        )
+        assert plan.is_resolved
+        assert plan.backend in available_backends()
+        if streaming is not None:
+            assert plan.backend == (
+                BACKEND_STREAMING if streaming else BACKEND_MATERIALIZED
+            )
+        else:
+            assert plan.backend == (
+                BACKEND_STREAMING if config_streaming else BACKEND_MATERIALIZED
+            )
+        assert plan.workers == (workers if workers is not None else config_workers)
+        if plan.backend == BACKEND_MATERIALIZED:
+            assert plan.early_exit is False
+            assert plan.warm_start is False
+        elif warm_start is not None:
+            assert plan.warm_start == warm_start
+        assert plan.resolve(config) == plan
