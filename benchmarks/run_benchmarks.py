@@ -67,6 +67,7 @@ from repro.graphs.properties import is_odd_closed_walk
 from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
 from repro.neighborhood.aviews import yes_instances_up_to
 from repro.neighborhood.hiding import hiding_verdict_from_instances
+from repro.obs import RunReport, Tracer, validate_report
 from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
 
@@ -79,6 +80,9 @@ STREAM_COLD = ExecutionPlan(
 )
 STREAM_DISK = ExecutionPlan(
     backend="streaming", warm_start=False, disk_cache=True, memory_cache=False
+)
+MAT_PLAN = ExecutionPlan(
+    backend="materialized", disk_cache=False, memory_cache=False
 )
 
 
@@ -106,14 +110,58 @@ def _timed(fn):
     return min(times), statistics.mean(times), result
 
 
-def _sweep_serial(lcp, n, stats):
-    return build_neighborhood_graph(lcp, yes_instances_up_to(lcp, n), stats=stats)
+def _sweep_serial(lcp, n, stats, tracer=None):
+    return build_neighborhood_graph(
+        lcp, yes_instances_up_to(lcp, n), stats=stats, tracer=tracer
+    )
 
 
-def _sweep_baseline(lcp, n, stats):
+def _sweep_baseline(lcp, n, stats, tracer=None):
     # Seed-equivalent: reference family enumeration, no perf caches.
     instances = labeled_yes_instances(lcp, _reference_graphs_up_to(n), id_bound=n)
-    return build_neighborhood_graph(lcp, instances, stats=stats)
+    return build_neighborhood_graph(lcp, instances, stats=stats, tracer=tracer)
+
+
+def _traced_sweep_report(regime: str, n: int, build_fn) -> str:
+    """One extra traced (untimed) run of a regime's build; returns the
+    run-report path attached to that regime's benchmark row."""
+    tracer = Tracer()
+    stats = PerfStats()
+    with tracer.span("benchmark", benchmark="neighborhood_pipeline",
+                     regime=regime, n=n):
+        graph = build_fn(stats, tracer)
+    report = RunReport.from_run(
+        tracer=tracer,
+        stats=stats,
+        n=n,
+        meta={
+            "kind": "benchmark",
+            "benchmark": "neighborhood_pipeline",
+            "regime": regime,
+            "views": graph.order,
+            "edges": graph.size,
+            "instances_scanned": graph.instances_scanned,
+        },
+    )
+    return str(report.write())
+
+
+def _traced_hiding_report(lcp, n, plan, regime: str) -> str:
+    """One extra traced (untimed) hiding decision; returns the report path."""
+    tracer = Tracer()
+    ctx = RunContext.observed(tracer)
+    verdict = decide_hiding(lcp, n, plan, ctx=ctx)
+    report = RunReport.from_run(
+        tracer=tracer,
+        metrics=ctx.metrics,
+        stats=ctx.stats,
+        verdict=verdict,
+        plan=plan,
+        scheme=lcp.name,
+        n=n,
+        meta={"kind": "benchmark", "benchmark": "hiding_engine", "regime": regime},
+    )
+    return str(report.write())
 
 
 def _record(name, n, best, mean, graph, stats, reference=None, workers=None):
@@ -177,6 +225,16 @@ def run(n: int) -> list[dict]:
             baseline_stats,
         )
     )
+    with overridden(
+        layout_cache=False,
+        decision_memo=False,
+        family_cache=False,
+        canonical_cache=False,
+    ):
+        _clear_everything()
+        rows[-1]["report"] = _traced_sweep_report(
+            "baseline", n, lambda stats, tracer: _sweep_baseline(lcp, n, stats, tracer)
+        )
     rows.append(
         _record(
             "serial_cold",
@@ -188,11 +246,18 @@ def run(n: int) -> list[dict]:
             reference=baseline,
         )
     )
+    _clear_everything()
+    rows[-1]["report"] = _traced_sweep_report(
+        "serial_cold", n, lambda stats, tracer: _sweep_serial(lcp, n, stats, tracer)
+    )
 
     warm_stats = PerfStats()
     best, mean, warm_graph = _timed(lambda: _sweep_serial(lcp, n, warm_stats))
     rows.append(
         _record("serial_warm", n, best, mean, warm_graph, warm_stats, reference=baseline)
+    )
+    rows[-1]["report"] = _traced_sweep_report(
+        "serial_warm", n, lambda stats, tracer: _sweep_serial(lcp, n, stats, tracer)
     )
 
     cpus = os.cpu_count() or 1
@@ -228,6 +293,17 @@ def run(n: int) -> list[dict]:
                 reference=baseline,
                 workers=workers,
             )
+        )
+        rows[-1]["report"] = _traced_sweep_report(
+            f"parallel_{workers}",
+            n,
+            lambda stats, tracer: build_neighborhood_graph_parallel(
+                lcp,
+                yes_instances_up_to(lcp, n),
+                workers=workers,
+                stats=stats,
+                tracer=tracer,
+            ),
         )
     return rows
 
@@ -282,6 +358,8 @@ def run_hiding(n: int) -> list[dict]:
             "instances_scanned": mat.ngraph.instances_scanned,
         }
     )
+    _clear_everything()
+    rows[-1]["report"] = _traced_hiding_report(lcp, n, MAT_PLAN, "materialized_full")
 
     cold_times = []
     streamed = None
@@ -308,6 +386,8 @@ def run_hiding(n: int) -> list[dict]:
             "early_exit_speedup": round(min(mat_times) / min(cold_times), 3),
         }
     )
+    _clear_everything()
+    rows[-1]["report"] = _traced_hiding_report(lcp, n, STREAM_COLD, "streaming_cold")
 
     # Populate the disk entry once (untimed), then measure pure reloads
     # (the plan's memory tier is off, so every repeat reads the disk).
@@ -336,37 +416,75 @@ def run_hiding(n: int) -> list[dict]:
             "disk_speedup_vs_cold": round(min(cold_times) / min(warm_times), 3),
         }
     )
+    rows[-1]["report"] = _traced_hiding_report(
+        lcp, n, STREAM_DISK, "streaming_warm_disk"
+    )
     return rows
 
 
-def smoke_early_exit() -> int:
+def smoke_early_exit(trace_out: str | None = None) -> int:
     """CI smoke: streaming parity across registry schemes, serial and
-    2-worker; returns a nonzero exit status on any mismatch."""
+    2-worker; returns a nonzero exit status on any mismatch.
+
+    With *trace_out*, the whole smoke runs traced and emits a validated
+    run report (one ``decide_hiding`` span subtree per check) — CI
+    uploads it as an artifact and schema-checks it on the spot."""
+    tracer = Tracer() if trace_out is not None else None
+    ctx = RunContext.observed(tracer) if tracer is not None else RunContext.default()
     failures = []
-    for name, lcp in all_lcps().items():
-        for n in (3, 4):
-            _clear_everything()
-            mat = hiding_verdict_from_instances(
-                lcp,
-                yes_instances_up_to(lcp, n, include_all_accepted_labelings=True),
-                exhaustive=True,
-            )
-            for workers in (1, 2):
-                plan = ExecutionPlan(
-                    backend="streaming",
-                    workers=workers,
-                    warm_start=False,
-                    disk_cache=False,
-                    memory_cache=False,
+    checks = 0
+
+    def sweep() -> None:
+        nonlocal checks
+        for name, lcp in all_lcps().items():
+            for n in (3, 4):
+                _clear_everything()
+                mat = hiding_verdict_from_instances(
+                    lcp,
+                    yes_instances_up_to(lcp, n, include_all_accepted_labelings=True),
+                    exhaustive=True,
                 )
-                streamed = decide_hiding(lcp, n, plan)
-                if not _hiding_parity(streamed, mat):
-                    failures.append((name, n, workers))
-                    print(
-                        f"PARITY FAILURE: {name} n={n} workers={workers}: "
-                        f"streaming={streamed.hiding} materialized={mat.hiding}",
-                        file=sys.stderr,
+                for workers in (1, 2):
+                    plan = ExecutionPlan(
+                        backend="streaming",
+                        workers=workers,
+                        warm_start=False,
+                        disk_cache=False,
+                        memory_cache=False,
                     )
+                    streamed = decide_hiding(lcp, n, plan, ctx=ctx)
+                    checks += 1
+                    if not _hiding_parity(streamed, mat):
+                        failures.append((name, n, workers))
+                        print(
+                            f"PARITY FAILURE: {name} n={n} workers={workers}: "
+                            f"streaming={streamed.hiding} "
+                            f"materialized={mat.hiding}",
+                            file=sys.stderr,
+                        )
+
+    if tracer is not None:
+        with tracer.span("early-exit-smoke"):
+            sweep()
+        report = RunReport.from_run(
+            tracer=tracer,
+            metrics=ctx.metrics,
+            stats=ctx.stats,
+            meta={
+                "kind": "smoke",
+                "checks": checks,
+                "failures": [list(f) for f in failures],
+            },
+        )
+        errors = validate_report(report.payload)
+        path = report.write(path=trace_out)
+        print(f"smoke run report written to {trace_out} ({path})", file=sys.stderr)
+        if errors:
+            for error in errors:
+                print(f"INVALID REPORT: {error}", file=sys.stderr)
+            return 1
+    else:
+        sweep()
     if failures:
         print(f"{len(failures)} parity failure(s)", file=sys.stderr)
         return 1
@@ -390,9 +508,15 @@ def main() -> int:
         action="store_true",
         help="CI smoke mode: parity checks only, no timing reports",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="with --early-exit: write a validated run report to FILE",
+    )
     args = parser.parse_args()
     if args.early_exit:
-        return smoke_early_exit()
+        return smoke_early_exit(trace_out=args.trace_out)
 
     target = Path(args.output)
     rows = []

@@ -17,9 +17,16 @@ Subcommands
     Print every node's certified view and its verdict.
 ``repro hiding <scheme> --n N``
     Decide hiding via the streaming early-exit engine (or
-    ``--materialized`` for the classic full-build pipeline).
+    ``--materialized`` for the classic full-build pipeline).  The scheme
+    may equivalently be given as ``--scheme``; ``--trace`` prints the
+    run's span tree and ``--trace-out FILE`` writes a full run report.
+``repro report show|diff|validate ...``
+    Inspect, compare, or schema-check run reports under ``.repro_runs/``.
 ``repro cache stats|clear``
     Inspect or empty the persistent sweep cache under ``.repro_cache/``.
+
+The top-level ``--log-level`` flag configures the ``repro.*`` stdlib
+logger hierarchy (see :mod:`repro.obs.logs`).
 """
 
 from __future__ import annotations
@@ -140,13 +147,39 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0 if result.unanimous else 1
 
 
+def _resolve_hiding_scheme(args: argparse.Namespace) -> str:
+    """The scheme from the positional or the ``--scheme`` option (they
+    are aliases; giving both only works when they agree)."""
+    positional, option = args.scheme_pos, args.scheme_opt
+    if positional is not None and option is not None and positional != option:
+        raise SystemExit(
+            f"repro hiding: conflicting schemes {positional!r} and {option!r}"
+        )
+    scheme = option if option is not None else positional
+    if scheme is None:
+        raise SystemExit(
+            "repro hiding: a scheme is required (positional or --scheme)"
+        )
+    return scheme
+
+
 def cmd_hiding(args: argparse.Namespace) -> int:
     from .engine import RunContext, decide_hiding, resolve_plan
     from .perf import GLOBAL_STATS, PerfStats
     from .perf.config import CONFIG
 
-    lcp = make_lcp(args.scheme)
-    stats = PerfStats() if args.perf_stats else GLOBAL_STATS
+    scheme = _resolve_hiding_scheme(args)
+    lcp = make_lcp(scheme)
+    traced = args.trace or args.trace_out is not None
+    if traced:
+        from .obs import RunReport, Tracer, render_span_tree
+
+        tracer = Tracer()
+        ctx = RunContext.observed(tracer)
+        stats = ctx.stats
+    else:
+        stats = PerfStats() if args.perf_stats else GLOBAL_STATS
+        ctx = RunContext(stats=stats)
     with CONFIG.overridden(disk_cache_dir=args.cache_dir):
         # The routing decision (flags -> backend/caches) is the engine's
         # plan resolver; the CLI only translates its vocabulary.
@@ -155,9 +188,9 @@ def cmd_hiding(args: argparse.Namespace) -> int:
             workers=args.workers,
             disk_cache=False if args.materialized else not args.no_disk_cache,
         )
-        verdict = decide_hiding(lcp, args.n, plan, ctx=RunContext(stats=stats))
+        verdict = decide_hiding(lcp, args.n, plan, ctx=ctx)
     g = verdict.ngraph
-    print(f"scheme:    {lcp.name}  ({PAPER_REFERENCES[args.scheme]})")
+    print(f"scheme:    {lcp.name}  ({PAPER_REFERENCES[scheme]})")
     print(f"plan:      {plan.describe()}")
     print(f"sweep:     n <= {args.n}, {g.instances_scanned} labeled instances scanned")
     print(f"V(D, n):   {g.order} views, {g.size} edges"
@@ -167,9 +200,51 @@ def cmd_hiding(args: argparse.Namespace) -> int:
     if verdict.witness:
         walk = " -> ".join(str(g.index[v]) for v in verdict.witness)
         print(f"witness:   view walk {walk}")
+    if traced:
+        report = RunReport.from_run(
+            tracer=tracer,
+            metrics=ctx.metrics,
+            stats=stats,
+            verdict=verdict,
+            plan=plan,
+            scheme=lcp.name,
+            n=args.n,
+        )
+        canonical = report.write(path=args.trace_out)
+        if args.trace:
+            print()
+            print(render_span_tree(tracer.finished_spans()))
+        coverage = report.payload["span_coverage"]
+        print(f"report:    {canonical}  (span coverage {coverage:.1%})")
     if args.perf_stats:
         print()
         print(stats.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import RunReport, diff_reports, render_diff, validate_report
+
+    if args.action == "diff":
+        if len(args.refs) != 2:
+            raise SystemExit("repro report diff: exactly two reports required")
+        a = RunReport.load(args.refs[0], directory=args.runs_dir)
+        b = RunReport.load(args.refs[1], directory=args.runs_dir)
+        diff = diff_reports(a, b)
+        print(render_diff(diff))
+        return 1 if diff["decision_drift"] else 0
+    if len(args.refs) != 1:
+        raise SystemExit(f"repro report {args.action}: exactly one report required")
+    report = RunReport.load(args.refs[0], directory=args.runs_dir)
+    if args.action == "validate":
+        errors = validate_report(report.payload)
+        if errors:
+            for error in errors:
+                print(f"INVALID: {error}")
+            return 1
+        print(f"valid run report {report.digest}")
+        return 0
+    print(report.render())
     return 0
 
 
@@ -205,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Strong and hiding distributed certification of "
         "k-coloring (PODC 2025) — experiment harness",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="configure the repro.* logger hierarchy for this invocation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -257,7 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
     hiding_parser = sub.add_parser(
         "hiding", help="decide hiding via the streaming early-exit engine"
     )
-    hiding_parser.add_argument("scheme", choices=scheme_names())
+    hiding_parser.add_argument(
+        "scheme_pos",
+        nargs="?",
+        default=None,
+        metavar="scheme",
+        choices=scheme_names(),
+        help="LCP scheme to sweep (equivalently --scheme)",
+    )
+    hiding_parser.add_argument(
+        "--scheme",
+        dest="scheme_opt",
+        default=None,
+        choices=scheme_names(),
+        help="LCP scheme to sweep (alias for the positional)",
+    )
     hiding_parser.add_argument(
         "--n", type=int, required=True, metavar="N", help="sweep bound (max nodes)"
     )
@@ -286,7 +381,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print counters and stage timings after the verdict",
     )
+    hiding_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace the decision and print the span tree",
+    )
+    hiding_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the run report to FILE (the content-addressed copy "
+        "under .repro_runs/ is always written for traced runs)",
+    )
     hiding_parser.set_defaults(fn=cmd_hiding)
+
+    report_parser = sub.add_parser(
+        "report", help="inspect, diff, or validate run reports"
+    )
+    report_parser.add_argument("action", choices=["show", "diff", "validate"])
+    report_parser.add_argument(
+        "refs", nargs="+", help="report path(s) or digest(s) under the runs dir"
+    )
+    report_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="runs directory for digest lookups (default: $REPRO_RUNS_DIR "
+        "or ./.repro_runs)",
+    )
+    report_parser.set_defaults(fn=cmd_report)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the persistent sweep cache"
@@ -301,6 +424,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        from .obs.logs import setup_logging
+
+        setup_logging(args.log_level)
     return args.fn(args)
 
 

@@ -29,9 +29,12 @@ from ..certification.lcp import LCP
 from ..neighborhood.aviews import yes_instances_between, yes_instances_up_to
 from ..neighborhood.hiding import HidingVerdict, classic_verdict
 from ..neighborhood.ngraph import build_neighborhood_graph_auto
+from ..obs.logs import get_logger
 from .context import RunContext
 from .plan import ExecutionPlan
 from .verdict import Provenance, Verdict
+
+log = get_logger("engine.backends")
 
 #: Engine revision; folded into memo, warm-state, and disk keys so
 #: algorithmic changes can never resurrect stale state.  Value 1 keeps
@@ -147,6 +150,7 @@ def _envelope(
     legacy: HidingVerdict,
     witness,
     elapsed: float,
+    ctx: RunContext | None = None,
     **flags,
 ) -> Verdict:
     g = legacy.ngraph
@@ -159,6 +163,9 @@ def _envelope(
         views=g.order,
         edges=g.size,
         wall_time_s=elapsed,
+        trace_id=(
+            ctx.tracer.trace_id if ctx is not None and ctx.tracer.active else None
+        ),
         **flags,
     )
     return Verdict(
@@ -186,29 +193,41 @@ class MaterializedBackend(Backend):
         from ..neighborhood.streaming import StreamingHidingEngine
 
         start = time.perf_counter()
-        instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
-        # The parity detector rides along (k = 2, near-free union-find)
-        # so this backend reports the same canonical stream witness as
-        # the streaming one; it never stops the scan (early_exit=False).
-        tracker = None
-        into = None
-        if lcp.k == 2:
-            tracker = StreamingHidingEngine(
-                lcp.k, lcp.radius, not lcp.anonymous, early_exit=False, stats=ctx.stats
+        with ctx.tracer.span("sweep", n=n) as sweep:
+            instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
+            # The parity detector rides along (k = 2, near-free union-find)
+            # so this backend reports the same canonical stream witness as
+            # the streaming one; it never stops the scan (early_exit=False).
+            tracker = None
+            into = None
+            if lcp.k == 2:
+                tracker = StreamingHidingEngine(
+                    lcp.k,
+                    lcp.radius,
+                    not lcp.anonymous,
+                    early_exit=False,
+                    stats=ctx.stats,
+                )
+                into = tracker.ngraph
+            ngraph = build_neighborhood_graph_auto(
+                lcp,
+                instances,
+                workers=plan.workers,
+                stats=ctx.stats,
+                consumer=tracker,
+                into=into,
+                tracer=ctx.tracer,
             )
-            into = tracker.ngraph
-        ngraph = build_neighborhood_graph_auto(
-            lcp,
-            instances,
-            workers=plan.workers,
-            stats=ctx.stats,
-            consumer=tracker,
-            into=into,
-        )
-        legacy = classic_verdict(lcp, ngraph, exhaustive=True)
+            sweep.set_attributes(
+                instances_scanned=ngraph.instances_scanned,
+                views=ngraph.order,
+                edges=ngraph.size,
+            )
+        with ctx.tracer.span("decide", method="classic"):
+            legacy = classic_verdict(lcp, ngraph, exhaustive=True)
         witness = tracker.odd_cycle_views() if tracker is not None else None
         return _envelope(
-            lcp, n, plan, legacy, witness, time.perf_counter() - start
+            lcp, n, plan, legacy, witness, time.perf_counter() - start, ctx
         )
 
 
@@ -251,9 +270,14 @@ class StreamingBackend(Backend):
         if state is None or state.n > n or not state.engine.witness_found:
             return None
         ctx.stats.incr("warm_witness_hits")
+        log.debug(
+            "%s: warm-start witness from n=%d answers n=%d", lcp.name, state.n, n
+        )
         legacy = state.engine.verdict(exhaustive=True)
         witness = legacy.odd_cycle
-        return _envelope(lcp, n, plan, legacy, witness, 0.0, warm_witness_hit=True)
+        return _envelope(
+            lcp, n, plan, legacy, witness, 0.0, ctx, warm_witness_hit=True
+        )
 
     def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
         from ..neighborhood.streaming import StreamingHidingEngine
@@ -265,32 +289,42 @@ class StreamingBackend(Backend):
         start = time.perf_counter()
         warm_started = False
         with ctx.stats.time_stage("streaming_sweep"):
-            if state is not None and state.n <= n:
-                ctx.stats.incr("warm_starts")
-                warm_started = True
-                engine = state.engine.clone()
-                engine.stats = ctx.stats
-                instances = yes_instances_between(
-                    lcp, state.n, n, **_enumeration_bounds(plan)
-                )
-            else:
-                engine = StreamingHidingEngine(
-                    lcp.k,
-                    lcp.radius,
-                    not lcp.anonymous,
-                    early_exit=plan.early_exit,
+            with ctx.tracer.span("sweep", n=n, early_exit=plan.early_exit) as sweep:
+                if state is not None and state.n <= n:
+                    ctx.stats.incr("warm_starts")
+                    warm_started = True
+                    engine = state.engine.clone()
+                    engine.stats = ctx.stats
+                    instances = yes_instances_between(
+                        lcp, state.n, n, **_enumeration_bounds(plan)
+                    )
+                else:
+                    engine = StreamingHidingEngine(
+                        lcp.k,
+                        lcp.radius,
+                        not lcp.anonymous,
+                        early_exit=plan.early_exit,
+                        stats=ctx.stats,
+                    )
+                    instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
+                build_neighborhood_graph_auto(
+                    lcp,
+                    instances,
+                    workers=plan.workers,
                     stats=ctx.stats,
+                    consumer=engine,
+                    into=engine.ngraph,
+                    tracer=ctx.tracer,
                 )
-                instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
-            build_neighborhood_graph_auto(
-                lcp,
-                instances,
-                workers=plan.workers,
-                stats=ctx.stats,
-                consumer=engine,
-                into=engine.ngraph,
-            )
-        legacy = engine.verdict(exhaustive=True)
+                sweep.set_attributes(
+                    warm_started=warm_started,
+                    witness_found=engine.witness_found,
+                    instances_scanned=engine.ngraph.instances_scanned,
+                    views=engine.ngraph.order,
+                    edges=engine.ngraph.size,
+                )
+        with ctx.tracer.span("decide", method="incremental"):
+            legacy = engine.verdict(exhaustive=True)
         if plan.warm_start and lcp.anonymous:
             _WARM_STATES[family] = _SweepState(n=n, engine=engine)
         return _envelope(
@@ -300,6 +334,7 @@ class StreamingBackend(Backend):
             legacy,
             legacy.odd_cycle,
             time.perf_counter() - start,
+            ctx,
             warm_started=warm_started,
         )
 

@@ -1,4 +1,5 @@
-"""Explicit run context for the engine: config + stats + cache tiers.
+"""Explicit run context for the engine: config + stats + metrics +
+tracer + cache tiers.
 
 Pre-engine code threaded the perf knobs and counters through two mutable
 module globals (``repro.perf.CONFIG`` and ``GLOBAL_STATS``), which every
@@ -14,8 +15,10 @@ instead of save/restore dances.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from ..obs.metrics import GLOBAL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..perf.config import CONFIG, PerfConfig
 from ..perf.stats import GLOBAL_STATS, PerfStats
 from .stores import DiskVerdictStore, MemoryVerdictStore, VerdictStore
@@ -48,6 +51,13 @@ class RunContext:
       (default: the live global ``CONFIG``, read once per decision).
     * ``stats`` — the :class:`PerfStats` sink for every counter and
       stage timer of the run.
+    * ``metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry` for
+      structured measurements (decision-latency histograms, gauges);
+      bind the stats handle to it (``stats.bind_metrics(metrics)``) to
+      mirror every counter into the registry.
+    * ``tracer`` — the :class:`~repro.obs.trace.Tracer` collecting the
+      run's span tree; the default :data:`~repro.obs.trace.NULL_TRACER`
+      records nothing at zero cost.
     * ``memory`` — per-backend memo tiers; ``None`` entries fall back to
       the shared process-wide stores.
     * ``disk`` — the persistent tier.
@@ -55,6 +65,8 @@ class RunContext:
 
     config: PerfConfig = field(default_factory=lambda: CONFIG)
     stats: PerfStats = field(default_factory=lambda: GLOBAL_STATS)
+    metrics: MetricsRegistry = field(default_factory=lambda: GLOBAL_METRICS)
+    tracer: Tracer = field(default=NULL_TRACER)
     memory: dict[str, MemoryVerdictStore] | None = None
     disk: VerdictStore = field(default_factory=lambda: _SHARED_DISK_STORE)
 
@@ -65,16 +77,31 @@ class RunContext:
 
     @classmethod
     def isolated(cls, config: PerfConfig | None = None) -> "RunContext":
-        """A context with private stats and memo tiers (tests,
+        """A context with private stats, metrics, and memo tiers (tests,
         benchmarks) — nothing it records leaks into the process state."""
+        metrics = MetricsRegistry()
         return cls(
             config=config if config is not None else CONFIG,
-            stats=PerfStats(),
+            stats=PerfStats().bind_metrics(metrics),
+            metrics=metrics,
             memory={
                 "materialized": MemoryVerdictStore(hit_counter="sweep_memo_hits"),
                 "streaming": MemoryVerdictStore(hit_counter="stream_memo_hits"),
             },
         )
+
+    @classmethod
+    def observed(
+        cls,
+        tracer: Tracer | None = None,
+        config: PerfConfig | None = None,
+    ) -> "RunContext":
+        """An isolated context wired for observability: a live tracer
+        plus a fresh metrics registry backing a fresh stats handle —
+        what the CLI's ``--trace``/``--trace-out`` and the benchmark
+        report emitters build per run."""
+        ctx = cls.isolated(config=config)
+        return replace(ctx, tracer=tracer if tracer is not None else Tracer())
 
     def memory_store(self, backend: str) -> MemoryVerdictStore:
         if self.memory is not None:

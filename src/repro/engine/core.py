@@ -13,15 +13,41 @@ to ``n``?" through this one function.  The tier order per decision:
    memoized, but never written back to disk;
 4. **backend sweep** — compute, then populate memory and (when the plan
    says so) disk.
+
+Observability: the whole decision runs inside the context tracer's
+``decide_hiding`` root span, with one child span per tier consulted
+(plan resolution, memory, shortcut, disk, backend, write-back) so a
+traced run's span tree accounts for essentially all of its wall time.
+Fresh verdicts are stamped with the tracer's ``trace_id`` (linking them
+to their run report), every decision lands in the context metrics as a
+``decision_latency_seconds`` observation, and the routing outcome is
+logged on the ``repro.engine`` logger.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
+
 from ..certification.lcp import LCP
+from ..obs.logs import get_logger
 from .backends import clear_warm_states, disk_key, get_backend, memory_key
 from .context import RunContext, _SHARED_MEMORY_STORES
 from .plan import ExecutionPlan
 from .verdict import Verdict
+
+log = get_logger("engine")
+
+
+def _stamp_trace(verdict: Verdict, ctx: RunContext) -> Verdict:
+    """Attach the active trace id to a verdict's provenance (no-op for
+    untraced runs or verdicts already linked to a report)."""
+    tracer = ctx.tracer
+    if not tracer.active or verdict.provenance.trace_id is not None:
+        return verdict
+    return replace(
+        verdict, provenance=replace(verdict.provenance, trace_id=tracer.trace_id)
+    )
 
 
 def decide_hiding(
@@ -50,31 +76,75 @@ def decide_hiding(
         )
     if ctx is None:
         ctx = RunContext.default()
-    plan = (plan if plan is not None else ExecutionPlan()).resolve(ctx.config)
-    backend = get_backend(plan.backend)
+    tracer = ctx.tracer
+    start = time.perf_counter()
+    try:
+        with tracer.span("decide_hiding", scheme=lcp.name, n=n, k=lcp.k) as root:
+            with tracer.span("resolve-plan"):
+                plan = (plan if plan is not None else ExecutionPlan()).resolve(
+                    ctx.config
+                )
+                backend = get_backend(plan.backend)
+            root.set_attribute("backend", plan.backend)
+            return _decide(lcp, n, plan, backend, ctx, root)
+    finally:
+        ctx.metrics.incr("decisions_total")
+        ctx.metrics.observe(
+            "decision_latency_seconds", time.perf_counter() - start
+        )
 
+
+def _decide(lcp: LCP, n: int, plan, backend, ctx: RunContext, root) -> Verdict:
+    tracer = ctx.tracer
     memory = ctx.memory_store(plan.backend) if plan.memory_cache else None
     mem_key = memory_key(lcp, n, plan)
     if memory is not None:
-        cached = memory.load(mem_key, stats=ctx.stats)
+        with tracer.span("memory-tier") as span:
+            cached = memory.load(mem_key, stats=ctx.stats)
+            span.set_attribute("hit", cached is not None)
         if cached is not None:
+            log.debug(
+                "%s n=%d: memory-tier hit (%s backend)", lcp.name, n, plan.backend
+            )
+            root.set_attribute("served_by", "memory")
             return cached
 
-    verdict = backend.shortcut(lcp, n, plan, ctx)
-    if verdict is None and plan.disk_cache:
-        verdict = ctx.disk.load(disk_key(lcp, n, plan), stats=ctx.stats)
-        if verdict is not None:
+    with tracer.span("backend-shortcut") as span:
+        verdict = backend.shortcut(lcp, n, plan, ctx)
+        span.set_attribute("hit", verdict is not None)
+    if verdict is not None:
+        log.debug("%s n=%d: %s shortcut answered", lcp.name, n, plan.backend)
+        root.set_attribute("served_by", "shortcut")
+    elif plan.disk_cache:
+        with tracer.span("disk-tier") as span:
+            loaded = ctx.disk.load(disk_key(lcp, n, plan), stats=ctx.stats)
+            span.set_attribute("hit", loaded is not None)
+        if loaded is not None:
+            log.debug("%s n=%d: disk-tier hit", lcp.name, n)
+            root.set_attribute("served_by", "disk")
+            loaded = _stamp_trace(loaded, ctx)
             if memory is not None:
-                memory.store(mem_key, verdict, stats=ctx.stats)
-            return verdict
+                memory.store(mem_key, loaded, stats=ctx.stats)
+            return loaded
 
     if verdict is None:
-        verdict = backend.run(lcp, n, plan, ctx)
+        log.debug(
+            "%s n=%d: running %s backend (workers=%s)",
+            lcp.name,
+            n,
+            plan.backend,
+            plan.workers,
+        )
+        root.set_attribute("served_by", "sweep")
+        with tracer.span(f"backend:{plan.backend}", n=n, workers=plan.workers):
+            verdict = backend.run(lcp, n, plan, ctx)
+    verdict = _stamp_trace(verdict, ctx)
 
-    if memory is not None:
-        memory.store(mem_key, verdict, stats=ctx.stats)
-    if plan.disk_cache:
-        ctx.disk.store(disk_key(lcp, n, plan), verdict, stats=ctx.stats)
+    with tracer.span("store-back", disk=bool(plan.disk_cache)):
+        if memory is not None:
+            memory.store(mem_key, verdict, stats=ctx.stats)
+        if plan.disk_cache:
+            ctx.disk.store(disk_key(lcp, n, plan), verdict, stats=ctx.stats)
     return verdict
 
 

@@ -30,13 +30,18 @@ from dataclasses import dataclass, field
 from ..local.views import View
 from ..neighborhood.hiding import HidingVerdict
 from ..neighborhood.ngraph import NeighborhoodGraph
+from ..obs.trace import format_seconds
 
 
 @dataclass(frozen=True)
 class Provenance:
     """How a verdict was produced (per fresh compute or disk reload; a
     memory-tier hit returns the originally produced envelope as-is, so
-    identity — not provenance — tells you about memo hits)."""
+    identity — not provenance — tells you about memo hits).
+
+    ``trace_id`` links the verdict to the run report / span tree of the
+    traced run that produced it (``None`` for untraced runs).
+    """
 
     backend: str
     n: int
@@ -50,6 +55,7 @@ class Provenance:
     warm_started: bool = False
     warm_witness_hit: bool = False
     wall_time_s: float = 0.0
+    trace_id: str | None = None
 
     def summary(self) -> str:
         source = "computed"
@@ -59,12 +65,18 @@ class Provenance:
             source = "warm-start witness"
         elif self.warm_started:
             source = "warm-started sweep"
-        return (
+        # Instant answers (warm-witness shortcut, sub-clock reloads) used
+        # to render as a misleading "0.0 ms"; format_seconds drops to µs
+        # for sub-millisecond times and prints an honest "0 s" for zero.
+        text = (
             f"{self.backend} backend ({source}), workers={self.workers}, "
             f"{self.instances_scanned} instances scanned, "
             f"{self.views} views / {self.edges} edges, "
-            f"{self.wall_time_s * 1000:.1f} ms"
+            f"{format_seconds(self.wall_time_s)}"
         )
+        if self.trace_id is not None:
+            text += f", trace {self.trace_id}"
+        return text
 
 
 @dataclass(frozen=True, eq=False)

@@ -11,6 +11,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..obs.trace import NULL_TRACER, Tracer
 from ..perf import GLOBAL_STATS
 from ..perf.config import CONFIG
 from .registry import ExperimentResult, all_experiments
@@ -22,6 +23,7 @@ def run_all(
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
+    tracer: Tracer | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment, in id order.
 
@@ -37,21 +39,28 @@ def run_all(
     invocation can no longer leak ``workers``/``streaming``/``disk_cache``
     into subsequent in-process work.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     results = []
     with CONFIG.overridden(
         workers=workers, streaming=streaming, disk_cache=disk_cache
     ):
-        for experiment in all_experiments():
-            start = time.perf_counter()
-            result = experiment.run()
-            elapsed = time.perf_counter() - start
-            if verbose:
-                status = "OK" if result.ok else "MISMATCH"
-                print(
-                    f"[{status}] {experiment.exp_id} ({elapsed:.1f}s)", file=sys.stderr
-                )
-            result.notes.append(f"wall time: {elapsed:.2f}s")
-            results.append(result)
+        with tracer.span("run-all", experiments=len(all_experiments())):
+            for experiment in all_experiments():
+                start = time.perf_counter()
+                with tracer.span(
+                    "experiment", exp_id=experiment.exp_id
+                ) as span:
+                    result = experiment.run()
+                    span.set_attribute("ok", result.ok)
+                elapsed = time.perf_counter() - start
+                if verbose:
+                    status = "OK" if result.ok else "MISMATCH"
+                    print(
+                        f"[{status}] {experiment.exp_id} ({elapsed:.1f}s)",
+                        file=sys.stderr,
+                    )
+                result.notes.append(f"wall time: {elapsed:.2f}s")
+                results.append(result)
     return results
 
 
@@ -61,18 +70,42 @@ def run_all_and_save(
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
+    trace_out: str | Path | None = None,
 ) -> bool:
     """Run everything, write the rendered report (plus the perf-stats
     section) to *path*.
 
+    With *trace_out*, the batch also runs traced: a
+    :class:`~repro.obs.report.RunReport` (one span per experiment under
+    a ``run-all`` root) is written to that path, plus the
+    content-addressed copy under ``.repro_runs/``.
+
     Returns True iff every experiment reproduced OK.
     """
     GLOBAL_STATS.reset()
+    tracer = Tracer() if trace_out is not None else None
     results = run_all(
-        verbose=verbose, workers=workers, streaming=streaming, disk_cache=disk_cache
+        verbose=verbose,
+        workers=workers,
+        streaming=streaming,
+        disk_cache=disk_cache,
+        tracer=tracer,
     )
     report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
     Path(path).write_text(report + "\n", encoding="utf-8")
+    if tracer is not None:
+        from ..obs.report import RunReport
+
+        run_report = RunReport.from_run(
+            tracer=tracer,
+            stats=GLOBAL_STATS,
+            meta={
+                "kind": "experiment-batch",
+                "experiments": [r.exp_id for r in results],
+                "ok": all(r.ok for r in results),
+            },
+        )
+        run_report.write(path=trace_out)
     return all(r.ok for r in results)
 
 
@@ -101,12 +134,29 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="persist streaming sweep verdicts under .repro_cache/",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="also write a traced run report (one span per experiment)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="configure the repro.* logger hierarchy",
+    )
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        from ..obs.logs import setup_logging
+
+        setup_logging(args.log_level)
     ok = run_all_and_save(
         args.target,
         workers=args.workers,
         streaming=args.streaming or None,
         disk_cache=args.disk_cache or None,
+        trace_out=args.trace_out,
     )
     print(f"report written to {args.target}")
     return 0 if ok else 1

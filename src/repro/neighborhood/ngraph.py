@@ -19,6 +19,7 @@ from ..graphs.coloring import k_coloring
 from ..graphs.properties import bipartition
 from ..local.instance import Instance
 from ..local.views import View, extract_all_views
+from ..obs.trace import NULL_TRACER, Tracer
 from ..perf.cache import memoized_decide
 from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS, PerfStats
@@ -190,6 +191,7 @@ def build_neighborhood_graph(
     stats: PerfStats | None = None,
     consumer: GraphConsumer | None = None,
     into: NeighborhoodGraph | None = None,
+    tracer: Tracer | None = None,
 ) -> NeighborhoodGraph:
     """Scan labeled yes-instances and assemble (a subgraph of) ``V(D, n)``.
 
@@ -217,6 +219,7 @@ def build_neighborhood_graph(
     disabled via :data:`repro.perf.CONFIG`.
     """
     stats = stats or GLOBAL_STATS
+    tracer = tracer if tracer is not None else NULL_TRACER
     ngraph = into if into is not None else NeighborhoodGraph(
         radius=lcp.radius, include_ids=not lcp.anonymous
     )
@@ -227,41 +230,50 @@ def build_neighborhood_graph(
     # base consecutively, so the graph object repeats in runs.
     last_graph = None
     last_edges: list = []
-    with stats.time_stage("neighborhood_build"):
-        for instance in labeled_instances:
-            scanned += 1
-            views = _labeled_views(lcp, instance, stats)
-            votes = {v: decide(view) for v, view in views.items()}
-            indices = {}
-            for v, accepted in votes.items():
-                if not accepted:
-                    continue
-                idx, created = ngraph.add_view_tracked(views[v], instance, v)
-                indices[v] = idx
-                if created and consumer is not None:
-                    consumer.on_view(idx, views[v])
-                    if consumer.done:
-                        stopped = True
-                        break
-            if stopped:
-                stats.incr("streaming_early_exits")
-                break
-            if instance.graph is not last_graph:
-                last_graph = instance.graph
-                last_edges = last_graph.edges
-            for u, v in last_edges:
-                if votes.get(u) and votes.get(v):
-                    created = ngraph.add_edge_tracked(
-                        indices[u], indices[v], instance, (u, v)
-                    )
+    with tracer.span("build:serial") as build_span:
+        with stats.time_stage("neighborhood_build"):
+            for instance in labeled_instances:
+                scanned += 1
+                views = _labeled_views(lcp, instance, stats)
+                votes = {v: decide(view) for v, view in views.items()}
+                indices = {}
+                for v, accepted in votes.items():
+                    if not accepted:
+                        continue
+                    idx, created = ngraph.add_view_tracked(views[v], instance, v)
+                    indices[v] = idx
                     if created and consumer is not None:
-                        consumer.on_edge(indices[u], indices[v])
+                        consumer.on_view(idx, views[v])
                         if consumer.done:
                             stopped = True
                             break
-            if stopped:
-                stats.incr("streaming_early_exits")
-                break
+                if stopped:
+                    stats.incr("streaming_early_exits")
+                    break
+                if instance.graph is not last_graph:
+                    last_graph = instance.graph
+                    last_edges = last_graph.edges
+                for u, v in last_edges:
+                    if votes.get(u) and votes.get(v):
+                        created = ngraph.add_edge_tracked(
+                            indices[u], indices[v], instance, (u, v)
+                        )
+                        if created and consumer is not None:
+                            consumer.on_edge(indices[u], indices[v])
+                            if consumer.done:
+                                stopped = True
+                                break
+                if stopped:
+                    stats.incr("streaming_early_exits")
+                    break
+        build_span.set_attributes(
+            instances_scanned=scanned,
+            views=ngraph.order,
+            edges=ngraph.size,
+            early_exit=stopped,
+        )
+        if stopped:
+            build_span.set_attribute("early_exit_at_instance", scanned)
     ngraph.instances_scanned += scanned
     stats.incr("instances_scanned", scanned)
     return ngraph
@@ -274,6 +286,7 @@ def build_neighborhood_graph_auto(
     stats: PerfStats | None = None,
     consumer: GraphConsumer | None = None,
     into: NeighborhoodGraph | None = None,
+    tracer: Tracer | None = None,
 ) -> NeighborhoodGraph:
     """Serial or parallel build, per *workers* (default: the global config).
 
@@ -293,7 +306,8 @@ def build_neighborhood_graph_auto(
             stats=stats,
             consumer=consumer,
             into=into,
+            tracer=tracer,
         )
     return build_neighborhood_graph(
-        lcp, labeled_instances, stats=stats, consumer=consumer, into=into
+        lcp, labeled_instances, stats=stats, consumer=consumer, into=into, tracer=tracer
     )

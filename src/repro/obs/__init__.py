@@ -1,0 +1,84 @@
+"""Observability for the hiding-decision engine: tracing, metrics,
+logging, and run reports — stdlib-only, zero-cost when off.
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: the
+  hierarchical span tree of a run (``decide_hiding`` → plan resolution →
+  backend → sweep → chunk/cache spans), thread-safe, with process-pool
+  worker spans merged via :meth:`Tracer.adopt` and a JSONL exporter.
+  :data:`NULL_TRACER` is the free disabled default.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters, gauges,
+  and fixed-bucket histograms.  Backs :class:`~repro.perf.stats.PerfStats`
+  via :meth:`PerfStats.bind_metrics`, so the existing counter vocabulary
+  feeds the registry without touching call sites.
+* :mod:`repro.obs.report` — :class:`RunReport`: span tree + metrics +
+  provenance + plan fingerprint, content-addressed under
+  ``.repro_runs/``, with :func:`diff_reports` (decision drift vs perf
+  deltas) and :func:`validate_report` (the CI schema gate).
+* :mod:`repro.obs.logs` — the ``repro.*`` logger hierarchy
+  (:func:`get_logger`, :func:`setup_logging`).
+"""
+
+from .logs import ROOT_LOGGER_NAME, get_logger, parse_level, setup_logging
+from .metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    GLOBAL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import (
+    REPORT_SCHEMA,
+    RunReport,
+    diff_reports,
+    plan_fingerprint,
+    render_diff,
+    runs_dir,
+    validate_report,
+)
+from .trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SPAN_FIELDS,
+    Span,
+    Tracer,
+    format_seconds,
+    render_span_tree,
+    span_tree,
+    tree_coverage,
+    validate_span,
+    worker_span,
+)
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "GLOBAL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "REPORT_SCHEMA",
+    "ROOT_LOGGER_NAME",
+    "SPAN_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "diff_reports",
+    "format_seconds",
+    "get_logger",
+    "parse_level",
+    "plan_fingerprint",
+    "render_diff",
+    "render_span_tree",
+    "runs_dir",
+    "setup_logging",
+    "span_tree",
+    "tree_coverage",
+    "validate_report",
+    "validate_span",
+    "worker_span",
+]

@@ -28,8 +28,12 @@ import pickle
 from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
 
+from ..obs.logs import get_logger
+from ..obs.trace import NULL_TRACER, Tracer, worker_span
 from .config import CONFIG
 from .stats import GLOBAL_STATS, PerfStats
+
+log = get_logger("perf.parallel")
 
 #: Below this many instances the pool overhead cannot pay for itself.
 _MIN_PARALLEL_INSTANCES = 8
@@ -51,33 +55,44 @@ def _pick_chunk_size(n_instances: int, workers: int) -> int:
     return max(target, min(16, n_instances))
 
 
-def _scan_chunk(payload: tuple) -> tuple[list, dict]:
+def _scan_chunk(payload: tuple) -> tuple[list, dict, list]:
     """Worker: decide every view of every instance in one chunk.
 
     Returns, per instance in chunk order, ``(accepting, edges)`` where
     *accepting* lists ``(node, view)`` in graph-node order and *edges*
     lists accepted edges in graph-edge order — the serial visit order.
+    The third element is the worker's span records (plain dicts; empty
+    unless the parent run is traced), which the parent tracer adopts
+    into its own tree.
     """
     from .cache import DecisionMemo, ViewLayoutCache
 
-    lcp, chunk = payload
+    lcp, chunk, chunk_index, traced = payload
     stats = PerfStats()
+    spans: list[dict] = []
     layout_cache = ViewLayoutCache(CONFIG.layout_cache_size) if CONFIG.layout_cache else None
     memo = DecisionMemo(lcp.decoder, CONFIG.decision_memo_size) if CONFIG.decision_memo else None
     results = []
     last_graph = None
     last_edges: list = []
-    for instance in chunk:
-        views = _instance_views(lcp, instance, layout_cache, stats)
-        decide = (lambda view: memo.decide(view, stats=stats)) if memo else lcp.decoder.decide
-        votes = {v: decide(view) for v, view in views.items()}
-        accepting = [(v, views[v]) for v, accepted in votes.items() if accepted]
-        if instance.graph is not last_graph:
-            last_graph = instance.graph
-            last_edges = last_graph.edges
-        edges = [(u, v) for u, v in last_edges if votes.get(u) and votes.get(v)]
-        results.append((accepting, edges))
-    return results, stats.as_dict()
+    with worker_span(
+        "worker:scan-chunk",
+        spans if traced else None,
+        worker_pid=os.getpid(),
+        chunk_index=chunk_index,
+        instances=len(chunk),
+    ):
+        for instance in chunk:
+            views = _instance_views(lcp, instance, layout_cache, stats)
+            decide = (lambda view: memo.decide(view, stats=stats)) if memo else lcp.decoder.decide
+            votes = {v: decide(view) for v, view in views.items()}
+            accepting = [(v, views[v]) for v, accepted in votes.items() if accepted]
+            if instance.graph is not last_graph:
+                last_graph = instance.graph
+                last_edges = last_graph.edges
+            edges = [(u, v) for u, v in last_edges if votes.get(u) and votes.get(v)]
+            results.append((accepting, edges))
+    return results, stats.as_dict(), spans
 
 
 def _instance_views(lcp, instance, layout_cache, stats: PerfStats) -> dict:
@@ -102,6 +117,7 @@ def build_neighborhood_graph_parallel(
     stats: PerfStats | None = None,
     consumer=None,
     into=None,
+    tracer: Tracer | None = None,
 ):
     """Parallel drop-in for :func:`build_neighborhood_graph`.
 
@@ -122,19 +138,24 @@ def build_neighborhood_graph_parallel(
     from ..neighborhood.ngraph import NeighborhoodGraph, build_neighborhood_graph
 
     stats = stats or GLOBAL_STATS
+    tracer = tracer if tracer is not None else NULL_TRACER
     if workers is None:
         workers = CONFIG.workers or (os.cpu_count() or 1)
     instances = list(labeled_instances)
     if workers <= 1 or len(instances) < _MIN_PARALLEL_INSTANCES:
         return build_neighborhood_graph(
-            lcp, instances, stats=stats, consumer=consumer, into=into
+            lcp, instances, stats=stats, consumer=consumer, into=into, tracer=tracer
         )
     try:
         pickle.dumps(lcp)
     except Exception:
         stats.incr("parallel_fallbacks")
+        log.warning(
+            "%s is not picklable; falling back to the serial builder",
+            getattr(lcp, "name", type(lcp).__name__),
+        )
         return build_neighborhood_graph(
-            lcp, instances, stats=stats, consumer=consumer, into=into
+            lcp, instances, stats=stats, consumer=consumer, into=into, tracer=tracer
         )
 
     size = chunk_size if chunk_size is not None else _pick_chunk_size(len(instances), workers)
@@ -146,35 +167,62 @@ def build_neighborhood_graph_parallel(
         radius=lcp.radius, include_ids=not lcp.anonymous
     )
     stopped = False
-    with stats.time_stage("parallel_scan"):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            window = max(2, workers * 2)
-            pending: deque = deque()
-            for chunk in chunks[: window]:
-                pending.append((pool.submit(_scan_chunk, (lcp, chunk)), chunk))
-            next_index = len(pending)
-            while pending:
-                future, chunk = pending.popleft()
-                chunk_results, worker_stats = future.result()
-                stats.merge(worker_stats)
-                with stats.time_stage("parallel_merge"):
-                    stopped = _replay_chunk(
-                        ngraph, chunk, chunk_results, stats, consumer
-                    )
-                if stopped:
-                    stats.incr("streaming_early_exits")
-                    stats.incr("parallel_chunks_cancelled", len(pending))
-                    for queued_future, _queued_chunk in pending:
-                        queued_future.cancel()
-                    break
-                if next_index < len(chunks):
+    traced = tracer.active
+    with tracer.span(
+        "build:parallel", workers=workers, chunks=len(chunks), chunk_size=size
+    ) as build_span:
+        with stats.time_stage("parallel_scan"):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                window = max(2, workers * 2)
+                pending: deque = deque()
+                for index, chunk in enumerate(chunks[:window]):
                     pending.append(
-                        (
-                            pool.submit(_scan_chunk, (lcp, chunks[next_index])),
-                            chunks[next_index],
-                        )
+                        (pool.submit(_scan_chunk, (lcp, chunk, index, traced)), chunk)
                     )
-                    next_index += 1
+                next_index = len(pending)
+                replayed = 0
+                while pending:
+                    future, chunk = pending.popleft()
+                    chunk_results, worker_stats, worker_spans = future.result()
+                    stats.merge(worker_stats)
+                    tracer.adopt(worker_spans, parent=build_span)
+                    with stats.time_stage("parallel_merge"):
+                        with tracer.span(
+                            "chunk-replay", chunk_index=replayed
+                        ) as replay_span:
+                            stopped = _replay_chunk(
+                                ngraph, chunk, chunk_results, stats, consumer
+                            )
+                            replay_span.set_attribute("early_exit", stopped)
+                    replayed += 1
+                    if stopped:
+                        stats.incr("streaming_early_exits")
+                        stats.incr("parallel_chunks_cancelled", len(pending))
+                        log.debug(
+                            "early exit in chunk %d; cancelling %d queued chunks",
+                            replayed - 1,
+                            len(pending),
+                        )
+                        for queued_future, _queued_chunk in pending:
+                            queued_future.cancel()
+                        break
+                    if next_index < len(chunks):
+                        pending.append(
+                            (
+                                pool.submit(
+                                    _scan_chunk,
+                                    (lcp, chunks[next_index], next_index, traced),
+                                ),
+                                chunks[next_index],
+                            )
+                        )
+                        next_index += 1
+        build_span.set_attributes(
+            instances_scanned=ngraph.instances_scanned,
+            views=ngraph.order,
+            edges=ngraph.size,
+            early_exit=stopped,
+        )
     return ngraph
 
 

@@ -27,8 +27,11 @@ import os
 from pathlib import Path
 from typing import Any
 
+from ..obs.logs import get_logger
 from .config import CONFIG
 from .stats import GLOBAL_STATS, PerfStats
+
+log = get_logger("perf.persist")
 
 #: Format version; bump whenever the payload layout or the semantics of
 #: the sweep change in a way that stale entries must not survive.
@@ -145,12 +148,15 @@ class PersistentVerdictCache:
                 header = json.loads(fh.readline())
                 if header.get("version") != CACHE_VERSION:
                     stats.incr("disk_misses")
+                    log.debug("stale-version entry at %s", path.name)
                     return None
                 body = json.loads(fh.readline())
         except (OSError, ValueError):
             stats.incr("disk_misses")
+            log.debug("disk miss for %s", path.name)
             return None
         stats.incr("disk_hits")
+        log.debug("disk hit for %s", path.name)
         return body
 
     def store(self, key: dict, body: dict, stats: PerfStats | None = None) -> bool:
@@ -172,6 +178,10 @@ class PersistentVerdictCache:
             )
         except (TypeError, ValueError):
             stats.incr("persist_skips")
+            log.warning(
+                "skipping persist for %s: payload not JSON-serializable",
+                key.get("lcp_name", "?"),
+            )
             return False
         path = self._path(key)
         try:
@@ -179,10 +189,12 @@ class PersistentVerdictCache:
             tmp = path.with_suffix(".tmp")
             tmp.write_text(blob, encoding="utf-8")
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             stats.incr("persist_skips")
+            log.warning("skipping persist to %s: %s", path, exc)
             return False
         stats.incr("persist_writes")
+        log.debug("stored verdict at %s", path.name)
         return True
 
     # ------------------------------------------------------------------

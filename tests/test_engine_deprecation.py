@@ -54,6 +54,28 @@ def test_streaming_front_warns_exactly_once():
     assert len(deprecations) == 1
 
 
+def test_both_shims_warn_once_each_in_one_process():
+    """The two shims guard independently: interleaving them in one
+    process yields exactly one warning per shim (two total), and every
+    repeat after that stays silent."""
+    lcp = DegreeOneLCP()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        hiding_verdict_up_to(lcp, 3, streaming=False)
+        streaming_hiding_verdict_up_to(lcp, 3, warm_start=False, disk_cache=False)
+        hiding_verdict_up_to(lcp, 4, streaming=True)
+        streaming_hiding_verdict_up_to(lcp, 4, warm_start=False, disk_cache=False)
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 2
+    messages = sorted(str(w.message) for w in deprecations)
+    assert messages[0] != messages[1]
+    with warnings.catch_warnings(record=True) as repeat:
+        warnings.simplefilter("always")
+        hiding_verdict_up_to(lcp, 3, streaming=False)
+        streaming_hiding_verdict_up_to(lcp, 3, warm_start=False, disk_cache=False)
+    assert [w for w in repeat if w.category is DeprecationWarning] == []
+
+
 def test_shimmed_verdicts_match_the_engine():
     lcp = DegreeOneLCP()
     with warnings.catch_warnings():
