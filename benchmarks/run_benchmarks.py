@@ -17,6 +17,17 @@ Writes two JSON reports:
     On a single-core host these rows are *skipped* (recorded with a
     note): they would measure pure pool overhead, not parallelism.
 
+  A **symmetry** section compares the legacy edge-subset enumerator with
+  the symmetry-reduced sweep (orderly generation + automorphism-orbit
+  pruning) on cold full sweeps: ``degree-one`` at ``n = 5, 6``,
+  ``even-cycle`` at ``n = 6, 7`` in both regimes, and ``even-cycle`` at
+  ``n = 8`` symmetry-on only — the legacy enumerator cannot reach
+  ``n = 8``, so that row is measured against the *old* ``n = 7`` cost.
+  Every row carries ``orbit_pruning_ratio``
+  (``labelings_pruned / labelings_total``); regime pairs are
+  parity-checked view-for-view, edge-for-edge, and count-for-count
+  (suppressed orbit mates multiplied back in).
+
 * ``BENCH_hiding.json`` — the hiding decision itself (early-exit vs
   full build) for ``DegreeOneLCP`` at ``n = 4, 5``:
 
@@ -42,7 +53,9 @@ Usage::
 
 ``--early-exit`` is the CI smoke mode: a quick streaming-vs-materialized
 parity sweep over several registry schemes (serial and 2-worker); the
-exit status is nonzero on any parity failure.
+exit status is nonzero on any parity failure.  ``--symmetry-smoke`` is
+its symmetry sibling: orbit-pruned vs brute-force sweeps at ``n = 4``
+for both Theorem 1.1 schemes.
 """
 
 from __future__ import annotations
@@ -56,7 +69,8 @@ import time
 from pathlib import Path
 
 from repro.core import DegreeOneLCP
-from repro.core.registry import all_lcps
+from repro.core.even_cycle import EvenCycleLCP
+from repro.core.registry import all_lcps, make_lcp
 from repro.engine import ExecutionPlan, RunContext, clear_engine_state, decide_hiding
 from repro.graphs.encoding import clear_canonical_cache
 from repro.graphs.families import (
@@ -70,8 +84,32 @@ from repro.neighborhood.hiding import hiding_verdict_from_instances
 from repro.obs import RunReport, Tracer, validate_report
 from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
+from repro.symmetry import (
+    SymmetryAccount,
+    clear_automorphism_cache,
+    clear_orderly_cache,
+)
 
 REPEATS = 5
+
+#: Repeats for the symmetry-regime comparison (cold full sweeps at
+#: n = 6..8 are expensive; two repeats bound the noise well enough for
+#: order-of-magnitude speedups).
+SYMMETRY_REPEATS = 2
+
+#: (scheme, n, modes) for the symmetry comparison.  Degree-one stops at
+#: n = 6 — its n = 7 symmetry-off sweep enumerates hundreds of millions
+#: of labelings and is not benchmarkable.  Even-cycle's n = 8 runs
+#: symmetry-on only: the legacy enumerator at n = 8 scans 2^28 edge
+#: subsets (hours); the orderly generator finishes in seconds, which is
+#: the point of the ("even-cycle", 8) row.
+SYMMETRY_CASES = [
+    ("degree-one", 5, ("off", "on")),
+    ("degree-one", 6, ("off", "on")),
+    ("even-cycle", 6, ("off", "on")),
+    ("even-cycle", 7, ("off", "on")),
+    ("even-cycle", 8, ("on",)),
+]
 
 #: Streaming plans for the timed regimes: the in-process memo tier is off
 #: so every repeat pays the honest sweep/reload cost, not a dict lookup.
@@ -90,6 +128,8 @@ def _clear_everything() -> None:
     clear_shared_caches()
     clear_family_cache()
     clear_canonical_cache()
+    clear_automorphism_cache()
+    clear_orderly_cache()
     clear_engine_state()
     GLOBAL_STATS.reset()
 
@@ -110,16 +150,67 @@ def _timed(fn):
     return min(times), statistics.mean(times), result
 
 
+def _account_into_stats(stats: PerfStats, account: SymmetryAccount) -> None:
+    """Mirror the engine's bookkeeping: fold suppressed instances and the
+    pruning tallies into the row's stats so ``_record`` can report the
+    orbit-pruning ratio of every regime."""
+    if account.labelings_total:
+        stats.incr("symmetry_labelings_total", account.labelings_total)
+    if account.labelings_pruned:
+        stats.incr("symmetry_labelings_pruned", account.labelings_pruned)
+    if account.bases_pruned:
+        stats.incr("symmetry_bases_pruned", account.bases_pruned)
+    if account.instances_suppressed:
+        stats.incr("instances_scanned", account.instances_suppressed)
+        stats.incr("symmetry_instances_suppressed", account.instances_suppressed)
+
+
 def _sweep_serial(lcp, n, stats, tracer=None):
-    return build_neighborhood_graph(
-        lcp, yes_instances_up_to(lcp, n), stats=stats, tracer=tracer
+    account = SymmetryAccount()
+    graph = build_neighborhood_graph(
+        lcp,
+        yes_instances_up_to(lcp, n, account=account),
+        stats=stats,
+        tracer=tracer,
     )
+    _account_into_stats(stats, account)
+    return graph
 
 
 def _sweep_baseline(lcp, n, stats, tracer=None):
     # Seed-equivalent: reference family enumeration, no perf caches.
-    instances = labeled_yes_instances(lcp, _reference_graphs_up_to(n), id_bound=n)
-    return build_neighborhood_graph(lcp, instances, stats=stats, tracer=tracer)
+    account = SymmetryAccount()
+    instances = labeled_yes_instances(
+        lcp, _reference_graphs_up_to(n), id_bound=n, account=account
+    )
+    graph = build_neighborhood_graph(lcp, instances, stats=stats, tracer=tracer)
+    _account_into_stats(stats, account)
+    return graph
+
+
+def _sweep_symmetry(lcp, n, mode, stats, tracer=None):
+    """One cold full Lemma 3.1 sweep in the given symmetry regime.
+
+    Suppressed orbit mates are folded back into ``instances_scanned``
+    (exactly as the engine backends do), so regime rows are directly
+    comparable instance-for-instance."""
+    account = SymmetryAccount()
+    with overridden(symmetry=mode):
+        graph = build_neighborhood_graph(
+            lcp,
+            yes_instances_up_to(
+                lcp,
+                n,
+                include_all_accepted_labelings=True,
+                symmetry=mode,
+                account=account,
+            ),
+            stats=stats,
+            tracer=tracer,
+        )
+    graph.instances_scanned += account.instances_suppressed
+    _account_into_stats(stats, account)
+    return graph
 
 
 def _traced_sweep_report(regime: str, n: int, build_fn) -> str:
@@ -164,6 +255,15 @@ def _traced_hiding_report(lcp, n, plan, regime: str) -> str:
     return str(report.write())
 
 
+def _pruning_ratio(stats: PerfStats) -> float:
+    """``labelings_pruned / labelings_total`` for this row (0.0 when the
+    regime enumerated no labelings or pruned nothing)."""
+    total = stats.get("symmetry_labelings_total")
+    if not total:
+        return 0.0
+    return round(stats.get("symmetry_labelings_pruned") / total, 4)
+
+
 def _record(name, n, best, mean, graph, stats, reference=None, workers=None):
     cpus = os.cpu_count() or 1
     entry = {
@@ -178,6 +278,7 @@ def _record(name, n, best, mean, graph, stats, reference=None, workers=None):
         "views_per_sec": round(graph.instances_scanned / best, 1) if best else None,
         "memo_hit_rate": round(stats.hit_rate("memo") or 0.0, 4),
         "layout_hit_rate": round(stats.hit_rate("layout") or 0.0, 4),
+        "orbit_pruning_ratio": _pruning_ratio(stats),
     }
     if reference is not None:
         entry["parity_with_baseline"] = (
@@ -309,6 +410,115 @@ def run(n: int) -> list[dict]:
 
 
 # ----------------------------------------------------------------------
+# The symmetry benchmark: orderly generation + orbit pruning vs legacy
+# ----------------------------------------------------------------------
+
+
+def run_symmetry() -> dict:
+    """Cold full sweeps per :data:`SYMMETRY_CASES`, symmetry-off vs -on.
+
+    Parity between the regimes of one (scheme, n) case means: identical
+    view list, identical edge set, and identical effective
+    ``instances_scanned`` (suppressed orbit mates multiplied back in).
+    The ``("even-cycle", 8)`` symmetry-on row has no off-regime partner —
+    the legacy enumerator cannot reach n = 8 — and is instead compared
+    against the *old* n = 7 cost (the headline of the orderly generator).
+    """
+    rows = []
+    for scheme, n, modes in SYMMETRY_CASES:
+        lcp = make_lcp(scheme)
+        graphs = {}
+        for mode in modes:
+            times = []
+            graph = None
+            stats = PerfStats()
+            for _ in range(SYMMETRY_REPEATS):
+                _clear_everything()
+                stats.reset()
+                start = time.perf_counter()
+                graph = _sweep_symmetry(lcp, n, mode, stats)
+                times.append(time.perf_counter() - start)
+            graphs[mode] = graph
+            print(
+                f"  symmetry {scheme} n={n} {mode}: {min(times):.2f}s",
+                file=sys.stderr,
+            )
+            row = _record(f"symmetry_{mode}", n, min(times),
+                          statistics.mean(times), graph, stats)
+            row["scheme"] = scheme
+            rows.append(row)
+        if "off" in graphs and "on" in graphs:
+            off, on = graphs["off"], graphs["on"]
+            parity = (
+                off.views == on.views
+                and off.edges == on.edges
+                and off.instances_scanned == on.instances_scanned
+            )
+            off_row = next(
+                r for r in rows
+                if r["scheme"] == scheme and r["n"] == n
+                and r["regime"] == "symmetry_off"
+            )
+            on_row = rows[-1]
+            on_row["parity_with_off"] = parity
+            on_row["speedup_vs_off"] = round(
+                off_row["seconds_best"] / on_row["seconds_best"], 3
+            )
+    by_key = {(r["scheme"], r["n"], r["regime"]): r for r in rows}
+    n7_off = by_key.get(("even-cycle", 7, "symmetry_off"))
+    n8_on = by_key.get(("even-cycle", 8, "symmetry_on"))
+    return {
+        "repeats": SYMMETRY_REPEATS,
+        "rows": rows,
+        "parity_ok": all(r.get("parity_with_off", True) for r in rows),
+        "speedup_n6": {
+            scheme: by_key[(scheme, 6, "symmetry_on")]["speedup_vs_off"]
+            for scheme in ("degree-one", "even-cycle")
+            if (scheme, 6, "symmetry_on") in by_key
+        },
+        "n8_on_seconds": n8_on["seconds_best"] if n8_on else None,
+        "old_n7_off_seconds": n7_off["seconds_best"] if n7_off else None,
+        "n8_on_under_old_n7": (
+            n8_on["seconds_best"] < n7_off["seconds_best"]
+            if n8_on and n7_off
+            else None
+        ),
+    }
+
+
+def smoke_symmetry() -> int:
+    """CI smoke: orbit-pruned vs brute-force sweeps must agree exactly
+    (views, edges, effective instance counts) for both Theorem 1.1
+    schemes at n = 4; nonzero exit on any divergence."""
+    failures = 0
+    for scheme in ("degree-one", "even-cycle"):
+        lcp = make_lcp(scheme)
+        graphs = {}
+        for mode in ("off", "on"):
+            _clear_everything()
+            graphs[mode] = _sweep_symmetry(lcp, 4, mode, PerfStats())
+        off, on = graphs["off"], graphs["on"]
+        checks = {
+            "views": off.views == on.views,
+            "edges": off.edges == on.edges,
+            "instances_scanned": off.instances_scanned == on.instances_scanned,
+        }
+        if all(checks.values()):
+            print(f"symmetry smoke: {scheme} n=4 parity OK", file=sys.stderr)
+        else:
+            failures += 1
+            bad = [name for name, ok in checks.items() if not ok]
+            print(
+                f"SYMMETRY PARITY FAILURE: {scheme} n=4: {', '.join(bad)} differ",
+                file=sys.stderr,
+            )
+    if failures:
+        return 1
+    print("symmetry smoke: all parity checks passed", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # The hiding benchmark: early exit vs full build, plus the disk cache
 # ----------------------------------------------------------------------
 
@@ -382,6 +592,8 @@ def run_hiding(n: int) -> list[dict]:
             "edges": len(streamed.ngraph.edges),
             "instances_scanned": streamed.ngraph.instances_scanned,
             "early_exits": stats.get("streaming_early_exits"),
+            "orbit_pruning_ratio": _pruning_ratio(stats),
+            "symmetry_pruned": streamed.provenance.symmetry_pruned,
             "parity_with_materialized": _hiding_parity(streamed, mat),
             "early_exit_speedup": round(min(mat_times) / min(cold_times), 3),
         }
@@ -509,6 +721,12 @@ def main() -> int:
         help="CI smoke mode: parity checks only, no timing reports",
     )
     parser.add_argument(
+        "--symmetry-smoke",
+        action="store_true",
+        help="CI smoke mode: orbit-pruned vs brute-force parity at n=4 "
+        "for both Theorem 1.1 schemes, no timing reports",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -517,12 +735,16 @@ def main() -> int:
     args = parser.parse_args()
     if args.early_exit:
         return smoke_early_exit(trace_out=args.trace_out)
+    if args.symmetry_smoke:
+        return smoke_symmetry()
 
     target = Path(args.output)
     rows = []
     for n in (4, 5):
         print(f"benchmarking n={n} ...", file=sys.stderr)
         rows.extend(run(n))
+    print("benchmarking symmetry regimes ...", file=sys.stderr)
+    symmetry = run_symmetry()
 
     by_key = {(r["regime"], r["n"]): r for r in rows}
     cold_speedup = (
@@ -540,8 +762,12 @@ def main() -> int:
         "cpu_count": os.cpu_count(),
         "serial_speedup_vs_baseline_n5": round(cold_speedup, 3),
         "serial_warm_speedup_vs_baseline_n5": round(warm_speedup, 3),
-        "parity_ok": all(r.get("parity_with_baseline", True) for r in rows),
+        "parity_ok": (
+            all(r.get("parity_with_baseline", True) for r in rows)
+            and symmetry["parity_ok"]
+        ),
         "rows": rows,
+        "symmetry": symmetry,
     }
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))

@@ -37,6 +37,8 @@ def unanimously_accepted_labelings(
     radius: int,
     include_ids: bool,
     seen: set[tuple] | None = None,
+    stabilizer: tuple | None = None,
+    account=None,
 ) -> Iterator[Labeling]:
     """Labelings of *instance* over *alphabet* that every node accepts.
 
@@ -49,13 +51,31 @@ def unanimously_accepted_labelings(
     *seen* deduplicates by :func:`labeling_key`; passing a caller-owned
     set lets the sweep skip labelings its prover already produced (the
     set is updated in place).
+
+    *stabilizer* (index permutations over the graph's insertion-order
+    nodes, identity first — see :func:`repro.symmetry.prune.
+    instance_stabilizer`) enables orbit pruning: only the minimal
+    labeling of each stabilizer orbit is decided and yielded.  Sound
+    because the permuted labeling of a port/id-preserving automorphism
+    produces the identical multiset of node views.  The labelings this
+    suppresses relative to the brute loop are tallied on *account*
+    (:class:`repro.symmetry.prune.SymmetryAccount`), which the engine
+    folds back into ``instances_scanned``.
     """
     layouts = layouts_for_instance(instance, radius, include_ids=include_ids)
     decide = memoized_decide(decoder)
     node_order = node_sort_order(instance.graph)
     if seen is None:
         seen = set()
+    if stabilizer is not None and len(stabilizer) > 1:
+        yield from _orbit_pruned_labelings(
+            decide, layouts, instance.graph, alphabet, node_order, seen,
+            stabilizer, account,
+        )
+        return
     for labeling in all_labelings(instance.graph, alphabet):
+        if account is not None:
+            account.labelings_total += 1
         key = labeling_key(labeling, node_order)
         if key in seen:
             continue
@@ -65,6 +85,71 @@ def unanimously_accepted_labelings(
         ):
             seen.add(key)
             yield labeling
+
+
+def _orbit_pruned_labelings(
+    decide,
+    layouts,
+    graph: Graph,
+    alphabet: list[Certificate],
+    node_order: list,
+    seen: set[tuple],
+    stabilizer: tuple,
+    account,
+) -> Iterator[Labeling]:
+    """The stabilizer-orbit-pruned core of the unanimity search.
+
+    Enumerates labelings as alphabet-index tuples in the exact order of
+    :func:`repro.local.labeling.all_labelings` and decides only orbit
+    minima (index tuples compare as ints; certificate values may mix
+    types).  The yielded stream is a subsequence of the brute stream —
+    the minimum of an orbit is the first member product order visits —
+    and suppressed orbit mates contribute no new canonical views, so
+    builder event streams are unchanged.  Accepted-instance accounting
+    is exact: per accepted orbit, the mates neither yielded here nor
+    already in *seen* (the prover's keys) are added to
+    ``account.instances_suppressed``.
+    """
+    from itertools import product
+
+    nodes = graph.nodes
+    n = len(nodes)
+    node_index = {v: i for i, v in enumerate(nodes)}
+    order_pos = [node_index[v] for v in node_order]
+    others = stabilizer[1:]
+    indices = range(n)
+    for t in product(range(len(alphabet)), repeat=n):
+        if account is not None:
+            account.labelings_total += 1
+        is_rep = True
+        for sigma in others:
+            if tuple(t[sigma[i]] for i in indices) < t:
+                is_rep = False
+                break
+        if not is_rep:
+            if account is not None:
+                account.labelings_pruned += 1
+            continue
+        labeling = Labeling({nodes[i]: alphabet[t[i]] for i in indices})
+        if not all(
+            decide(relabel_view(template, order, labeling))
+            for template, order in layouts.values()
+        ):
+            continue
+        orbit = {t}
+        for sigma in others:
+            orbit.add(tuple(t[sigma[i]] for i in indices))
+        keys = {tuple(alphabet[u[j]] for j in order_pos) for u in orbit}
+        rep_key = tuple(alphabet[t[j]] for j in order_pos)
+        in_seen = sum(1 for key in keys if key in seen)
+        if rep_key in seen:
+            suppressed = len(orbit) - in_seen
+        else:
+            suppressed = len(orbit) - in_seen - 1
+            seen.add(rep_key)
+            yield labeling
+        if account is not None:
+            account.instances_suppressed += suppressed
 
 
 class SearchProver(Prover):

@@ -187,6 +187,7 @@ def cmd_hiding(args: argparse.Namespace) -> int:
             streaming=not args.materialized,
             workers=args.workers,
             disk_cache=False if args.materialized else not args.no_disk_cache,
+            symmetry=args.symmetry,
         )
         verdict = decide_hiding(lcp, args.n, plan, ctx=ctx)
     g = verdict.ngraph
@@ -372,6 +373,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-disk-cache",
         action="store_true",
         help="skip the persistent .repro_cache/ for this run",
+    )
+    hiding_parser.add_argument(
+        "--symmetry",
+        choices=["auto", "on", "off"],
+        default=None,
+        help="symmetry reduction: orderly graph generation + "
+        "automorphism-orbit pruning (auto prunes anonymous schemes only; "
+        "default: the session config)",
     )
     hiding_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR", help="cache directory override"

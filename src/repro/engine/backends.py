@@ -26,10 +26,17 @@ import time
 from dataclasses import dataclass
 
 from ..certification.lcp import LCP
-from ..neighborhood.aviews import yes_instances_between, yes_instances_up_to
+from ..graphs.families import warm_graph_families
+from ..neighborhood.aviews import (
+    symmetry_pruning_effective,
+    yes_instances_between,
+    yes_instances_up_to,
+)
 from ..neighborhood.hiding import HidingVerdict, classic_verdict
 from ..neighborhood.ngraph import build_neighborhood_graph_auto
 from ..obs.logs import get_logger
+from ..perf.config import CONFIG
+from ..symmetry.prune import SymmetryAccount
 from .context import RunContext
 from .plan import ExecutionPlan
 from .verdict import Provenance, Verdict
@@ -85,10 +92,19 @@ def available_backends() -> list[str]:
 # ----------------------------------------------------------------------
 
 
+def _symmetry_effective(lcp: LCP, plan: ExecutionPlan) -> bool:
+    """Whether the resolved plan's symmetry mode turns orbit pruning on
+    for this scheme (generation mode alone never changes sweep content)."""
+    return symmetry_pruning_effective(lcp, plan.symmetry or "off")
+
+
 def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
     """The sweep identity *without* ``n``: one key per (scheme, decoder,
     enumeration bounds, backend semantics) family.  Worker count is
-    deliberately absent — verdicts are byte-identical for any."""
+    deliberately absent — verdicts are byte-identical for any.  Orbit
+    pruning is part of the identity (early-exit counts may differ between
+    regimes); the orderly-vs-legacy generation mode is not (byte-identical
+    streams)."""
     return (
         ENGINE_VERSION,
         plan.backend,
@@ -103,6 +119,7 @@ def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
         plan.include_all_accepted_labelings,
         plan.labeling_limit,
         plan.early_exit,
+        _symmetry_effective(lcp, plan),
     )
 
 
@@ -131,6 +148,11 @@ def disk_key(lcp: LCP, n: int, plan: ExecutionPlan) -> dict:
     }
     if plan.backend != "streaming":
         key["backend"] = plan.backend
+    # Only when orbit pruning is effective: pre-symmetry entries keep
+    # their content addresses and are never misread by pruned sweeps
+    # (whose early-exit instance counts can legitimately differ).
+    if _symmetry_effective(lcp, plan):
+        key["symmetry"] = "on"
     return key
 
 
@@ -179,6 +201,35 @@ def _envelope(
     )
 
 
+def _apply_symmetry_account(ngraph, account: SymmetryAccount | None, ctx: RunContext):
+    """Fold orbit-pruning suppressions back into the sweep's counts.
+
+    ``Provenance.instances_scanned`` and the ``instances_scanned`` stats
+    counter move in lockstep — the run report's consistency block checks
+    them for exact agreement.  Must run before the envelope is built and
+    before the engine state is parked for warm starts."""
+    if account is None:
+        return
+    with ctx.tracer.span(
+        "symmetry:orbit-prune",
+        bases_pruned=account.bases_pruned,
+        labelings_pruned=account.labelings_pruned,
+        instances_suppressed=account.instances_suppressed,
+    ):
+        if account.instances_suppressed:
+            ngraph.instances_scanned += account.instances_suppressed
+            ctx.stats.incr("instances_scanned", account.instances_suppressed)
+            ctx.stats.incr(
+                "symmetry_instances_suppressed", account.instances_suppressed
+            )
+        if account.labelings_total:
+            ctx.stats.incr("symmetry_labelings_total", account.labelings_total)
+        if account.labelings_pruned:
+            ctx.stats.incr("symmetry_labelings_pruned", account.labelings_pruned)
+        if account.bases_pruned:
+            ctx.stats.incr("symmetry_bases_pruned", account.bases_pruned)
+
+
 # ----------------------------------------------------------------------
 # Materialized backend
 # ----------------------------------------------------------------------
@@ -193,41 +244,62 @@ class MaterializedBackend(Backend):
         from ..neighborhood.streaming import StreamingHidingEngine
 
         start = time.perf_counter()
-        with ctx.tracer.span("sweep", n=n) as sweep:
-            instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
-            # The parity detector rides along (k = 2, near-free union-find)
-            # so this backend reports the same canonical stream witness as
-            # the streaming one; it never stops the scan (early_exit=False).
-            tracker = None
-            into = None
-            if lcp.k == 2:
-                tracker = StreamingHidingEngine(
-                    lcp.k,
-                    lcp.radius,
-                    not lcp.anonymous,
-                    early_exit=False,
-                    stats=ctx.stats,
+        pruned = _symmetry_effective(lcp, plan)
+        account = SymmetryAccount() if pruned else None
+        with CONFIG.overridden(symmetry=plan.symmetry):
+            with ctx.tracer.span("sweep", n=n) as sweep:
+                with ctx.tracer.span(
+                    "symmetry:generate", n=n, mode=plan.symmetry
+                ) as gen:
+                    gen.set_attributes(sizes_warmed=warm_graph_families(0, n))
+                instances = yes_instances_up_to(
+                    lcp,
+                    n,
+                    **_enumeration_bounds(plan),
+                    symmetry=plan.symmetry if pruned else "off",
+                    account=account,
                 )
-                into = tracker.ngraph
-            ngraph = build_neighborhood_graph_auto(
-                lcp,
-                instances,
-                workers=plan.workers,
-                stats=ctx.stats,
-                consumer=tracker,
-                into=into,
-                tracer=ctx.tracer,
-            )
-            sweep.set_attributes(
-                instances_scanned=ngraph.instances_scanned,
-                views=ngraph.order,
-                edges=ngraph.size,
-            )
+                # The parity detector rides along (k = 2, near-free union-find)
+                # so this backend reports the same canonical stream witness as
+                # the streaming one; it never stops the scan (early_exit=False).
+                tracker = None
+                into = None
+                if lcp.k == 2:
+                    tracker = StreamingHidingEngine(
+                        lcp.k,
+                        lcp.radius,
+                        not lcp.anonymous,
+                        early_exit=False,
+                        stats=ctx.stats,
+                    )
+                    into = tracker.ngraph
+                ngraph = build_neighborhood_graph_auto(
+                    lcp,
+                    instances,
+                    workers=plan.workers,
+                    stats=ctx.stats,
+                    consumer=tracker,
+                    into=into,
+                    tracer=ctx.tracer,
+                )
+                _apply_symmetry_account(ngraph, account, ctx)
+                sweep.set_attributes(
+                    instances_scanned=ngraph.instances_scanned,
+                    views=ngraph.order,
+                    edges=ngraph.size,
+                )
         with ctx.tracer.span("decide", method="classic"):
             legacy = classic_verdict(lcp, ngraph, exhaustive=True)
         witness = tracker.odd_cycle_views() if tracker is not None else None
         return _envelope(
-            lcp, n, plan, legacy, witness, time.perf_counter() - start, ctx
+            lcp,
+            n,
+            plan,
+            legacy,
+            witness,
+            time.perf_counter() - start,
+            ctx,
+            symmetry_pruned=pruned,
         )
 
 
@@ -276,7 +348,15 @@ class StreamingBackend(Backend):
         legacy = state.engine.verdict(exhaustive=True)
         witness = legacy.odd_cycle
         return _envelope(
-            lcp, n, plan, legacy, witness, 0.0, ctx, warm_witness_hit=True
+            lcp,
+            n,
+            plan,
+            legacy,
+            witness,
+            0.0,
+            ctx,
+            warm_witness_hit=True,
+            symmetry_pruned=_symmetry_effective(lcp, plan),
         )
 
     def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
@@ -288,15 +368,36 @@ class StreamingBackend(Backend):
         )
         start = time.perf_counter()
         warm_started = False
-        with ctx.stats.time_stage("streaming_sweep"):
+        pruned = _symmetry_effective(lcp, plan)
+        account = SymmetryAccount() if pruned else None
+        symmetry = plan.symmetry if pruned else "off"
+        with CONFIG.overridden(symmetry=plan.symmetry), ctx.stats.time_stage(
+            "streaming_sweep"
+        ):
             with ctx.tracer.span("sweep", n=n, early_exit=plan.early_exit) as sweep:
                 if state is not None and state.n <= n:
                     ctx.stats.incr("warm_starts")
                     warm_started = True
                     engine = state.engine.clone()
                     engine.stats = ctx.stats
+                    with ctx.tracer.span(
+                        "symmetry:generate", n=n, mode=plan.symmetry
+                    ) as gen:
+                        # Early-exit sweeps generate lazily: pre-building
+                        # every family would waste the exit.
+                        gen.set_attributes(
+                            sizes_warmed=0
+                            if plan.early_exit
+                            else warm_graph_families(state.n, n),
+                            deferred=plan.early_exit,
+                        )
                     instances = yes_instances_between(
-                        lcp, state.n, n, **_enumeration_bounds(plan)
+                        lcp,
+                        state.n,
+                        n,
+                        **_enumeration_bounds(plan),
+                        symmetry=symmetry,
+                        account=account,
                     )
                 else:
                     engine = StreamingHidingEngine(
@@ -306,7 +407,22 @@ class StreamingBackend(Backend):
                         early_exit=plan.early_exit,
                         stats=ctx.stats,
                     )
-                    instances = yes_instances_up_to(lcp, n, **_enumeration_bounds(plan))
+                    with ctx.tracer.span(
+                        "symmetry:generate", n=n, mode=plan.symmetry
+                    ) as gen:
+                        gen.set_attributes(
+                            sizes_warmed=0
+                            if plan.early_exit
+                            else warm_graph_families(0, n),
+                            deferred=plan.early_exit,
+                        )
+                    instances = yes_instances_up_to(
+                        lcp,
+                        n,
+                        **_enumeration_bounds(plan),
+                        symmetry=symmetry,
+                        account=account,
+                    )
                 build_neighborhood_graph_auto(
                     lcp,
                     instances,
@@ -316,6 +432,7 @@ class StreamingBackend(Backend):
                     into=engine.ngraph,
                     tracer=ctx.tracer,
                 )
+                _apply_symmetry_account(engine.ngraph, account, ctx)
                 sweep.set_attributes(
                     warm_started=warm_started,
                     witness_found=engine.witness_found,
@@ -336,6 +453,7 @@ class StreamingBackend(Backend):
             time.perf_counter() - start,
             ctx,
             warm_started=warm_started,
+            symmetry_pruned=pruned,
         )
 
 

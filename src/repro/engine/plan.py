@@ -54,6 +54,14 @@ class ExecutionPlan:
       / ``labeling_limit`` — the Lemma 3.1 enumeration bounds; part of
       the plan because they define the sweep's identity for every cache
       tier.
+    * ``symmetry`` — the symmetry-reduction mode: ``"off"`` (legacy
+      edge-subset enumeration, no pruning), ``"on"`` (orderly generation
+      + automorphism-orbit pruning), or ``"auto"`` (orderly generation;
+      pruning only for anonymous schemes).  ``None`` defers to
+      ``CONFIG.symmetry``.  Suppressed instances are folded back into
+      ``Provenance.instances_scanned``, so full-sweep provenance is
+      regime-independent; when pruning is effective the sweep's disk
+      identity is tagged so pre-symmetry cache entries are never misread.
     """
 
     backend: str = BACKEND_AUTO
@@ -66,6 +74,7 @@ class ExecutionPlan:
     id_order_types: bool = False
     include_all_accepted_labelings: bool = True
     labeling_limit: int = 20_000
+    symmetry: str | None = None
 
     @property
     def is_resolved(self) -> bool:
@@ -74,6 +83,7 @@ class ExecutionPlan:
             and self.workers is not None
             and self.warm_start is not None
             and self.disk_cache is not None
+            and self.symmetry is not None
         )
 
     def resolve(self, config: PerfConfig | None = None) -> "ExecutionPlan":
@@ -99,6 +109,11 @@ class ExecutionPlan:
         workers = self.workers if self.workers is not None else config.workers
         warm = self.warm_start if self.warm_start is not None else config.warm_start
         disk = self.disk_cache if self.disk_cache is not None else config.disk_cache
+        symmetry = self.symmetry if self.symmetry is not None else config.symmetry
+        if symmetry not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown symmetry mode {symmetry!r}; known: auto, on, off"
+            )
         early_exit = self.early_exit
         if backend == BACKEND_MATERIALIZED:
             early_exit = False
@@ -110,6 +125,7 @@ class ExecutionPlan:
             early_exit=early_exit,
             warm_start=warm,
             disk_cache=disk,
+            symmetry=symmetry,
         )
 
     def describe(self) -> str:
@@ -120,10 +136,12 @@ class ExecutionPlan:
             if on
         ]
         workers = "auto" if self.workers is None else (self.workers or "serial")
+        symmetry = "auto" if self.symmetry is None else self.symmetry
         return (
             f"backend={self.backend} workers={workers} "
             f"early_exit={self.early_exit} warm_start={self.warm_start} "
-            f"cache={'+'.join(tiers) if tiers else 'none'}"
+            f"cache={'+'.join(tiers) if tiers else 'none'} "
+            f"symmetry={symmetry}"
         )
 
 
@@ -138,6 +156,7 @@ def resolve_plan(
     id_order_types: bool = False,
     include_all_accepted_labelings: bool = True,
     labeling_limit: int = 20_000,
+    symmetry: str | None = None,
     config: PerfConfig | None = None,
 ) -> ExecutionPlan:
     """The plan resolver: legacy keyword vocabulary → resolved plan.
@@ -162,4 +181,5 @@ def resolve_plan(
         id_order_types=id_order_types,
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
+        symmetry=symmetry,
     ).resolve(config)

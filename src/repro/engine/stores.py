@@ -189,6 +189,7 @@ def _verdict_from_body(key: dict, body: dict) -> Verdict:
         views=len(views),
         edges=len(ngraph.edges),
         disk_cache_hit=True,
+        symmetry_pruned=key.get("symmetry") == "on",
     )
     return Verdict(
         k=body["k"],

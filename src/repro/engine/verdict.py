@@ -54,6 +54,10 @@ class Provenance:
     disk_cache_hit: bool = False
     warm_started: bool = False
     warm_witness_hit: bool = False
+    #: True when automorphism-orbit pruning ran: ``instances_scanned``
+    #: then includes the suppressed orbit mates (multiplied back in), not
+    #: only the instances physically decided.
+    symmetry_pruned: bool = False
     wall_time_s: float = 0.0
     trace_id: str | None = None
 

@@ -23,6 +23,7 @@ def run_all(
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
+    symmetry: str | None = None,
     tracer: Tracer | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment, in id order.
@@ -42,7 +43,10 @@ def run_all(
     tracer = tracer if tracer is not None else NULL_TRACER
     results = []
     with CONFIG.overridden(
-        workers=workers, streaming=streaming, disk_cache=disk_cache
+        workers=workers,
+        streaming=streaming,
+        disk_cache=disk_cache,
+        symmetry=symmetry,
     ):
         with tracer.span("run-all", experiments=len(all_experiments())):
             for experiment in all_experiments():
@@ -70,6 +74,7 @@ def run_all_and_save(
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
+    symmetry: str | None = None,
     trace_out: str | Path | None = None,
 ) -> bool:
     """Run everything, write the rendered report (plus the perf-stats
@@ -89,6 +94,7 @@ def run_all_and_save(
         workers=workers,
         streaming=streaming,
         disk_cache=disk_cache,
+        symmetry=symmetry,
         tracer=tracer,
     )
     report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
@@ -135,6 +141,13 @@ def main(argv: list[str] | None = None) -> int:
         help="persist streaming sweep verdicts under .repro_cache/",
     )
     parser.add_argument(
+        "--symmetry",
+        choices=["auto", "on", "off"],
+        default=None,
+        help="symmetry reduction for the sweeps (orderly generation + "
+        "orbit pruning; default: the session config)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -156,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         streaming=args.streaming or None,
         disk_cache=args.disk_cache or None,
+        symmetry=args.symmetry,
         trace_out=args.trace_out,
     )
     print(f"report written to {args.target}")

@@ -7,10 +7,13 @@ graphs up to isomorphism, all bipartite ones, and the promise classes of
 the paper's theorems (minimum degree 1, even cycles, shatter-point graphs,
 watermelons).
 
-Enumeration is exact and deterministic: graphs on ``k`` labelled nodes are
-generated from edge subsets and deduplicated with the exact canonical form
-of :mod:`repro.graphs.encoding`.  Practical up to ``n = 7``; the
-neighborhood-graph builders keep ``n`` small anyway.
+Enumeration is exact and deterministic, with two interchangeable
+generators emitting byte-identical streams: the legacy edge-subset walk
+(all ``2^(n choose 2)`` masks, deduplicated with the exact canonical
+machinery) and the orderly generator of :mod:`repro.symmetry.orderly`
+(each isomorphism class constructed exactly once — the default, selected
+by ``perf.CONFIG.symmetry``).  The orderly path is practical up to
+``n = 8``; the legacy walk up to ``n = 7``.
 """
 
 from __future__ import annotations
@@ -20,16 +23,19 @@ from itertools import combinations
 
 from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS
-from .graph import Graph
+from .graph import FrozenGraph, Graph
 from .properties import is_bipartite, is_even_cycle
 from .shatter import has_shatter_point
 from .watermelon import is_watermelon
 
-#: ``(n, connected_only) -> tuple of representatives``.  The Lemma 3.1
-#: sweeps re-enumerate the same families for every scheme and every bound;
-#: caching the representative lists makes repeat sweeps enumeration-free.
-#: Yielded graphs are defensive copies, so callers may mutate them.
-_FAMILY_CACHE: dict[tuple[int, bool], tuple[Graph, ...]] = {}
+#: ``(n, connected_only) -> tuple of frozen representatives``.  The
+#: Lemma 3.1 sweeps re-enumerate the same families for every scheme and
+#: every bound; caching the representative lists makes repeat sweeps
+#: enumeration-free.  Entries are :class:`FrozenGraph` — ``mutable=True``
+#: hits yield defensive copies, ``mutable=False`` hits yield the cached
+#: objects themselves.  Both generators produce the identical stream, so
+#: the cache is shared regardless of which one filled it.
+_FAMILY_CACHE: dict[tuple[int, bool], tuple[FrozenGraph, ...]] = {}
 
 
 def clear_family_cache() -> None:
@@ -37,7 +43,53 @@ def clear_family_cache() -> None:
     _FAMILY_CACHE.clear()
 
 
-def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
+def family_cache_snapshot() -> dict[tuple[int, bool], tuple[FrozenGraph, ...]]:
+    """A picklable snapshot of the family cache (worker preloading)."""
+    return dict(_FAMILY_CACHE)
+
+
+def prime_family_cache(
+    snapshot: dict[tuple[int, bool], tuple[FrozenGraph, ...]],
+) -> int:
+    """Fill the cache from a parent-process *snapshot* without
+    overwriting entries; returns how many were added.  Called by the
+    pool initializer of :mod:`repro.perf.parallel` so workers never
+    re-enumerate families the parent already has."""
+    added = 0
+    for key, graphs in snapshot.items():
+        if key not in _FAMILY_CACHE:
+            _FAMILY_CACHE[key] = tuple(graphs)
+            added += 1
+    if added:
+        GLOBAL_STATS.incr("family_cache_primed", added)
+    return added
+
+
+def warm_graph_families(lo: int, hi: int, connected_only: bool = True) -> int:
+    """Enumerate (and cache) the families of sizes ``lo+1 .. hi``.
+
+    The engine calls this under its ``symmetry:generate`` span so
+    generation cost is attributed to generation rather than smeared over
+    the sweep.  No-op per size already cached; returns the number of
+    sizes enumerated.  Without ``CONFIG.family_cache`` there is nothing
+    to warm."""
+    if not CONFIG.family_cache:
+        return 0
+    warmed = 0
+    for size in range(max(1, lo + 1), hi + 1):
+        if (size, connected_only) not in _FAMILY_CACHE:
+            for _ in all_graphs_exactly(size, connected_only=connected_only, mutable=False):
+                pass
+            warmed += 1
+    return warmed
+
+
+def all_graphs_exactly(
+    n: int,
+    connected_only: bool = True,
+    mutable: bool = True,
+    generator: str | None = None,
+) -> Iterator[Graph]:
     """All simple graphs on exactly *n* nodes, up to isomorphism.
 
     Nodes are ``0..n-1``.  With *connected_only* the disconnected ones are
@@ -45,7 +97,15 @@ def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
     paper's instances are simple).
 
     Results are cached per ``(n, connected_only)`` (see
-    ``perf.CONFIG.family_cache``); cache hits yield independent copies.
+    ``perf.CONFIG.family_cache``).  With ``mutable=True`` every yielded
+    graph is an independent copy; ``mutable=False`` yields shared
+    :class:`FrozenGraph` objects instead — the fast path for the sweep,
+    which never mutates representatives.
+
+    *generator* picks the enumeration algorithm: ``"legacy"`` (edge-
+    subset walk), ``"orderly"`` (canonical augmentation), or ``None`` to
+    follow ``CONFIG.symmetry`` (``"off"`` → legacy, else orderly).  The
+    emitted stream is byte-identical either way.
     """
     if n <= 0:
         return
@@ -54,18 +114,35 @@ def all_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
         if cached is not None:
             GLOBAL_STATS.incr("family_cache_hits")
             for g in cached:
-                yield g.copy()
+                yield g.copy() if mutable else g
             return
         GLOBAL_STATS.incr("family_cache_misses")
-        representatives: list[Graph] = []
-        for g in _enumerate_graphs_exactly(n, connected_only):
-            representatives.append(g)
-            yield g.copy()
+        representatives: list[FrozenGraph] = []
+        for g in _generate_graphs_exactly(n, connected_only, generator):
+            frozen = FrozenGraph.freeze(g)
+            representatives.append(frozen)
+            yield g if mutable else frozen
         # Commit only after full exhaustion, so an abandoned generator
         # never caches a truncated family.
         _FAMILY_CACHE[(n, connected_only)] = tuple(representatives)
     else:
-        yield from _enumerate_graphs_exactly(n, connected_only)
+        for g in _generate_graphs_exactly(n, connected_only, generator):
+            yield g if mutable else FrozenGraph.freeze(g)
+
+
+def _generate_graphs_exactly(
+    n: int, connected_only: bool, generator: str | None
+) -> Iterator[Graph]:
+    """Dispatch to the selected enumeration algorithm."""
+    if generator is None:
+        generator = "legacy" if CONFIG.symmetry == "off" else "orderly"
+    if generator == "orderly":
+        from ..symmetry.orderly import orderly_graphs_exactly
+
+        return orderly_graphs_exactly(n, connected_only)
+    if generator == "legacy":
+        return _enumerate_graphs_exactly(n, connected_only)
+    raise ValueError(f"unknown family generator {generator!r}; use 'legacy' or 'orderly'")
 
 
 def _enumerate_graphs_exactly(n: int, connected_only: bool) -> Iterator[Graph]:
@@ -209,10 +286,17 @@ def enumerate_graphs_exactly_reference(n: int, connected_only: bool = True) -> I
         yield g
 
 
-def all_graphs_up_to(n: int, connected_only: bool = True) -> Iterator[Graph]:
+def all_graphs_up_to(
+    n: int,
+    connected_only: bool = True,
+    mutable: bool = True,
+    generator: str | None = None,
+) -> Iterator[Graph]:
     """All simple graphs on at most *n* nodes, up to isomorphism."""
     for k in range(1, n + 1):
-        yield from all_graphs_exactly(k, connected_only=connected_only)
+        yield from all_graphs_exactly(
+            k, connected_only=connected_only, mutable=mutable, generator=generator
+        )
 
 
 def _filtered(n: int, predicate: Callable[[Graph], bool]) -> Iterator[Graph]:

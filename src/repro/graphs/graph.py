@@ -254,3 +254,44 @@ class Graph:
 
     def __repr__(self) -> str:
         return f"Graph(order={self.order}, size={self.size})"
+
+
+class FrozenGraph(Graph):
+    """An immutable :class:`Graph`: every mutator raises.
+
+    The family caches of :mod:`repro.graphs.families` hand these out on
+    the ``mutable=False`` fast path, so a sweep shares one object per
+    representative instead of paying a defensive copy per hit.  Use
+    :meth:`Graph.copy` (inherited — it returns a plain mutable
+    :class:`Graph`) when a mutable variant is needed.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()) -> None:
+        staging = Graph(nodes, edges)
+        object.__setattr__(self, "_adj", staging._adj)
+
+    @classmethod
+    def freeze(cls, graph: Graph) -> "FrozenGraph":
+        """An immutable snapshot of *graph* (adjacency is copied)."""
+        frozen = cls.__new__(cls)
+        object.__setattr__(
+            frozen, "_adj", {v: set(nbrs) for v, nbrs in graph._adj.items()}
+        )
+        return frozen
+
+    def add_node(self, v: Node) -> None:
+        raise GraphError("FrozenGraph is immutable; copy() for a mutable graph")
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        raise GraphError("FrozenGraph is immutable; copy() for a mutable graph")
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        raise GraphError("FrozenGraph is immutable; copy() for a mutable graph")
+
+    def remove_node(self, v: Node) -> None:
+        raise GraphError("FrozenGraph is immutable; copy() for a mutable graph")
+
+    def __repr__(self) -> str:
+        return f"FrozenGraph(order={self.order}, size={self.size})"

@@ -33,6 +33,14 @@ from ..local.labeling import count_labelings, labeling_key, node_sort_order
 from ..local.ports import PortAssignment, all_port_assignments, count_port_assignments
 
 
+def symmetry_pruning_effective(lcp: LCP, symmetry: str) -> bool:
+    """Whether orbit pruning applies: ``"on"`` forces it, ``"auto"``
+    activates it for anonymous schemes (whose decoders cannot see the
+    identifiers that would break orbit equivalence cheaply), ``"off"``
+    never."""
+    return symmetry == "on" or (symmetry == "auto" and lcp.anonymous)
+
+
 def labeled_yes_instances(
     lcp: LCP,
     graphs: Iterable[Graph],
@@ -41,6 +49,8 @@ def labeled_yes_instances(
     id_bound: int | None = None,
     include_all_accepted_labelings: bool = False,
     labeling_limit: int = 20_000,
+    symmetry: str = "off",
+    account=None,
 ) -> Iterator[Instance]:
     """Labeled yes-instances of *lcp* over the given graphs.
 
@@ -53,11 +63,35 @@ def labeled_yes_instances(
     * Labelings: the prover's full certification set; plus, when
       *include_all_accepted_labelings* and the alphabet is finite and the
       space fits *labeling_limit*, every unanimously accepted labeling.
+    * Symmetry (``"auto"`` | ``"on"`` | ``"off"``; see
+      :func:`symmetry_pruning_effective`): when pruning is effective,
+      ``(ports, ids)`` bases that are automorphic images of an earlier
+      base are skipped whole, and labelings within a base are pruned to
+      stabilizer-orbit minima.  The yielded stream is a subsequence of
+      the brute stream whose suppressed members contribute no new
+      canonical views or edges, so builder event order — and with it
+      early-exit witnesses and verdict fingerprints — is unchanged.
+      Suppressed counts accumulate on *account*
+      (:class:`repro.symmetry.prune.SymmetryAccount`); the engine folds
+      them back into ``Provenance.instances_scanned``.
     """
+    pruning = symmetry_pruning_effective(lcp, symmetry)
+    if pruning and account is None:
+        from ..symmetry.prune import SymmetryAccount
+
+        account = SymmetryAccount()
+    include_ids = not lcp.anonymous
     for graph in graphs:
         if not lcp.is_yes_instance(graph):
             continue
         node_order = node_sort_order(graph)
+        group = None
+        if pruning:
+            from ..symmetry.groups import automorphism_group
+
+            group = automorphism_group(graph)
+            if group.is_trivial:
+                group = None
         ports_list: list[PortAssignment]
         if count_port_assignments(graph) <= port_limit:
             ports_list = list(all_port_assignments(graph))
@@ -71,31 +105,63 @@ def labeled_yes_instances(
         else:
             id_list = [IdentifierAssignment.canonical(graph)]
         bound = id_bound if id_bound is not None else graph.order
+        #: base signature -> brute-equivalent instance count of the
+        #: representative base (yields + suppressed), charged whole to
+        #: every later automorphic duplicate.
+        base_counts: dict[tuple, int] = {}
         for ports in ports_list:
             for ids in id_list:
                 base = Instance(graph=graph, ports=ports, ids=ids, id_bound=bound)
+                if account is not None:
+                    account.bases_total += 1
+                signature = None
+                if group is not None:
+                    from ..symmetry.prune import base_signature, instance_stabilizer
+
+                    signature = base_signature(group, graph, ports, ids, include_ids)
+                    duplicate_of = base_counts.get(signature)
+                    if duplicate_of is not None:
+                        account.bases_pruned += 1
+                        account.instances_suppressed += duplicate_of
+                        continue
+                suppressed_before = (
+                    account.instances_suppressed if account is not None else 0
+                )
+                produced = 0
                 seen = set()
                 for labeling in lcp.prover.all_certifications(base):
                     key = labeling_key(labeling, node_order)
                     if key in seen:
                         continue
                     seen.add(key)
+                    produced += 1
                     yield base.with_labeling(labeling)
                 if include_all_accepted_labelings:
                     alphabet = lcp.certificate_alphabet(graph)
-                    if alphabet is None:
-                        continue
-                    if count_labelings(graph, len(alphabet)) > labeling_limit:
-                        continue
-                    for labeling in unanimously_accepted_labelings(
-                        lcp.decoder,
-                        base,
-                        alphabet,
-                        lcp.radius,
-                        include_ids=not lcp.anonymous,
-                        seen=seen,
+                    if alphabet is not None and (
+                        count_labelings(graph, len(alphabet)) <= labeling_limit
                     ):
-                        yield base.with_labeling(labeling)
+                        stabilizer = (
+                            instance_stabilizer(group, graph, ports, ids, include_ids)
+                            if group is not None
+                            else None
+                        )
+                        for labeling in unanimously_accepted_labelings(
+                            lcp.decoder,
+                            base,
+                            alphabet,
+                            lcp.radius,
+                            include_ids=include_ids,
+                            seen=seen,
+                            stabilizer=stabilizer,
+                            account=account,
+                        ):
+                            produced += 1
+                            yield base.with_labeling(labeling)
+                if signature is not None:
+                    base_counts[signature] = produced + (
+                        account.instances_suppressed - suppressed_before
+                    )
 
 
 def yes_instances_up_to(
@@ -105,6 +171,8 @@ def yes_instances_up_to(
     id_order_types: bool = False,
     include_all_accepted_labelings: bool = False,
     labeling_limit: int = 20_000,
+    symmetry: str = "off",
+    account=None,
 ) -> Iterator[Instance]:
     """The Lemma 3.1 sweep: labeled yes-instances on at most *n* nodes.
 
@@ -116,12 +184,14 @@ def yes_instances_up_to(
     # itself, and filtering twice would double the bipartiteness checks.
     yield from labeled_yes_instances(
         lcp,
-        all_graphs_up_to(n),
+        all_graphs_up_to(n, mutable=False),
         port_limit=port_limit,
         id_order_types=id_order_types,
         id_bound=n,
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
+        symmetry=symmetry,
+        account=account,
     )
 
 
@@ -133,6 +203,8 @@ def yes_instances_between(
     id_order_types: bool = False,
     include_all_accepted_labelings: bool = False,
     labeling_limit: int = 20_000,
+    symmetry: str = "off",
+    account=None,
 ) -> Iterator[Instance]:
     """The suffix of the Lemma 3.1 sweep: sizes ``lo+1 .. hi`` only.
 
@@ -146,7 +218,7 @@ def yes_instances_between(
 
     def suffix_graphs() -> Iterator[Graph]:
         for size in range(lo + 1, hi + 1):
-            yield from all_graphs_exactly(size)
+            yield from all_graphs_exactly(size, mutable=False)
 
     yield from labeled_yes_instances(
         lcp,
@@ -156,4 +228,6 @@ def yes_instances_between(
         id_bound=hi,
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
+        symmetry=symmetry,
+        account=account,
     )

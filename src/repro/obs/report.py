@@ -224,6 +224,16 @@ class RunReport:
                 f"  decision:      hiding={d['hiding']} k={d['k']} "
                 f"witness_length={d['witness_length']} fp={d['fingerprint'][:12]}"
             )
+        plan = p.get("plan")
+        if plan:
+            provenance = p.get("provenance") or {}
+            symmetry = plan.get("symmetry") or "auto"
+            pruned = provenance.get("symmetry_pruned", False)
+            lines.append(
+                f"  plan:          backend={plan.get('backend')} "
+                f"symmetry={symmetry}"
+                f"{' (orbit-pruned)' if pruned else ''}"
+            )
         if p.get("plan_fingerprint"):
             lines.append(f"  plan fp:       {p['plan_fingerprint']}")
         consistency = p.get("consistency")

@@ -46,6 +46,14 @@ class PerfConfig:
       entirely (see :mod:`repro.perf.persist`).
     * ``disk_cache_dir`` — override the cache directory (default:
       ``$REPRO_CACHE_DIR`` or ``./.repro_cache``).
+    * ``symmetry`` — the symmetry-reduction mode (``"auto"`` | ``"on"``
+      | ``"off"``) plans resolve their ``symmetry`` field against.
+      ``"off"`` selects the legacy edge-subset family enumerator and no
+      orbit pruning; ``"auto"``/``"on"`` select orderly generation
+      (byte-identical stream, each class constructed once) and — for
+      ``"auto"`` only on anonymous schemes, for ``"on"`` always —
+      automorphism-orbit pruning of bases and labelings with exact
+      suppressed-count accounting (see :mod:`repro.symmetry`).
     """
 
     layout_cache: bool = True
@@ -61,6 +69,7 @@ class PerfConfig:
     warm_start: bool = True
     disk_cache: bool = False
     disk_cache_dir: str | None = None
+    symmetry: str = "auto"
 
     def apply(self, **kwargs) -> "PerfConfig":
         """Update fields in place (unknown names raise); returns self."""

@@ -39,6 +39,21 @@ log = get_logger("perf.parallel")
 _MIN_PARALLEL_INSTANCES = 8
 
 
+def _init_worker(snapshot: dict) -> None:
+    """Pool initializer: pre-seed the worker's family cache.
+
+    Workers are fresh processes with cold module state; shipping the
+    parent's enumerated family representatives once per worker (not per
+    chunk) means any worker-side enumeration — prover internals, promise
+    checks — hits a warm cache instead of re-running generation.  The
+    parent records the shipped volume under
+    ``family_cache_preload_entries`` / ``family_cache_preload_graphs``
+    (each shipped graph is a worker cache miss avoided)."""
+    from ..graphs.families import prime_family_cache
+
+    prime_family_cache(snapshot)
+
+
 def _chunked(items: list, chunk_size: int) -> list[list]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
@@ -172,7 +187,19 @@ def build_neighborhood_graph_parallel(
         "build:parallel", workers=workers, chunks=len(chunks), chunk_size=size
     ) as build_span:
         with stats.time_stage("parallel_scan"):
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            from ..graphs.families import family_cache_snapshot
+
+            snapshot = family_cache_snapshot()
+            stats.incr("family_cache_preload_entries", len(snapshot))
+            stats.incr(
+                "family_cache_preload_graphs",
+                sum(len(graphs) for graphs in snapshot.values()),
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(snapshot,),
+            ) as pool:
                 window = max(2, workers * 2)
                 pending: deque = deque()
                 for index, chunk in enumerate(chunks[:window]):

@@ -1,0 +1,165 @@
+"""Orderly (canonical-augmentation) generation of small graphs.
+
+McKay-style generation of all graphs on ``n`` nodes up to isomorphism,
+each class emitted exactly once with **no post-hoc dedup**: level ``k``
+representatives are built by attaching a new vertex to a level ``k - 1``
+representative, and a child survives two filters —
+
+1. *parent-side*: the new vertex's neighborhood subset must be the
+   minimum of its orbit under ``Aut(parent)`` (isomorphic extensions of
+   one parent differ by exactly such an orbit move);
+2. *child-side*: the new vertex must lie in the canonical-deletion orbit
+   of the child — the set of nodes some minimizing assignment of
+   :func:`repro.symmetry.canon.colex_canonical` puts at the last
+   position.  Deleting the canonical vertex of any class lands on a
+   unique parent class, so each class is reached from exactly one
+   ``(parent, subset-orbit)`` pair.
+
+Levels memoize *all* graphs (disconnected parents breed connected
+children); connectivity is filtered at emission only.  Emission
+reproduces the legacy edge-subset enumerator byte for byte: each class
+is labeled by its minimal edge mask (:func:`repro.symmetry.canon.
+min_edge_mask`) — the exact representative the mask walk of
+:func:`repro.graphs.families._enumerate_graphs_exactly` keeps — and
+classes are emitted in ascending mask order, so downstream sweeps,
+early-exit witnesses, and verdict fingerprints are identical whichever
+enumerator ran.  The automorphism group computed during generation is
+transported to the emitted labeling and seeded into the group cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import combinations
+
+from ..graphs.graph import Graph
+from ..perf.stats import GLOBAL_STATS
+from .canon import automorphisms_from_perms, colex_canonical, min_edge_mask
+from .groups import AutomorphismGroup, seed_automorphisms
+
+#: ``size -> tuple of (adjacency rows, automorphism index perms)`` for
+#: *all* graphs (connected and not) on that many nodes, one per class.
+_LEVELS: dict[int, tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]] = {}
+
+
+def clear_orderly_cache() -> None:
+    """Drop the memoized generation levels (cold-path benchmarks)."""
+    _LEVELS.clear()
+
+
+def _level(
+    n: int,
+) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    """Representatives of all graphs on exactly *n* nodes (memoized)."""
+    cached = _LEVELS.get(n)
+    if cached is not None:
+        return cached
+    if n == 1:
+        entries = (((0,), ((0,),)),)
+    else:
+        entries = _build_level(n, _level(n - 1))
+    _LEVELS[n] = entries
+    return entries
+
+
+def _build_level(
+    k: int, parents: tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]
+) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    m = k - 1  # index of the new vertex
+    out = []
+    for rows_p, auts_p in parents:
+        nontrivial = auts_p[1:]
+        for s in range(1 << m):
+            # Parent-side filter: keep the orbit-minimal subset only.
+            rejected = False
+            for sigma in nontrivial:
+                t = 0
+                bits = s
+                while bits:
+                    low = bits & -bits
+                    t |= 1 << sigma[low.bit_length() - 1]
+                    bits ^= low
+                if t < s:
+                    rejected = True
+                    break
+            if rejected:
+                continue
+            child = [row | ((s >> i & 1) << m) for i, row in enumerate(rows_p)]
+            child.append(s)
+            # The canonical last position holds a maximum-degree node, so
+            # a new vertex of smaller degree can never be accepted; skip
+            # the canonical form entirely for those.
+            if s.bit_count() != max(row.bit_count() for row in child):
+                continue
+            _, perms = colex_canonical(child, k)
+            # Child-side filter: new vertex in the canonical-deletion orbit.
+            if not any(pm[m] == m for pm in perms):
+                continue
+            out.append((tuple(child), automorphisms_from_perms(perms, k)))
+    return tuple(out)
+
+
+def _bitset_connected(rows: tuple[int, ...], n: int) -> bool:
+    full = (1 << n) - 1
+    reach = 1 | rows[0]
+    frontier = reach & ~1
+    while frontier:
+        nxt = 0
+        bits = frontier
+        while bits:
+            low = bits & -bits
+            nxt |= rows[low.bit_length() - 1]
+            bits ^= low
+        frontier = nxt & ~reach
+        reach |= frontier
+    return reach == full
+
+
+def orderly_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """All graphs on exactly *n* nodes up to isomorphism, emitted in the
+    legacy enumerator's exact order and labeling.
+
+    Drop-in replacement for the edge-subset walk of
+    :mod:`repro.graphs.families` — byte-identical stream — that visits
+    each isomorphism class once instead of all ``2^(n choose 2)`` masks.
+    Emitted graphs carry their automorphism group into the cache of
+    :mod:`repro.symmetry.groups`.
+    """
+    if n <= 0:
+        return
+    GLOBAL_STATS.incr("orderly_generations")
+    possible_edges = list(combinations(range(n), 2))
+    labeled = []
+    for rows, auts in _level(n):
+        if connected_only and not _bitset_connected(rows, n):
+            continue
+        group = AutomorphismGroup(nodes=tuple(range(n)), perms=auts)
+        mask, perm = min_edge_mask(
+            list(rows), n, first_candidates=group.orbit_representatives()
+        )
+        labeled.append((mask, perm, rows, auts))
+    labeled.sort(key=lambda entry: entry[0])
+    for mask, perm, rows, auts in labeled:
+        graph = Graph(
+            nodes=range(n),
+            edges=[e for i, e in enumerate(possible_edges) if mask >> i & 1],
+        )
+        # Transport the group through the emission labeling: emitted node
+        # p is generation node perm[p].
+        pos = [0] * n
+        for p, v in enumerate(perm):
+            pos[v] = p
+        emitted_auts = tuple(
+            tuple(pos[sigma[perm[p]]] for p in range(n)) for sigma in auts
+        )
+        seed_automorphisms(graph, emitted_auts)
+        yield graph
+
+
+def count_classes(n: int, connected_only: bool = False) -> int:
+    """Number of isomorphism classes on exactly *n* nodes (test hook)."""
+    if n <= 0:
+        return 0
+    if not connected_only:
+        return len(_level(n))
+    return sum(1 for rows, _ in _level(n) if _bitset_connected(rows, n))

@@ -1,0 +1,142 @@
+"""Orbit pruning of the Lemma 3.1 labeling sweep.
+
+Decoder verdicts are invariant under instance automorphisms: relabeling
+a labeled instance through a graph automorphism that preserves ports
+(and identifiers, when the decoder sees them) permutes the multiset of
+node views without changing any of them.  The sweep may therefore
+
+* decide only one labeling per orbit of the base's **stabilizer** (the
+  automorphisms fixing ports/ids) and suppress the rest, and
+* skip entire ``(ports, ids)`` bases whose **signature** — the orbit of
+  their port/id tables under the graph's automorphism group — was
+  already scanned: every labeled instance of the duplicate base is a
+  relabeling of one from the representative base, contributing the
+  identical canonical views and edges.
+
+Suppressed instances never reach the builders, so the engine adds
+:attr:`SymmetryAccount.instances_suppressed` back into
+``Provenance.instances_scanned`` (and the matching stats counter) after
+the sweep — reports and the obs consistency block stay truthful about
+the brute-force-equivalent count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+from ..local.identifiers import IdentifierAssignment
+from ..local.ports import PortAssignment
+from .groups import AutomorphismGroup
+
+
+@dataclass
+class SymmetryAccount:
+    """Running totals of what a pruned sweep skipped.
+
+    * ``labelings_total`` — labelings enumerated (pruned or not) by the
+      exhaustive unanimity loops; the denominator of the orbit-pruning
+      ratio reported by the benchmarks.
+    * ``labelings_pruned`` — labelings skipped as non-minimal orbit
+      members (never decided).
+    * ``bases_total`` / ``bases_pruned`` — ``(ports, ids)`` bases seen /
+      skipped as signature duplicates.
+    * ``instances_suppressed`` — labeled yes-instances the brute-force
+      sweep would have yielded that the pruned sweep did not; the engine
+      folds this back into ``instances_scanned``.
+    """
+
+    labelings_total: int = 0
+    labelings_pruned: int = 0
+    bases_total: int = 0
+    bases_pruned: int = 0
+    instances_suppressed: int = 0
+
+    @property
+    def pruning_ratio(self) -> float:
+        """``labelings_pruned / labelings_total`` (0.0 when nothing ran)."""
+        if not self.labelings_total:
+            return 0.0
+        return self.labelings_pruned / self.labelings_total
+
+
+def instance_stabilizer(
+    group: AutomorphismGroup,
+    graph: Graph,
+    ports: PortAssignment,
+    ids: IdentifierAssignment,
+    include_ids: bool,
+) -> tuple[tuple[int, ...], ...]:
+    """The automorphisms fixing *ports* (and *ids* when the decoder sees
+    identifiers) — the subgroup under which labelings of this base may
+    be orbit-pruned.  Index permutations, identity first.
+    """
+    nodes = group.nodes
+    index = {v: i for i, v in enumerate(nodes)}
+    neighbor_idx = [
+        [index[u] for u in graph.neighbors(v)] for v in nodes
+    ]
+    stabilizer = []
+    for sigma in group.perms:
+        ok = True
+        for i, v in enumerate(nodes):
+            w = nodes[sigma[i]]
+            if include_ids and ids.id_of(v) != ids.id_of(w):
+                ok = False
+                break
+            for j in neighbor_idx[i]:
+                if ports.port(v, nodes[j]) != ports.port(w, nodes[sigma[j]]):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            stabilizer.append(sigma)
+    return tuple(stabilizer)
+
+
+def base_signature(
+    group: AutomorphismGroup,
+    graph: Graph,
+    ports: PortAssignment,
+    ids: IdentifierAssignment,
+    include_ids: bool,
+) -> tuple:
+    """A canonical key for the ``(ports, ids)`` base under ``Aut(G)``.
+
+    Two bases of the same graph get equal signatures iff one is the
+    other transported through a graph automorphism — in which case their
+    labeled yes-instances are relabelings of each other and produce
+    identical view/edge streams.  The signature is the minimum, over the
+    group, of the base's port table (and id row, when the decoder sees
+    identifiers) relabeled through the automorphism.
+    """
+    nodes = group.nodes
+    n = len(nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    neighbor_idx = [
+        sorted(index[u] for u in graph.neighbors(v)) for v in nodes
+    ]
+    best = None
+    for sigma in group.perms:
+        inverse = [0] * n
+        for i, image in enumerate(sigma):
+            inverse[image] = i
+        port_rows = tuple(
+            tuple(
+                ports.port(nodes[inverse[i]], nodes[inverse[j]])
+                for j in neighbor_idx[i]
+            )
+            for i in range(n)
+        )
+        if include_ids:
+            candidate = (
+                port_rows,
+                tuple(ids.id_of(nodes[inverse[i]]) for i in range(n)),
+            )
+        else:
+            candidate = (port_rows,)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None
+    return best
