@@ -17,6 +17,19 @@ Writes two JSON reports:
     On a single-core host these rows are *skipped* (recorded with a
     note): they would measure pure pool overhead, not parallelism.
 
+  A **kernel** section compares the scalar streaming sweep with the
+  vectorized batch kernel (:mod:`repro.kernel`) on cold full sweeps,
+  symmetry off and on: ``degree-one`` at ``n = 5, 6`` (decode-bound —
+  the unanimity scan dominates, the kernel engages) and ``even-cycle``
+  at ``n = 6, 7`` (generation-bound — the 16^n labeling space exceeds
+  ``labeling_limit``, so there is no labeling pass to vectorize; those
+  rows honestly record ``kernel_batches = 0`` with a note).  The scalar
+  reference numbers are the symmetry section's own rows (same sweep,
+  same repeats); every vectorized row records ``kernel``,
+  ``numpy_version``, its speedup, and a view/edge/count parity check.
+  Without numpy the vectorized rows are recorded as *skipped* with a
+  note (mirroring the single-core ``parallel_N`` convention).
+
   A **symmetry** section compares the legacy edge-subset enumerator with
   the symmetry-reduced sweep (orderly generation + automorphism-orbit
   pruning) on cold full sweeps: ``degree-one`` at ``n = 5, 6``,
@@ -35,6 +48,9 @@ Writes two JSON reports:
     (the classic ``hiding_verdict_from_instances`` pipeline).
   - **streaming_cold** — the streaming engine, no warm start, no disk:
     the sweep exits at the first odd-walk witness.
+  - **vectorized_cold** — the same early-exit decision through the
+    vectorized kernel backend (skipped with a note when numpy is
+    missing); records ``kernel`` and ``numpy_version``.
   - **streaming_warm_disk** — the streaming engine reading a populated
     ``.repro_cache/`` entry (what a re-run of the same experiment pays).
 
@@ -55,7 +71,10 @@ Usage::
 parity sweep over several registry schemes (serial and 2-worker); the
 exit status is nonzero on any parity failure.  ``--symmetry-smoke`` is
 its symmetry sibling: orbit-pruned vs brute-force sweeps at ``n = 4``
-for both Theorem 1.1 schemes.
+for both Theorem 1.1 schemes.  ``--kernel-smoke`` checks the vectorized
+backend against streaming (identical decision fingerprints and instance
+counts) across every registry scheme; it exits zero with a note when
+numpy is unavailable.
 """
 
 from __future__ import annotations
@@ -78,6 +97,7 @@ from repro.graphs.families import (
     enumerate_graphs_exactly_reference,
 )
 from repro.graphs.properties import is_odd_closed_walk
+from repro.kernel import clear_kernel_tables, kernel_available, numpy_version
 from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
 from repro.neighborhood.aviews import yes_instances_up_to
 from repro.neighborhood.hiding import hiding_verdict_from_instances
@@ -109,6 +129,25 @@ SYMMETRY_CASES = [
     ("even-cycle", 6, ("off", "on")),
     ("even-cycle", 7, ("off", "on")),
     ("even-cycle", 8, ("on",)),
+]
+
+#: Repeats for the vectorized-kernel rows (cold sweeps, same protocol as
+#: the symmetry section whose rows serve as the scalar reference).
+KERNEL_REPEATS = SYMMETRY_REPEATS
+
+#: (scheme, n, modes) for the kernel comparison.  Each case must also
+#: appear (same scheme, n, modes) in :data:`SYMMETRY_CASES` — the
+#: symmetry rows are the scalar side of the comparison.  ``degree-one``
+#: is the decode-bound workload where the unanimity scan dominates and
+#: the kernel engages; ``even-cycle`` is generation-bound — its 16^n
+#: labeling space exceeds ``labeling_limit``, so the Lemma 3.1 sweep has
+#: no exhaustive labeling pass to vectorize and the kernel rows honestly
+#: show ``kernel_batches = 0`` and ~1x (noted per row).
+KERNEL_CASES = [
+    ("degree-one", 5, ("off", "on")),
+    ("degree-one", 6, ("off", "on")),
+    ("even-cycle", 6, ("off", "on")),
+    ("even-cycle", 7, ("off", "on")),
 ]
 
 #: Streaming plans for the timed regimes: the in-process memo tier is off
@@ -188,12 +227,14 @@ def _sweep_baseline(lcp, n, stats, tracer=None):
     return graph
 
 
-def _sweep_symmetry(lcp, n, mode, stats, tracer=None):
+def _sweep_symmetry(lcp, n, mode, stats, tracer=None, kernel=None):
     """One cold full Lemma 3.1 sweep in the given symmetry regime.
 
     Suppressed orbit mates are folded back into ``instances_scanned``
     (exactly as the engine backends do), so regime rows are directly
-    comparable instance-for-instance."""
+    comparable instance-for-instance.  With ``kernel="batch"`` the
+    unanimity scan runs through the vectorized kernel instead of the
+    scalar loops — same stream, same accounts."""
     account = SymmetryAccount()
     with overridden(symmetry=mode):
         graph = build_neighborhood_graph(
@@ -204,6 +245,8 @@ def _sweep_symmetry(lcp, n, mode, stats, tracer=None):
                 include_all_accepted_labelings=True,
                 symmetry=mode,
                 account=account,
+                kernel=kernel,
+                stats=stats,
             ),
             stats=stats,
             tracer=tracer,
@@ -414,7 +457,7 @@ def run(n: int) -> list[dict]:
 # ----------------------------------------------------------------------
 
 
-def run_symmetry() -> dict:
+def run_symmetry(graph_sink: dict | None = None) -> dict:
     """Cold full sweeps per :data:`SYMMETRY_CASES`, symmetry-off vs -on.
 
     Parity between the regimes of one (scheme, n) case means: identical
@@ -423,6 +466,10 @@ def run_symmetry() -> dict:
     The ``("even-cycle", 8)`` symmetry-on row has no off-regime partner —
     the legacy enumerator cannot reach n = 8 — and is instead compared
     against the *old* n = 7 cost (the headline of the orderly generator).
+
+    With *graph_sink*, the final graph of every regime is stashed under
+    ``(scheme, n, mode)`` so the kernel section can parity-check its
+    vectorized sweeps against these scalar ones without re-running them.
     """
     rows = []
     for scheme, n, modes in SYMMETRY_CASES:
@@ -439,6 +486,8 @@ def run_symmetry() -> dict:
                 graph = _sweep_symmetry(lcp, n, mode, stats)
                 times.append(time.perf_counter() - start)
             graphs[mode] = graph
+            if graph_sink is not None:
+                graph_sink[(scheme, n, mode)] = graph
             print(
                 f"  symmetry {scheme} n={n} {mode}: {min(times):.2f}s",
                 file=sys.stderr,
@@ -519,15 +568,186 @@ def smoke_symmetry() -> int:
 
 
 # ----------------------------------------------------------------------
+# The kernel benchmark: vectorized batch sweep vs the scalar loops
+# ----------------------------------------------------------------------
+
+
+def run_kernel(symmetry: dict, symmetry_graphs: dict) -> dict:
+    """Vectorized-kernel sweeps per :data:`KERNEL_CASES`.
+
+    Each vectorized row is the *same* cold sweep as the symmetry
+    section's ``symmetry_{mode}`` row for that (scheme, n) — only the
+    inner unanimity scan runs through :mod:`repro.kernel` — so the
+    symmetry rows double as the scalar reference: ``speedup_vs_streaming``
+    divides their ``seconds_best``, and parity compares views, edges,
+    and effective instance counts against the stashed scalar graphs.
+    Rows whose sweep never reaches the labeling pass (generation-bound
+    cases) are kept with ``kernel_batches = 0`` and an explanatory note.
+    Without numpy every row is recorded as skipped with a note.
+    """
+    rows = []
+    have_numpy = kernel_available()
+    for scheme, n, modes in KERNEL_CASES:
+        lcp = make_lcp(scheme)
+        for mode in modes:
+            if not have_numpy:
+                rows.append(
+                    {
+                        "regime": f"vectorized_{mode}",
+                        "scheme": scheme,
+                        "n": n,
+                        "skipped": True,
+                        "note": (
+                            "numpy not importable: the vectorized kernel "
+                            "is unavailable (install it via "
+                            "`pip install -e .[fast]`)"
+                        ),
+                        "workers_effective": 1,
+                    }
+                )
+                continue
+            ref_row = next(
+                r
+                for r in symmetry["rows"]
+                if r["scheme"] == scheme
+                and r["n"] == n
+                and r["regime"] == f"symmetry_{mode}"
+            )
+            times = []
+            graph = None
+            stats = PerfStats()
+            for _ in range(KERNEL_REPEATS):
+                _clear_everything()
+                clear_kernel_tables()
+                stats.reset()
+                start = time.perf_counter()
+                graph = _sweep_symmetry(lcp, n, mode, stats, kernel="batch")
+                times.append(time.perf_counter() - start)
+            print(
+                f"  kernel {scheme} n={n} {mode}: {min(times):.2f}s "
+                f"(scalar {ref_row['seconds_best']:.2f}s)",
+                file=sys.stderr,
+            )
+            row = _record(
+                f"vectorized_{mode}", n, min(times), statistics.mean(times),
+                graph, stats,
+            )
+            row["scheme"] = scheme
+            row["kernel"] = "batch"
+            row["numpy_version"] = numpy_version()
+            row["kernel_batches"] = stats.get("kernel_batches")
+            row["kernel_labelings"] = stats.get("kernel_labelings")
+            if not row["kernel_batches"]:
+                row["note"] = (
+                    "kernel never engaged: this sweep is generation-bound "
+                    "(the labeling space exceeds labeling_limit, so there "
+                    "is no exhaustive labeling pass to vectorize)"
+                )
+            reference = symmetry_graphs[(scheme, n, mode)]
+            row["parity_with_scalar"] = (
+                graph.views == reference.views
+                and graph.edges == reference.edges
+                and graph.instances_scanned == reference.instances_scanned
+            )
+            row["speedup_vs_streaming"] = round(
+                ref_row["seconds_best"] / min(times), 3
+            )
+            rows.append(row)
+    by_key = {(r["scheme"], r["n"], r["regime"]): r for r in rows}
+
+    def _speedup(scheme, n, mode):
+        row = by_key.get((scheme, n, f"vectorized_{mode}"))
+        return row.get("speedup_vs_streaming") if row else None
+
+    return {
+        "repeats": KERNEL_REPEATS,
+        "numpy_version": numpy_version(),
+        "scalar_reference": "symmetry section rows (same sweep, same repeats)",
+        "rows": rows,
+        "parity_ok": all(r.get("parity_with_scalar", True) for r in rows),
+        "kernel_engaged_rows": sum(
+            1 for r in rows if r.get("kernel_batches")
+        ),
+        "speedup_degree_one_n6_off": _speedup("degree-one", 6, "off"),
+        "speedup_degree_one_n6_on": _speedup("degree-one", 6, "on"),
+        "speedup_even_cycle_n6_off": _speedup("even-cycle", 6, "off"),
+        "speedup_even_cycle_n7_off": _speedup("even-cycle", 7, "off"),
+    }
+
+
+def smoke_kernel() -> int:
+    """CI smoke: the vectorized backend must match scalar streaming —
+    identical decision fingerprints and effective instance counts — for
+    every registry scheme at n = 3, 4.  When numpy is unavailable there
+    is nothing to vectorize: print a note and exit zero (the fallback
+    path is covered by the tier-1 suite)."""
+    if not kernel_available():
+        print(
+            "kernel smoke: numpy not importable; vectorized backend "
+            "unavailable, nothing to check",
+            file=sys.stderr,
+        )
+        return 0
+    failures = 0
+    checks = 0
+    for name, lcp in all_lcps().items():
+        for n in (3, 4):
+            results = {}
+            for backend in ("streaming", "vectorized"):
+                _clear_everything()
+                clear_kernel_tables()
+                plan = ExecutionPlan(
+                    backend=backend,
+                    warm_start=False,
+                    disk_cache=False,
+                    memory_cache=False,
+                )
+                verdict = decide_hiding(lcp, n, plan)
+                results[backend] = (
+                    verdict.decision_fingerprint(),
+                    verdict.ngraph.instances_scanned,
+                    verdict.provenance.backend,
+                )
+            checks += 1
+            stream_fp, stream_count, _ = results["streaming"]
+            vec_fp, vec_count, vec_backend = results["vectorized"]
+            if (stream_fp, stream_count) != (vec_fp, vec_count):
+                failures += 1
+                print(
+                    f"KERNEL PARITY FAILURE: {name} n={n}: "
+                    f"instances streaming={stream_count} "
+                    f"vectorized={vec_count}, fingerprints "
+                    f"{'agree' if stream_fp == vec_fp else 'differ'}",
+                    file=sys.stderr,
+                )
+            elif vec_backend != "vectorized":
+                failures += 1
+                print(
+                    f"KERNEL PROVENANCE FAILURE: {name} n={n}: "
+                    f"provenance names {vec_backend!r}",
+                    file=sys.stderr,
+                )
+    if failures:
+        print(f"{failures} kernel parity failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"kernel smoke: {checks} vectorized-vs-streaming checks passed "
+        f"(numpy {numpy_version()})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # The hiding benchmark: early exit vs full build, plus the disk cache
 # ----------------------------------------------------------------------
 
 
-def _hiding_parity(streamed, materialized) -> bool:
+def _hiding_parity(streamed, materialized, backend: str = "streaming") -> bool:
     """Streamed engine verdict must agree with the materialized one; a
     hiding witness must be a genuine odd closed walk in the streamed
     graph, and the provenance must name the backend that was asked for."""
-    if streamed.provenance.backend != "streaming":
+    if streamed.provenance.backend != backend:
         return False
     if streamed.hiding != materialized.hiding:
         return False
@@ -600,6 +820,64 @@ def run_hiding(n: int) -> list[dict]:
     )
     _clear_everything()
     rows[-1]["report"] = _traced_hiding_report(lcp, n, STREAM_COLD, "streaming_cold")
+
+    if not kernel_available():
+        rows.append(
+            {
+                "regime": "vectorized_cold",
+                "n": n,
+                "skipped": True,
+                "note": (
+                    "numpy not importable: the vectorized backend is "
+                    "unavailable (install it via `pip install -e .[fast]`)"
+                ),
+                "workers_effective": 1,
+            }
+        )
+    else:
+        vec_plan = ExecutionPlan(
+            backend="vectorized",
+            warm_start=False,
+            disk_cache=False,
+            memory_cache=False,
+        )
+        vec_times = []
+        vec = None
+        vec_stats = PerfStats()
+        for _ in range(REPEATS):
+            _clear_everything()
+            clear_kernel_tables()
+            vec_stats.reset()
+            start = time.perf_counter()
+            vec = decide_hiding(lcp, n, vec_plan, ctx=RunContext(stats=vec_stats))
+            vec_times.append(time.perf_counter() - start)
+        rows.append(
+            {
+                "regime": "vectorized_cold",
+                "n": n,
+                "seconds_best": round(min(vec_times), 6),
+                "seconds_mean": round(statistics.mean(vec_times), 6),
+                "workers_effective": 1,
+                "hiding": vec.hiding,
+                "views": len(vec.ngraph.views),
+                "edges": len(vec.ngraph.edges),
+                "instances_scanned": vec.ngraph.instances_scanned,
+                "early_exits": vec_stats.get("streaming_early_exits"),
+                "kernel": "batch",
+                "numpy_version": numpy_version(),
+                "kernel_batches": vec_stats.get("kernel_batches"),
+                "parity_with_materialized": _hiding_parity(
+                    vec, mat, backend="vectorized"
+                ),
+                "speedup_vs_streaming_cold": round(
+                    min(cold_times) / min(vec_times), 3
+                ),
+            }
+        )
+        _clear_everything()
+        rows[-1]["report"] = _traced_hiding_report(
+            lcp, n, vec_plan, "vectorized_cold"
+        )
 
     # Populate the disk entry once (untimed), then measure pure reloads
     # (the plan's memory tier is off, so every repeat reads the disk).
@@ -727,6 +1005,13 @@ def main() -> int:
         "for both Theorem 1.1 schemes, no timing reports",
     )
     parser.add_argument(
+        "--kernel-smoke",
+        action="store_true",
+        help="CI smoke mode: vectorized-vs-streaming decision parity "
+        "across all registry schemes; exits 0 with a note when numpy "
+        "is unavailable",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -737,6 +1022,8 @@ def main() -> int:
         return smoke_early_exit(trace_out=args.trace_out)
     if args.symmetry_smoke:
         return smoke_symmetry()
+    if args.kernel_smoke:
+        return smoke_kernel()
 
     target = Path(args.output)
     rows = []
@@ -744,7 +1031,10 @@ def main() -> int:
         print(f"benchmarking n={n} ...", file=sys.stderr)
         rows.extend(run(n))
     print("benchmarking symmetry regimes ...", file=sys.stderr)
-    symmetry = run_symmetry()
+    symmetry_graphs: dict = {}
+    symmetry = run_symmetry(graph_sink=symmetry_graphs)
+    print("benchmarking vectorized kernel ...", file=sys.stderr)
+    kernel = run_kernel(symmetry, symmetry_graphs)
 
     by_key = {(r["regime"], r["n"]): r for r in rows}
     cold_speedup = (
@@ -765,9 +1055,11 @@ def main() -> int:
         "parity_ok": (
             all(r.get("parity_with_baseline", True) for r in rows)
             and symmetry["parity_ok"]
+            and kernel["parity_ok"]
         ),
         "rows": rows,
         "symmetry": symmetry,
+        "kernel": kernel,
     }
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))
@@ -787,6 +1079,10 @@ def main() -> int:
         "disk_speedup_vs_cold_n5": by_key[("streaming_warm_disk", 5)][
             "disk_speedup_vs_cold"
         ],
+        "numpy_version": numpy_version(),
+        "vectorized_speedup_vs_streaming_n5": by_key.get(
+            ("vectorized_cold", 5), {}
+        ).get("speedup_vs_streaming_cold"),
         "parity_ok": all(
             r.get("parity_with_materialized", True) for r in hiding_rows
         ),

@@ -142,7 +142,7 @@ class GreedyAdversary(Adversary):
         self.pool_graphs = list(pool_graphs)
 
     def labelings(self, lcp: LCP, instance: Instance) -> Iterator[Labeling]:
-        from ..local.views import extract_view_layouts, relabel_view
+        from ..local.views import extract_view_layouts, relabel_view  # noqa: PLC0415
 
         pool = harvest_certificate_pool(lcp, instance, self.pool_graphs)
         if not pool:

@@ -11,6 +11,7 @@ completeness made executable.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from itertools import product
 
 from ..errors import PromiseViolationError
 from ..graphs.graph import Graph
@@ -39,6 +40,8 @@ def unanimously_accepted_labelings(
     seen: set[tuple] | None = None,
     stabilizer: tuple | None = None,
     account=None,
+    kernel: str | None = None,
+    stats=None,
 ) -> Iterator[Labeling]:
     """Labelings of *instance* over *alphabet* that every node accepts.
 
@@ -61,12 +64,44 @@ def unanimously_accepted_labelings(
     suppresses relative to the brute loop are tallied on *account*
     (:class:`repro.symmetry.prune.SymmetryAccount`), which the engine
     folds back into ``instances_scanned``.
+
+    *kernel* selects the inner-loop evaluator: ``None`` for the scalar
+    loops below, ``"batch"`` for the vectorized block kernel of
+    :mod:`repro.kernel` (same yield stream, ``seen`` mutations, and
+    account totals at every yield point).  When numpy is unavailable —
+    or the labeling space cannot be indexed — the batch request
+    silently falls back to the scalar path, preserving zero-dependency
+    operation.  *stats* receives the kernel's batch counters (defaults
+    to the process-wide stats).
     """
     layouts = layouts_for_instance(instance, radius, include_ids=include_ids)
-    decide = memoized_decide(decoder)
     node_order = node_sort_order(instance.graph)
     if seen is None:
         seen = set()
+    if kernel is not None:
+        if kernel != "batch":
+            raise ValueError(f"unknown sweep kernel {kernel!r}; known: batch")
+        from ..kernel import numpy_or_none  # noqa: PLC0415
+
+        np = numpy_or_none()
+        if np is not None:
+            from ..kernel.batch import batch_unanimous_labelings, kernel_supports  # noqa: PLC0415
+
+            if kernel_supports(instance.graph, alphabet):
+                yield from batch_unanimous_labelings(
+                    decoder,
+                    layouts,
+                    instance.graph,
+                    alphabet,
+                    node_order,
+                    seen,
+                    stabilizer,
+                    account,
+                    np=np,
+                    stats=stats,
+                )
+                return
+    decide = memoized_decide(decoder)
     if stabilizer is not None and len(stabilizer) > 1:
         yield from _orbit_pruned_labelings(
             decide, layouts, instance.graph, alphabet, node_order, seen,
@@ -110,8 +145,6 @@ def _orbit_pruned_labelings(
     already in *seen* (the prover's keys) are added to
     ``account.instances_suppressed``.
     """
-    from itertools import product
-
     nodes = graph.nodes
     n = len(nodes)
     node_index = {v: i for i, v in enumerate(nodes)}

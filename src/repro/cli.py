@@ -70,7 +70,7 @@ def parse_graph_spec(spec: str):
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    from .experiments import all_experiments
+    from .experiments import all_experiments  # noqa: PLC0415
 
     rows = [[e.exp_id, e.paper_ref, e.title] for e in all_experiments()]
     print(format_table(["experiment", "paper ref", "title"], rows))
@@ -78,9 +78,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    from .experiments import all_experiments, render_results, run_experiment
-    from .perf import GLOBAL_STATS
-    from .perf.config import CONFIG
+    from .experiments import all_experiments, render_results, run_experiment  # noqa: PLC0415
+    from .perf import GLOBAL_STATS  # noqa: PLC0415
+    from .perf.config import CONFIG  # noqa: PLC0415
 
     if args.perf_stats:
         GLOBAL_STATS.reset()
@@ -95,7 +95,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             results = [run_experiment(exp_id) for exp_id in args.experiments]
     print(render_results(results))
     if args.perf_stats:
-        from .experiments.report import render_perf_stats
+        from .experiments.report import render_perf_stats  # noqa: PLC0415
 
         print()
         print(render_perf_stats(GLOBAL_STATS))
@@ -112,7 +112,7 @@ def cmd_schemes(_args: argparse.Namespace) -> int:
 
 
 def cmd_views(args: argparse.Namespace) -> int:
-    from .local.views import describe_view, extract_all_views
+    from .local.views import describe_view, extract_all_views  # noqa: PLC0415
 
     lcp = make_lcp(args.scheme)
     graph = parse_graph_spec(args.graph)
@@ -164,15 +164,15 @@ def _resolve_hiding_scheme(args: argparse.Namespace) -> str:
 
 
 def cmd_hiding(args: argparse.Namespace) -> int:
-    from .engine import RunContext, decide_hiding, resolve_plan
-    from .perf import GLOBAL_STATS, PerfStats
-    from .perf.config import CONFIG
+    from .engine import RunContext, decide_hiding, resolve_plan  # noqa: PLC0415
+    from .perf import GLOBAL_STATS, PerfStats  # noqa: PLC0415
+    from .perf.config import CONFIG  # noqa: PLC0415
 
     scheme = _resolve_hiding_scheme(args)
     lcp = make_lcp(scheme)
     traced = args.trace or args.trace_out is not None
     if traced:
-        from .obs import RunReport, Tracer, render_span_tree
+        from .obs import RunReport, Tracer, render_span_tree  # noqa: PLC0415
 
         tracer = Tracer()
         ctx = RunContext.observed(tracer)
@@ -180,13 +180,27 @@ def cmd_hiding(args: argparse.Namespace) -> int:
     else:
         stats = PerfStats() if args.perf_stats else GLOBAL_STATS
         ctx = RunContext(stats=stats)
-    with CONFIG.overridden(disk_cache_dir=args.cache_dir):
+    materialized_route = (
+        args.backend == "materialized" if args.backend is not None
+        else args.materialized
+    )
+    if args.backend is not None and args.materialized and not materialized_route:
+        raise SystemExit(
+            f"repro hiding: --backend {args.backend} conflicts with --materialized"
+        )
+    with CONFIG.overridden(
+        disk_cache_dir=args.cache_dir,
+        # The default route is the auto rule: streaming, upgraded to the
+        # vectorized kernel backend when numpy is importable.
+        streaming=not materialized_route,
+    ):
         # The routing decision (flags -> backend/caches) is the engine's
         # plan resolver; the CLI only translates its vocabulary.
+        disk_cache = False if materialized_route else not args.no_disk_cache
         plan = resolve_plan(
-            streaming=not args.materialized,
+            backend=args.backend if args.backend is not None else "auto",
             workers=args.workers,
-            disk_cache=False if args.materialized else not args.no_disk_cache,
+            disk_cache=disk_cache,
             symmetry=args.symmetry,
         )
         verdict = decide_hiding(lcp, args.n, plan, ctx=ctx)
@@ -224,7 +238,7 @@ def cmd_hiding(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from .obs.report import RunReport, diff_reports, render_diff, validate_report
+    from .obs.report import RunReport, diff_reports, render_diff, validate_report  # noqa: PLC0415
 
     if args.action == "diff":
         if len(args.refs) != 2:
@@ -250,8 +264,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    from .perf import default_verdict_cache
-    from .perf.config import CONFIG
+    from .perf import default_verdict_cache  # noqa: PLC0415
+    from .perf.config import CONFIG  # noqa: PLC0415
 
     with CONFIG.overridden(disk_cache_dir=args.cache_dir):
         cache = default_verdict_cache()
@@ -362,6 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the classic full-build pipeline instead of streaming",
     )
+    from .engine import available_backends  # noqa: PLC0415
+
+    hiding_parser.add_argument(
+        "--backend",
+        default=None,
+        # Derived from the live registry: capability-gated backends
+        # (vectorized without numpy) drop out of the choices and of the
+        # unknown-name error alike.
+        choices=["auto", *available_backends()],
+        help="engine backend to run (default: auto — streaming, upgraded "
+        "to vectorized when numpy is importable; see `repro hiding` docs)",
+    )
     hiding_parser.add_argument(
         "--workers",
         type=int,
@@ -434,7 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level is not None:
-        from .obs.logs import setup_logging
+        from .obs.logs import setup_logging  # noqa: PLC0415
 
         setup_logging(args.log_level)
     return args.fn(args)

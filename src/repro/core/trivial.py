@@ -17,6 +17,7 @@ extracts the coloring, and its accepting neighborhood graph is
 from __future__ import annotations
 
 from collections.abc import Iterator
+from itertools import permutations
 
 from ..errors import PromiseViolationError
 from ..graphs.graph import Graph
@@ -74,9 +75,7 @@ class RevealingProver(Prover):
             yield Labeling(dict(coloring))
             yield Labeling({v: 1 - c for v, c in coloring.items()})
             return
-        from itertools import permutations
-
-        from ..graphs.coloring import k_coloring
+        from ..graphs.coloring import k_coloring  # noqa: PLC0415
 
         coloring = k_coloring(instance.graph, self.k)
         if coloring is None:

@@ -32,6 +32,7 @@ from .backends import (
     Backend,
     MaterializedBackend,
     StreamingBackend,
+    VectorizedBackend,
     available_backends,
     clear_warm_states,
     get_backend,
@@ -43,6 +44,7 @@ from .plan import (
     BACKEND_AUTO,
     BACKEND_MATERIALIZED,
     BACKEND_STREAMING,
+    BACKEND_VECTORIZED,
     ExecutionPlan,
     resolve_plan,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "BACKEND_AUTO",
     "BACKEND_MATERIALIZED",
     "BACKEND_STREAMING",
+    "BACKEND_VECTORIZED",
     "Backend",
     "DiskVerdictStore",
     "ExecutionPlan",
@@ -62,6 +65,7 @@ __all__ = [
     "Provenance",
     "RunContext",
     "StreamingBackend",
+    "VectorizedBackend",
     "Verdict",
     "VerdictStore",
     "available_backends",

@@ -4,7 +4,7 @@ A backend answers one question — *is* ``V(D, n)`` *k-colorable?* — under
 the contract that the ``hiding`` flag, the canonical stream-order
 witness, and (on conclusive non-hiding sweeps) the complete graph and
 coloring are byte-identical across backends, worker counts, and cache
-tiers.  Two ship today:
+tiers.  Three ship today:
 
 * ``materialized`` — build all of ``V(D, n)`` (serial or process-pool),
   then decide: BFS bipartition / DSATUR coloring on the finished graph.
@@ -14,6 +14,9 @@ tiers.  Two ship today:
 * ``streaming`` — the fused early-exit engine of
   :mod:`repro.neighborhood.streaming`: incremental decision per builder
   event, optional cross-``n`` warm start, stop at the first witness.
+* ``vectorized`` — the streaming engine with the numpy batch kernel of
+  :mod:`repro.kernel` evaluating the unanimity sweeps block-wise;
+  capability-gated on numpy (see :class:`VectorizedBackend`).
 
 Registering a new backend is one class + one :func:`register_backend`
 call — sharded sweeps, async workers, or remote executors plug in here
@@ -23,6 +26,7 @@ without touching any call site.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..certification.lcp import LCP
@@ -36,6 +40,7 @@ from ..neighborhood.hiding import HidingVerdict, classic_verdict
 from ..neighborhood.ngraph import build_neighborhood_graph_auto
 from ..obs.logs import get_logger
 from ..perf.config import CONFIG
+from ..kernel import KERNEL_BATCH, kernel_available
 from ..symmetry.prune import SymmetryAccount
 from .context import RunContext
 from .plan import ExecutionPlan
@@ -52,9 +57,19 @@ ENGINE_VERSION = 1
 class Backend:
     """One way to run a hiding sweep.  Subclasses override :meth:`run`;
     :meth:`shortcut` may answer from backend-private state (the
-    streaming warm-start witness) before any cache tier is consulted."""
+    streaming warm-start witness) before any cache tier is consulted.
+    :meth:`available` gates capability-dependent backends (the
+    vectorized kernel backend needs numpy): unavailable backends stay
+    registered but are hidden from :func:`available_backends` and
+    rejected by :func:`get_backend` with an actionable message."""
 
     name: str = "?"
+
+    def available(self) -> bool:
+        return True
+
+    def unavailable_reason(self) -> str | None:
+        return None
 
     def shortcut(
         self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext
@@ -75,16 +90,24 @@ def register_backend(backend: Backend) -> Backend:
 
 
 def get_backend(name: str) -> Backend:
-    try:
-        return _BACKENDS[name]
-    except KeyError:
+    backend = _BACKENDS.get(name)
+    if backend is None:
         raise ValueError(
-            f"unknown backend {name!r}; known: {', '.join(_BACKENDS)}"
-        ) from None
+            f"unknown backend {name!r}; known: {', '.join(available_backends())}"
+        )
+    if not backend.available():
+        raise ValueError(
+            f"backend {name!r} is unavailable: {backend.unavailable_reason()}"
+        )
+    return backend
 
 
 def available_backends() -> list[str]:
-    return list(_BACKENDS)
+    """Names of the backends that can run in this process, in
+    registration order.  Capability-gated backends (``vectorized``)
+    drop out when their dependency is missing, so surfaces deriving
+    choices from this list (the CLI's ``--backend``) stay honest."""
+    return [name for name, backend in _BACKENDS.items() if backend.available()]
 
 
 # ----------------------------------------------------------------------
@@ -241,7 +264,7 @@ class MaterializedBackend(Backend):
     name = "materialized"
 
     def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
-        from ..neighborhood.streaming import StreamingHidingEngine
+        from ..neighborhood.streaming import StreamingHidingEngine  # noqa: PLC0415
 
         start = time.perf_counter()
         pruned = _symmetry_effective(lcp, plan)
@@ -329,6 +352,30 @@ class StreamingBackend(Backend):
     """Fused incremental decision with early exit and warm starts."""
 
     name = "streaming"
+    #: Inner-loop evaluator for the unanimity sweeps (``None`` = scalar);
+    #: the vectorized subclass sets ``"batch"``.
+    kernel: str | None = None
+
+    @contextmanager
+    def _kernel_span(self, ctx: RunContext):
+        """Wrap the build in a ``kernel:<name>`` span whose attributes
+        report the batch counters the sweep accumulated (no-op for the
+        scalar streaming backend)."""
+        if self.kernel is None:
+            yield None
+            return
+        before_batches = ctx.stats.get("kernel_batches")
+        before_labelings = ctx.stats.get("kernel_labelings")
+        with ctx.tracer.span(
+            f"kernel:{self.kernel}", block_size=CONFIG.kernel_block_size
+        ) as span:
+            try:
+                yield span
+            finally:
+                span.set_attributes(
+                    batches=ctx.stats.get("kernel_batches") - before_batches,
+                    labelings=ctx.stats.get("kernel_labelings") - before_labelings,
+                )
 
     def shortcut(
         self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext
@@ -357,10 +404,11 @@ class StreamingBackend(Backend):
             ctx,
             warm_witness_hit=True,
             symmetry_pruned=_symmetry_effective(lcp, plan),
+            kernel=self.kernel,
         )
 
     def run(self, lcp: LCP, n: int, plan: ExecutionPlan, ctx: RunContext) -> Verdict:
-        from ..neighborhood.streaming import StreamingHidingEngine
+        from ..neighborhood.streaming import StreamingHidingEngine  # noqa: PLC0415
 
         family = family_key(lcp, plan)
         state = (
@@ -398,6 +446,8 @@ class StreamingBackend(Backend):
                         **_enumeration_bounds(plan),
                         symmetry=symmetry,
                         account=account,
+                        kernel=self.kernel,
+                        stats=ctx.stats,
                     )
                 else:
                     engine = StreamingHidingEngine(
@@ -422,16 +472,19 @@ class StreamingBackend(Backend):
                         **_enumeration_bounds(plan),
                         symmetry=symmetry,
                         account=account,
+                        kernel=self.kernel,
+                        stats=ctx.stats,
                     )
-                build_neighborhood_graph_auto(
-                    lcp,
-                    instances,
-                    workers=plan.workers,
-                    stats=ctx.stats,
-                    consumer=engine,
-                    into=engine.ngraph,
-                    tracer=ctx.tracer,
-                )
+                with self._kernel_span(ctx):
+                    build_neighborhood_graph_auto(
+                        lcp,
+                        instances,
+                        workers=plan.workers,
+                        stats=ctx.stats,
+                        consumer=engine,
+                        into=engine.ngraph,
+                        tracer=ctx.tracer,
+                    )
                 _apply_symmetry_account(engine.ngraph, account, ctx)
                 sweep.set_attributes(
                     warm_started=warm_started,
@@ -454,8 +507,41 @@ class StreamingBackend(Backend):
             ctx,
             warm_started=warm_started,
             symmetry_pruned=pruned,
+            kernel=self.kernel,
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized backend (streaming semantics, numpy batch kernel)
+# ----------------------------------------------------------------------
+
+
+class VectorizedBackend(StreamingBackend):
+    """Streaming semantics with the numpy batch kernel in the unanimity
+    loop (:mod:`repro.kernel`): labelings are materialized block-wise as
+    ``(batch, nodes)`` index matrices and decoder acceptance reduces to
+    boolean table gathers.  Verdicts, witnesses, ``seen`` sets, and every
+    account total at every yield point are identical to ``streaming`` —
+    only the inner-loop arithmetic changes — so the plan-equivalence
+    suite holds it to the same fingerprints.  Requires numpy; when the
+    labeling space of some base cannot be indexed the sweep falls back
+    to the scalar loop for that base only."""
+
+    name = "vectorized"
+    kernel = KERNEL_BATCH
+
+    def available(self) -> bool:
+        return kernel_available()
+
+    def unavailable_reason(self) -> str | None:
+        if kernel_available():
+            return None
+        return (
+            "numpy is not importable (install it via `pip install -e .[fast]`; "
+            "if REPRO_DISABLE_NUMPY is set, unset it)"
         )
 
 
 register_backend(MaterializedBackend())
 register_backend(StreamingBackend())
+register_backend(VectorizedBackend())

@@ -24,10 +24,13 @@ from dataclasses import dataclass, replace
 
 from ..perf.config import CONFIG, PerfConfig
 
-#: Known backend names; "auto" defers to ``PerfConfig.streaming``.
+#: Known backend names; "auto" defers to ``PerfConfig.streaming`` (and,
+#: on the streaming route, upgrades to the vectorized kernel backend
+#: when numpy is importable).
 BACKEND_AUTO = "auto"
 BACKEND_MATERIALIZED = "materialized"
 BACKEND_STREAMING = "streaming"
+BACKEND_VECTORIZED = "vectorized"
 
 
 @dataclass(frozen=True)
@@ -36,7 +39,12 @@ class ExecutionPlan:
 
     * ``backend`` — ``"materialized"`` (build all of ``V(D, n)``, then
       decide), ``"streaming"`` (fused incremental decision, early exit),
-      or ``"auto"`` (the ``CONFIG.streaming`` knob decides).
+      ``"vectorized"`` (streaming semantics with the numpy batch kernel
+      of :mod:`repro.kernel` in the unanimity loop; requires numpy), or
+      ``"auto"``: the ``CONFIG.streaming`` knob picks the route, and the
+      streaming route upgrades itself to ``vectorized`` when numpy is
+      importable — verdicts, witnesses, and provenance counts are
+      byte-identical either way.
     * ``workers`` — processes for the enumeration scan; ``None`` defers
       to ``CONFIG.workers``, ``0``/``1`` mean serial.  The verdict is
       byte-identical for every worker count (the parallel builder
@@ -97,15 +105,18 @@ class ExecutionPlan:
         config = config if config is not None else CONFIG
         backend = self.backend
         if backend == BACKEND_AUTO:
-            backend = BACKEND_STREAMING if config.streaming else BACKEND_MATERIALIZED
-        if backend not in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
-            from .backends import available_backends
+            if config.streaming:
+                from ..kernel import kernel_available  # noqa: PLC0415
 
-            if backend not in available_backends():
-                raise ValueError(
-                    f"unknown backend {backend!r}; "
-                    f"known: {', '.join(available_backends())}"
+                backend = (
+                    BACKEND_VECTORIZED if kernel_available() else BACKEND_STREAMING
                 )
+            else:
+                backend = BACKEND_MATERIALIZED
+        if backend not in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+            from .backends import get_backend  # noqa: PLC0415
+
+            get_backend(backend)  # raises for unknown or unavailable names
         workers = self.workers if self.workers is not None else config.workers
         warm = self.warm_start if self.warm_start is not None else config.warm_start
         disk = self.disk_cache if self.disk_cache is not None else config.disk_cache
@@ -147,6 +158,7 @@ class ExecutionPlan:
 
 def resolve_plan(
     streaming: bool | None = None,
+    backend: str | None = None,
     workers: int | None = None,
     early_exit: bool = True,
     warm_start: bool | None = None,
@@ -164,9 +176,16 @@ def resolve_plan(
     This is the only place the streaming-vs-materialized routing decision
     is made.  ``streaming=None`` defers to ``config.streaming`` (the
     historical behavior of ``hiding_verdict_up_to``); every other
-    ``None`` likewise falls back to the config knob.
+    ``None`` likewise falls back to the config knob.  *backend* names a
+    registered backend directly (the CLI's ``--backend``); it is
+    mutually exclusive with the legacy *streaming* keyword.
     """
-    if streaming is None:
+    if backend is not None:
+        if streaming is not None:
+            raise ValueError(
+                "resolve_plan: pass either backend= or streaming=, not both"
+            )
+    elif streaming is None:
         backend = BACKEND_AUTO
     else:
         backend = BACKEND_STREAMING if streaming else BACKEND_MATERIALIZED

@@ -84,7 +84,7 @@ class DiskVerdictStore:
     """
 
     def load(self, key: dict, stats: PerfStats | None = None) -> Verdict | None:
-        from ..perf.persist import default_verdict_cache
+        from ..perf.persist import default_verdict_cache  # noqa: PLC0415
 
         stats = stats or GLOBAL_STATS
         body = default_verdict_cache().load(key, stats=stats)
@@ -94,7 +94,7 @@ class DiskVerdictStore:
             return _verdict_from_body(key, body)
 
     def store(self, key: dict, verdict: Verdict, stats: PerfStats | None = None) -> bool:
-        from ..perf.persist import default_verdict_cache
+        from ..perf.persist import default_verdict_cache  # noqa: PLC0415
 
         stats = stats or GLOBAL_STATS
         with stats.time_stage("disk_cache_store"):
@@ -109,7 +109,7 @@ class DiskVerdictStore:
 
 
 def _body_from_verdict(verdict: Verdict) -> dict:
-    from ..perf import persist
+    from ..perf import persist  # noqa: PLC0415
 
     g = verdict.ngraph
     legacy = verdict.legacy
@@ -142,7 +142,7 @@ def _body_from_verdict(verdict: Verdict) -> dict:
 
 
 def _verdict_from_body(key: dict, body: dict) -> Verdict:
-    from ..perf import persist
+    from ..perf import persist  # noqa: PLC0415
 
     views = [persist.decode_view(payload) for payload in body["views"]]
     ngraph = NeighborhoodGraph(radius=body["radius"], include_ids=body["include_ids"])

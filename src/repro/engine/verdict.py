@@ -58,6 +58,10 @@ class Provenance:
     #: then includes the suppressed orbit mates (multiplied back in), not
     #: only the instances physically decided.
     symmetry_pruned: bool = False
+    #: Inner-loop evaluator the sweep ran with: ``"batch"`` for the
+    #: vectorized numpy kernel, ``None`` for the scalar loops (and for
+    #: disk reloads, which scan nothing).
+    kernel: str | None = None
     wall_time_s: float = 0.0
     trace_id: str | None = None
 
@@ -78,6 +82,8 @@ class Provenance:
             f"{self.views} views / {self.edges} edges, "
             f"{format_seconds(self.wall_time_s)}"
         )
+        if self.kernel is not None:
+            text += f", kernel={self.kernel}"
         if self.trace_id is not None:
             text += f", trace {self.trace_id}"
         return text
@@ -115,7 +121,7 @@ class Verdict:
         and, on hiding verdicts, graph coverage — an early-exit sweep
         soundly stops at a prefix of ``V(D, n)``.
         """
-        from ..perf.persist import encode_view
+        from ..perf.persist import encode_view  # noqa: PLC0415
 
         payload: dict = {"k": self.k, "hiding": self.hiding}
         payload["witness"] = (

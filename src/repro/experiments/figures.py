@@ -271,7 +271,7 @@ def run_fig7() -> ExperimentResult:
     {3, 4}; their radius-1 surroundings agree (boundary differences —
     A's identifier-5 node is a leaf, B's is interior — are *allowed*,
     exactly the point of Fig. 7)."""
-    from ..local.labeling import Labeling
+    from ..local.labeling import Labeling  # noqa: PLC0415
 
     a = path_graph(5)
     inst_a = Instance.build(a, id_bound=9)
@@ -345,7 +345,7 @@ def run_fig8() -> ExperimentResult:
     )
     theta = theta_graph(4, 4, 6)
     labeled = list(labeled_yes_instances(trivial, [theta], port_limit=1, id_bound=theta.order))
-    from ..neighborhood.ngraph import build_neighborhood_graph
+    from ..neighborhood.ngraph import build_neighborhood_graph  # noqa: PLC0415
 
     ngraph = build_neighborhood_graph(trivial, labeled)
     odd = ngraph.find_odd_cycle()

@@ -96,6 +96,6 @@ def _ensure_loaded() -> None:
     global _loaded
     if _loaded:
         return
-    from . import extensions, figures, tables, theorems  # noqa: F401  (side-effect imports)
+    from . import extensions, figures, tables, theorems  # noqa: F401,PLC0415  (side-effect imports)
 
     _loaded = True

@@ -100,7 +100,7 @@ def run_all_and_save(
     report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
     Path(path).write_text(report + "\n", encoding="utf-8")
     if tracer is not None:
-        from ..obs.report import RunReport
+        from ..obs.report import RunReport  # noqa: PLC0415
 
         run_report = RunReport.from_run(
             tracer=tracer,
@@ -133,7 +133,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--streaming",
         action="store_true",
-        help="route hiding sweeps through the early-exit streaming engine",
+        help="route hiding sweeps through the early-exit streaming engine "
+        "(auto-upgraded to the vectorized numpy kernel backend when numpy "
+        "is importable; scalar fallback otherwise)",
     )
     parser.add_argument(
         "--disk-cache",
@@ -161,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.log_level is not None:
-        from ..obs.logs import setup_logging
+        from ..obs.logs import setup_logging  # noqa: PLC0415
 
         setup_logging(args.log_level)
     ok = run_all_and_save(

@@ -139,7 +139,7 @@ def run_tbl_sim() -> ExperimentResult:
         ("caterpillar(5)", caterpillar_graph(5)),
         ("spider(3,3)", spider_graph(3, 3)),
     ]
-    from ..local.async_simulator import simulate_views_async
+    from ..local.async_simulator import simulate_views_async  # noqa: PLC0415
 
     for name, graph in cases:
         instance = Instance.build(graph)
@@ -188,7 +188,7 @@ def run_tbl_hiding_fraction() -> ExperimentResult:
     coloring at a single node (fraction close to 1), the even-cycle
     scheme hides it everywhere (fraction ~ a coin flip's worth).
     """
-    from ..local.views import View
+    from ..local.views import View  # noqa: PLC0415
 
     def structural_extract(view: View) -> int:
         label = view.center_label
@@ -248,7 +248,7 @@ def run_tbl_resilience() -> ExperimentResult:
     single erasure already trips the decoder — while strong soundness
     keeps the accepting remainder 2-colorable throughout.
     """
-    from ..graphs.properties import bipartition
+    from ..graphs.properties import bipartition  # noqa: PLC0415
 
     rows = []
     ok = True

@@ -90,7 +90,7 @@ def run_thm11() -> ExperimentResult:
         lcp, [complete_graph(3), cycle_graph(5)], ExhaustiveAdversary(max_labelings=60_000), port_limit=1
     )
 
-    from .figures import degree_one_witness_instances, even_cycle_witness_instances
+    from .figures import degree_one_witness_instances, even_cycle_witness_instances  # noqa: PLC0415
 
     h1_verdict = hiding_verdict_from_instances(
         UnionLCP(), _retag_union(degree_one_witness_instances(), "H1")
@@ -119,7 +119,7 @@ def run_thm11() -> ExperimentResult:
 
 def _retag_union(instances: list[Instance], tag: str) -> list[Instance]:
     """Wrap sub-scheme certificates in the union scheme's tag."""
-    from ..local.labeling import Labeling
+    from ..local.labeling import Labeling  # noqa: PLC0415
 
     out = []
     for instance in instances:
@@ -144,12 +144,12 @@ def shatter_hiding_witnesses() -> tuple[Instance, Instance]:
     ``(1, 0)`` — so the certificates of ``w3``/``w2`` and ``z1``/``z2``
     agree across the instances and the boundary views glue.
     """
-    from ..core.shatter import (
+    from ..core.shatter import (  # noqa: PLC0415
         component_certificate,
         neighbor_certificate,
         shatter_certificate,
     )
-    from ..local.labeling import Labeling
+    from ..local.labeling import Labeling  # noqa: PLC0415
 
     p1 = path_graph(8)
     ids1 = IdentifierAssignment({i: i + 1 for i in range(8)})
@@ -257,13 +257,13 @@ def _check_rogue_type1_counterexample(lcp: ShatterLCP) -> bool:
     identifier is wrong and rejects.  Returns True iff the attack goes
     through (decoder broken).
     """
-    from ..core.shatter import (
+    from ..core.shatter import (  # noqa: PLC0415
         component_certificate,
         neighbor_certificate,
         shatter_certificate,
     )
-    from ..local.labeling import Labeling
-    from ..graphs.properties import bipartition
+    from ..local.labeling import Labeling  # noqa: PLC0415
+    from ..graphs.properties import bipartition  # noqa: PLC0415
 
     # v=0, u1=1, a1=2, a2=3, u'=4, b1=5, u2=6, w0'=7; canonical ids i+1.
     g = Graph(
@@ -292,13 +292,13 @@ def _check_common_color_counterexample(lcp: ShatterLCP) -> bool:
     the common-touch-color check: colors vectors differ per type-1 node
     but each condition 2(c)/3(b,c) holds pointwise.  Returns True iff the
     attack goes through."""
-    from ..core.shatter import (
+    from ..core.shatter import (  # noqa: PLC0415
         component_certificate,
         neighbor_certificate,
         shatter_certificate,
     )
-    from ..local.labeling import Labeling
-    from ..graphs.properties import bipartition
+    from ..local.labeling import Labeling  # noqa: PLC0415
+    from ..graphs.properties import bipartition  # noqa: PLC0415
 
     # C5 = A(1) B(2) C(3) D(4) E(5); pendant anchor w0 adjacent to A and D.
     g = Graph(
@@ -566,8 +566,8 @@ def run_thm12() -> ExperimentResult:
     rows = []
     ok = True
     for name, lcp in _candidate_decoders():
-        from ..neighborhood.aviews import labeled_yes_instances
-        from ..neighborhood.ngraph import build_neighborhood_graph
+        from ..neighborhood.aviews import labeled_yes_instances  # noqa: PLC0415
+        from ..neighborhood.ngraph import build_neighborhood_graph  # noqa: PLC0415
 
         try:
             labeled = list(
@@ -632,7 +632,7 @@ def run_lem62() -> ExperimentResult:
     ``D'`` agree with ``D`` on instances whose identifiers are drawn
     from the monochromatic set, including all their order types.
     """
-    from ..local.algorithms import is_order_invariant_on
+    from ..local.algorithms import is_order_invariant_on  # noqa: PLC0415
 
     def id_parity(view) -> bool:
         return view.center_label == view.center_id % 2
@@ -657,7 +657,7 @@ def run_lem62() -> ExperimentResult:
     ok = reduction.succeeded and dprime is not None
     if ok:
         # The original decoder is NOT order-invariant; D' must be.
-        from ..local.labeling import Labeling
+        from ..local.labeling import Labeling  # noqa: PLC0415
 
         probe = Instance.build(path_graph(4), id_bound=4)
         probe = probe.with_labeling(Labeling({v: v % 2 for v in probe.graph.nodes}))

@@ -24,7 +24,7 @@ def k_coloring(graph: Graph, k: int) -> dict[Node, int] | None:
     if k == 0:
         return None
     if k >= 2:
-        from .properties import bipartition
+        from .properties import bipartition  # noqa: PLC0415
 
         split = bipartition(graph)
         if split.is_bipartite:

@@ -137,7 +137,7 @@ def _generate_graphs_exactly(
     if generator is None:
         generator = "legacy" if CONFIG.symmetry == "off" else "orderly"
     if generator == "orderly":
-        from ..symmetry.orderly import orderly_graphs_exactly
+        from ..symmetry.orderly import orderly_graphs_exactly  # noqa: PLC0415
 
         return orderly_graphs_exactly(n, connected_only)
     if generator == "legacy":
@@ -262,8 +262,8 @@ def enumerate_graphs_exactly_reference(n: int, connected_only: bool = True) -> I
     for :func:`_enumerate_graphs_exactly` and as the seed-equivalent
     baseline of the neighborhood benchmarks; never used on the hot path.
     """
-    from .encoding import find_isomorphism
-    from .properties import is_connected
+    from .encoding import find_isomorphism  # noqa: PLC0415
+    from .properties import is_connected  # noqa: PLC0415
 
     if n <= 0:
         return
@@ -332,7 +332,7 @@ def even_cycles_up_to(n: int) -> Iterator[Graph]:
 
     Constructed directly (filtering the full graph family would be
     exponential in ``n`` for no reason)."""
-    from .generators import cycle_graph
+    from .generators import cycle_graph  # noqa: PLC0415
 
     for m in range(4, n + 1, 2):
         yield cycle_graph(m)
@@ -366,7 +366,7 @@ def watermelon_family_up_to(n: int) -> Iterator[Graph]:
     edge subsets: single paths, cycles, and every multiset of ``k >= 3``
     path lengths that fits the node budget.
     """
-    from .generators import cycle_graph, path_graph, watermelon_graph
+    from .generators import cycle_graph, path_graph, watermelon_graph  # noqa: PLC0415
 
     # Single-path watermelons: paths with at least 2 edges.
     for m in range(3, n + 1):

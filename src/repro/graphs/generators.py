@@ -18,6 +18,7 @@ The families map onto the paper as follows:
 
 from __future__ import annotations
 
+import heapq
 import random
 
 from ..errors import GraphError
@@ -238,8 +239,6 @@ def tree_from_prufer(prufer: list[int]) -> Graph:
     for x in prufer:
         degree[x] += 1
     g = Graph(nodes=range(n))
-    import heapq
-
     leaves = [v for v in range(n) if degree[v] == 1]
     heapq.heapify(leaves)
     for x in prufer:

@@ -199,7 +199,7 @@ class IncrementalKColoring:
         return False
 
     def _restart(self) -> None:
-        from .coloring import k_coloring
+        from .coloring import k_coloring  # noqa: PLC0415
 
         self.restarts += 1
         g = Graph(nodes=self.color)

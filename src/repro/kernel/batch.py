@@ -1,0 +1,186 @@
+"""Block-wise vectorized evaluation of the unanimity sweep.
+
+:func:`batch_unanimous_labelings` is a drop-in for the scalar generators
+in :mod:`repro.certification.enumeration`: same yield order, same
+``seen``-set updates, and — critically for provenance parity under
+streaming early exit — the same
+:class:`~repro.symmetry.prune.SymmetryAccount` totals *at every yield
+point*.  The scalar generators count candidates lazily as the consumer
+pulls; this one evaluates a whole block with numpy but commits counter
+ranges only when a labeling is about to be yielded (and the remainder on
+exhaustion), so a consumer that closes the generator mid-sweep observes
+byte-identical accounting.
+
+Per block of candidate indices ``[start, stop)``:
+
+1. decode the indices into a ``(batch, n)`` digit matrix (mixed radix,
+   base ``|alphabet|``, one column per graph node in insertion order —
+   the exact enumeration order of
+   :func:`repro.local.labeling.all_labelings`);
+2. under orbit pruning, keep only stabilizer-orbit minima: a row is a
+   representative iff its base-``a`` integer key is ``<=`` the key of
+   every stabilizer-permuted copy (integer comparison of the digit
+   rows' place values is exactly their lexicographic order);
+3. gather each node's verdict from its acceptance table
+   (:func:`repro.kernel.tables.acceptance_table`) via the node's layout
+   columns and AND-reduce across nodes;
+4. post-process the surviving rows in order with the scalar dedup /
+   orbit-accounting logic (few rows survive; this part stays Python).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..local.labeling import Labeling
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS
+from ..perf.config import CONFIG
+from ..perf.stats import GLOBAL_STATS, PerfStats
+from .tables import acceptance_table
+
+#: Largest labeling space the int64 index arithmetic can address.  The
+#: plan's ``labeling_limit`` sits orders of magnitude below this; the
+#: guard exists so a pathological caller falls back to the scalar loop
+#: instead of overflowing.
+MAX_INT64_SPACE = 2**62
+
+
+def kernel_supports(graph, alphabet) -> bool:
+    """Whether the batch kernel can enumerate this labeling space."""
+    a = len(alphabet)
+    return a >= 1 and graph.order >= 1 and a**graph.order <= MAX_INT64_SPACE
+
+
+def batch_unanimous_labelings(
+    decoder,
+    layouts: dict,
+    graph,
+    alphabet: list,
+    node_order: tuple,
+    seen: set,
+    stabilizer: tuple | None,
+    account,
+    np,
+    stats: PerfStats | None = None,
+    block_size: int | None = None,
+) -> Iterator[Labeling]:
+    """Unanimously accepted labelings of one base, evaluated in blocks.
+
+    Mirrors :func:`repro.certification.enumeration.
+    unanimously_accepted_labelings` (and its orbit-pruned core) exactly:
+    the yielded stream, the ``seen`` mutations, and the *account* state
+    observable at each yield and at exhaustion are identical.
+    """
+    stats = stats or GLOBAL_STATS
+    a = len(alphabet)
+    nodes = graph.nodes
+    n = len(nodes)
+    node_index = {v: i for i, v in enumerate(nodes)}
+    order_pos = [node_index[v] for v in node_order]
+    total = a**n
+    block = block_size or CONFIG.kernel_block_size
+    metrics = stats.metrics
+
+    # Column place values: candidate index i has digit matrix row
+    # (i // a**(n-1)) % a, ..., i % a — product(alphabet, repeat=n) order.
+    place = a ** np.arange(n - 1, -1, -1, dtype=np.int64)
+    # Per-node gather plans: verdict of node v on a digit row is
+    # table[row[cols] @ weights].
+    plans = []
+    for template, order in layouts.values():
+        table = acceptance_table(decoder, template, tuple(alphabet), np, stats=stats)
+        cols = np.array([node_index[u] for u in order], dtype=np.intp)
+        weights = a ** np.arange(len(order) - 1, -1, -1, dtype=np.int64)
+        plans.append((table, cols, weights))
+
+    perms = None
+    others = ()
+    if stabilizer is not None and len(stabilizer) > 1:
+        others = stabilizer[1:]
+        perms = np.array(others, dtype=np.intp)
+
+    for start in range(0, total, block):
+        stop = min(start + block, total)
+        indices = np.arange(start, stop, dtype=np.int64)
+        digits = (indices[:, None] // place[None, :]) % a
+        stats.incr("kernel_batches")
+        stats.incr("kernel_labelings", stop - start)
+        if metrics is not None:
+            metrics.observe("kernel_batch_size", stop - start, DEFAULT_SIZE_BUCKETS)
+
+        if perms is not None:
+            keys = digits @ place
+            is_rep = np.ones(len(indices), dtype=bool)
+            for sigma in perms:
+                np.logical_and(is_rep, digits[:, sigma] @ place >= keys, out=is_rep)
+            rep_rows = np.nonzero(is_rep)[0]
+            candidates = digits[rep_rows]
+            # Prefix counts of pruned (non-representative) rows, so any
+            # in-block range [lo, hi) knows its pruned share.
+            pruned_prefix = np.zeros(len(indices) + 1, dtype=np.int64)
+            np.cumsum(~is_rep, out=pruned_prefix[1:])
+        else:
+            rep_rows = None
+            candidates = digits
+            pruned_prefix = None
+
+        if len(candidates):
+            accepted = np.ones(len(candidates), dtype=bool)
+            for table, cols, weights in plans:
+                np.logical_and(
+                    accepted, table[candidates[:, cols] @ weights], out=accepted
+                )
+            hits = np.nonzero(accepted)[0]
+            if rep_rows is not None:
+                hits = rep_rows[hits]
+        else:
+            hits = ()
+
+        # Scalar tail: dedup, orbit accounting, and the lazily committed
+        # counters.  ``cursor`` is the first block-local candidate whose
+        # labelings_total/pruned increments have not been committed yet.
+        cursor = 0
+        for p in (hits.tolist() if len(hits) else ()):
+            t = tuple(digits[p].tolist())
+            if perms is None:
+                key = tuple(alphabet[t[j]] for j in order_pos)
+                if key in seen:
+                    continue
+                if account is not None:
+                    account.labelings_total += p + 1 - cursor
+                cursor = p + 1
+                seen.add(key)
+                yield Labeling({nodes[i]: alphabet[t[i]] for i in range(n)})
+                continue
+            orbit = {t}
+            for sigma in others:
+                orbit.add(tuple(t[sigma[i]] for i in range(n)))
+            orbit_keys = {tuple(alphabet[u[j]] for j in order_pos) for u in orbit}
+            rep_key = tuple(alphabet[t[j]] for j in order_pos)
+            in_seen = sum(1 for key in orbit_keys if key in seen)
+            if rep_key in seen:
+                if account is not None:
+                    account.instances_suppressed += len(orbit) - in_seen
+                continue
+            suppressed = len(orbit) - in_seen - 1
+            if account is not None:
+                account.labelings_total += p + 1 - cursor
+                account.labelings_pruned += int(
+                    pruned_prefix[p + 1] - pruned_prefix[cursor]
+                )
+            cursor = p + 1
+            seen.add(rep_key)
+            yield Labeling({nodes[i]: alphabet[t[i]] for i in range(n)})
+            # Committed only if the consumer pulls again — exactly like
+            # the scalar generator, whose post-yield increment never
+            # runs when the sweep early-exits on this labeling.
+            if account is not None:
+                account.instances_suppressed += suppressed
+        if account is not None:
+            remaining = len(indices) - cursor
+            if remaining:
+                account.labelings_total += remaining
+                if pruned_prefix is not None:
+                    account.labelings_pruned += int(
+                        pruned_prefix[len(indices)] - pruned_prefix[cursor]
+                    )

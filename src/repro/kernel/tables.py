@@ -1,0 +1,75 @@
+"""Per-template acceptance tables for the batch kernel.
+
+A view-layout template (:func:`repro.local.views.extract_view_layouts`)
+fixes everything a decoder can see except the certificate values at the
+view's local positions.  For a finite alphabet of size ``a`` and a view
+of size ``m``, the decoder's verdict is therefore a pure function of the
+``a ** m`` possible label tuples — small, because the sweep only runs
+when ``a ** n`` fits the plan's ``labeling_limit`` and ``m <= n``.
+
+:func:`acceptance_table` materializes that function once as a boolean
+numpy array indexed by the mixed-radix (base ``a``, most-significant
+first) encoding of the alphabet indices, in the exact enumeration order
+of ``itertools.product``.  Tables are cached process-wide per
+``(decoder, template, alphabet)`` — two nodes (or two bases) that share
+a template share one table — and built through
+:func:`repro.perf.cache.memoized_decide`, so scalar and vectorized
+sweeps also share one decision memo.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..local.views import View
+from ..perf.cache import LRUCache, memoized_decide
+from ..perf.stats import GLOBAL_STATS, PerfStats
+
+#: ``(id(decoder), template, alphabet) -> (anchor, table)``.  The anchor
+#: keeps the decoder alive so its ``id`` cannot be recycled while the
+#: entry is mapped (same identity-key discipline as the decision memo).
+_TABLES = LRUCache(1024)
+
+
+def clear_kernel_tables() -> None:
+    """Drop every cached acceptance table (benchmarks, test isolation)."""
+    _TABLES.clear()
+
+
+def _template_with_labels(template: View, labels: tuple) -> View:
+    # Same fast clone as repro.local.views.relabel_view, but from a raw
+    # label tuple instead of a Labeling (the table builder enumerates
+    # label combos directly).
+    view = View.__new__(View)
+    state = view.__dict__
+    state.update(template.__dict__)
+    state.pop("_hash", None)
+    state["labels"] = labels
+    return view
+
+
+def acceptance_table(
+    decoder, template: View, alphabet: tuple, np, stats: PerfStats | None = None
+):
+    """The decoder's verdict for every labeling of *template*.
+
+    Returns a boolean array of length ``len(alphabet) ** template.size``
+    where entry ``i`` is the verdict on the label tuple whose alphabet
+    indices encode ``i`` in base ``len(alphabet)``, most-significant
+    local position first.
+    """
+    stats = stats or GLOBAL_STATS
+    key = (id(decoder), template, alphabet)
+    entry = _TABLES.get(key)
+    if entry is not None:
+        stats.incr("kernel_table_hits")
+        return entry[1]
+    stats.incr("kernel_table_misses")
+    decide = memoized_decide(decoder, stats)
+    size = len(alphabet) ** template.size
+    table = np.empty(size, dtype=bool)
+    for i, combo in enumerate(product(alphabet, repeat=template.size)):
+        table[i] = decide(_template_with_labels(template, combo))
+    stats.incr("kernel_table_entries", size)
+    _TABLES.put(key, (decoder, table))
+    return table

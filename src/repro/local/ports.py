@@ -9,6 +9,7 @@ built entirely out of port pairs.
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Iterator
 from itertools import permutations
@@ -156,8 +157,6 @@ def all_port_assignments(graph: Graph) -> Iterator[PortAssignment]:
 
 def count_port_assignments(graph: Graph) -> int:
     """The exact number of proper port assignments (``∏_v d(v)!``)."""
-    import math
-
     total = 1
     for v in graph.nodes:
         total *= math.factorial(graph.degree(v))

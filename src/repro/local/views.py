@@ -402,7 +402,7 @@ def extract_view_layouts(
     from full re-extractions into tuple rebuilds; see
     :func:`relabel_view`.
     """
-    from .labeling import Labeling
+    from .labeling import Labeling  # noqa: PLC0415
 
     marker = Labeling({v: ("__layout__", v) for v in instance.graph.nodes})
     marked = instance.with_labeling(marker)

@@ -51,6 +51,8 @@ def labeled_yes_instances(
     labeling_limit: int = 20_000,
     symmetry: str = "off",
     account=None,
+    kernel: str | None = None,
+    stats=None,
 ) -> Iterator[Instance]:
     """Labeled yes-instances of *lcp* over the given graphs.
 
@@ -74,10 +76,16 @@ def labeled_yes_instances(
       Suppressed counts accumulate on *account*
       (:class:`repro.symmetry.prune.SymmetryAccount`); the engine folds
       them back into ``Provenance.instances_scanned``.
+    * Kernel: *kernel* (``None`` | ``"batch"``) selects the unanimity
+      sweep's inner-loop evaluator — ``"batch"`` routes through the
+      vectorized block kernel of :mod:`repro.kernel` when numpy is
+      available, falling back to the scalar loop otherwise; *stats*
+      receives its batch counters.  The yielded stream is identical
+      either way.
     """
     pruning = symmetry_pruning_effective(lcp, symmetry)
     if pruning and account is None:
-        from ..symmetry.prune import SymmetryAccount
+        from ..symmetry.prune import SymmetryAccount  # noqa: PLC0415
 
         account = SymmetryAccount()
     include_ids = not lcp.anonymous
@@ -87,7 +95,7 @@ def labeled_yes_instances(
         node_order = node_sort_order(graph)
         group = None
         if pruning:
-            from ..symmetry.groups import automorphism_group
+            from ..symmetry.groups import automorphism_group  # noqa: PLC0415
 
             group = automorphism_group(graph)
             if group.is_trivial:
@@ -116,7 +124,7 @@ def labeled_yes_instances(
                     account.bases_total += 1
                 signature = None
                 if group is not None:
-                    from ..symmetry.prune import base_signature, instance_stabilizer
+                    from ..symmetry.prune import base_signature, instance_stabilizer  # noqa: PLC0415
 
                     signature = base_signature(group, graph, ports, ids, include_ids)
                     duplicate_of = base_counts.get(signature)
@@ -155,6 +163,8 @@ def labeled_yes_instances(
                             seen=seen,
                             stabilizer=stabilizer,
                             account=account,
+                            kernel=kernel,
+                            stats=stats,
                         ):
                             produced += 1
                             yield base.with_labeling(labeling)
@@ -173,6 +183,8 @@ def yes_instances_up_to(
     labeling_limit: int = 20_000,
     symmetry: str = "off",
     account=None,
+    kernel: str | None = None,
+    stats=None,
 ) -> Iterator[Instance]:
     """The Lemma 3.1 sweep: labeled yes-instances on at most *n* nodes.
 
@@ -192,6 +204,8 @@ def yes_instances_up_to(
         labeling_limit=labeling_limit,
         symmetry=symmetry,
         account=account,
+        kernel=kernel,
+        stats=stats,
     )
 
 
@@ -205,6 +219,8 @@ def yes_instances_between(
     labeling_limit: int = 20_000,
     symmetry: str = "off",
     account=None,
+    kernel: str | None = None,
+    stats=None,
 ) -> Iterator[Instance]:
     """The suffix of the Lemma 3.1 sweep: sizes ``lo+1 .. hi`` only.
 
@@ -230,4 +246,6 @@ def yes_instances_between(
         labeling_limit=labeling_limit,
         symmetry=symmetry,
         account=account,
+        kernel=kernel,
+        stats=stats,
     )

@@ -106,7 +106,7 @@ def hiding_verdict_up_to(
     complete ``V(D, n)``, e.g. chromatic-number measurements).  Without
     the keyword, the backend follows the session config, as before.
     """
-    from ..engine import decide_hiding, resolve_plan
+    from ..engine import decide_hiding, resolve_plan  # noqa: PLC0415
 
     if streaming is _UNSET:
         streaming = None

@@ -153,7 +153,7 @@ def _labeled_views(lcp: LCP, instance: Instance, stats: PerfStats) -> dict[Node,
         views = extract_all_views(instance, lcp.radius, include_ids=include_ids)
         stats.incr("views_extracted", len(views))
         return views
-    from ..perf.cache import default_layout_cache
+    from ..perf.cache import default_layout_cache  # noqa: PLC0415
 
     return default_layout_cache().labeled_views(
         instance, lcp.radius, include_ids, stats=stats
@@ -297,7 +297,7 @@ def build_neighborhood_graph_auto(
     """
     effective = CONFIG.workers if workers is None else workers
     if effective and effective > 1:
-        from ..perf.parallel import build_neighborhood_graph_parallel
+        from ..perf.parallel import build_neighborhood_graph_parallel  # noqa: PLC0415
 
         return build_neighborhood_graph_parallel(
             lcp,

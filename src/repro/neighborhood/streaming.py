@@ -47,7 +47,7 @@ def __getattr__(name: str):
     # repro.engine (imported lazily — the engine package imports this
     # module's StreamingHidingEngine).
     if name == "ENGINE_VERSION":
-        from ..engine import ENGINE_VERSION
+        from ..engine import ENGINE_VERSION  # noqa: PLC0415
 
         return ENGINE_VERSION
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -191,7 +191,7 @@ def clear_streaming_state() -> None:
     The materialized memo is left alone — use
     :func:`repro.engine.clear_engine_state` to drop everything.
     """
-    from ..engine import clear_memory_store, clear_warm_states
+    from ..engine import clear_memory_store, clear_warm_states  # noqa: PLC0415
 
     clear_memory_store("streaming")
     clear_warm_states()
@@ -228,8 +228,8 @@ def streaming_hiding_verdict_up_to(
       sweeps across processes; cached graphs carry no instance
       provenance (``ngraph.has_provenance`` is False).
     """
-    from ..engine import ExecutionPlan, RunContext, decide_hiding
-    from .hiding import _warn_once
+    from ..engine import ExecutionPlan, RunContext, decide_hiding  # noqa: PLC0415
+    from .hiding import _warn_once  # noqa: PLC0415
 
     _warn_once(
         "streaming_hiding_verdict_up_to",

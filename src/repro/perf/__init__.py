@@ -60,7 +60,7 @@ def __getattr__(name: str):
     # The parallel builder imports the neighborhood layer, which imports
     # this package; resolving it lazily keeps the import graph acyclic.
     if name == "build_neighborhood_graph_parallel":
-        from .parallel import build_neighborhood_graph_parallel
+        from .parallel import build_neighborhood_graph_parallel  # noqa: PLC0415
 
         return build_neighborhood_graph_parallel
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

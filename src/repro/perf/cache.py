@@ -102,7 +102,7 @@ class ViewLayoutCache:
         self, instance, radius: int, include_ids: bool, stats: PerfStats | None = None
     ) -> dict:
         """``{node: (template, label_order)}`` for the base of *instance*."""
-        from ..local.views import extract_view_layouts
+        from ..local.views import extract_view_layouts  # noqa: PLC0415
 
         stats = stats or GLOBAL_STATS
         key = self._key(instance, radius, include_ids)
@@ -128,7 +128,7 @@ class ViewLayoutCache:
         canonicalization never depends on labels — but re-extraction is
         replaced by tuple rebuilds on layout hits.
         """
-        from ..local.views import relabel_view
+        from ..local.views import relabel_view  # noqa: PLC0415
 
         stats = stats or GLOBAL_STATS
         layouts = self.layouts_for(instance, radius, include_ids, stats=stats)
@@ -236,7 +236,7 @@ def layouts_for_instance(
     instance, radius: int, include_ids: bool, stats: PerfStats | None = None
 ) -> dict:
     """Layout templates via the shared cache, honoring the config switch."""
-    from ..local.views import extract_view_layouts
+    from ..local.views import extract_view_layouts  # noqa: PLC0415
 
     if not CONFIG.layout_cache:
         return extract_view_layouts(instance, radius, include_ids=include_ids)

@@ -54,6 +54,11 @@ class PerfConfig:
       ``"auto"`` only on anonymous schemes, for ``"on"`` always —
       automorphism-orbit pruning of bases and labelings with exact
       suppressed-count accounting (see :mod:`repro.symmetry`).
+    * ``kernel_block_size`` — labelings per block of the vectorized
+      batch kernel (:mod:`repro.kernel`).  Block boundaries are
+      unobservable — the yielded stream and all accounting are
+      block-size independent — so this is purely a memory/throughput
+      trade.
     """
 
     layout_cache: bool = True
@@ -70,6 +75,7 @@ class PerfConfig:
     disk_cache: bool = False
     disk_cache_dir: str | None = None
     symmetry: str = "auto"
+    kernel_block_size: int = 4096
 
     def apply(self, **kwargs) -> "PerfConfig":
         """Update fields in place (unknown names raise); returns self."""

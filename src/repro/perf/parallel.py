@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
+from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
 
@@ -49,7 +50,7 @@ def _init_worker(snapshot: dict) -> None:
     parent records the shipped volume under
     ``family_cache_preload_entries`` / ``family_cache_preload_graphs``
     (each shipped graph is a worker cache miss avoided)."""
-    from ..graphs.families import prime_family_cache
+    from ..graphs.families import prime_family_cache  # noqa: PLC0415
 
     prime_family_cache(snapshot)
 
@@ -80,7 +81,7 @@ def _scan_chunk(payload: tuple) -> tuple[list, dict, list]:
     unless the parent run is traced), which the parent tracer adopts
     into its own tree.
     """
-    from .cache import DecisionMemo, ViewLayoutCache
+    from .cache import DecisionMemo, ViewLayoutCache  # noqa: PLC0415
 
     lcp, chunk, chunk_index, traced = payload
     stats = PerfStats()
@@ -112,7 +113,7 @@ def _scan_chunk(payload: tuple) -> tuple[list, dict, list]:
 
 def _instance_views(lcp, instance, layout_cache, stats: PerfStats) -> dict:
     """Views of every node, through the layout cache when enabled."""
-    from ..local.views import extract_all_views
+    from ..local.views import extract_all_views  # noqa: PLC0415
 
     include_ids = not lcp.anonymous
     if layout_cache is None:
@@ -148,9 +149,7 @@ def build_neighborhood_graph_parallel(
     the remaining chunks are cancelled instead of scanned — the parallel
     path pays at most one window of extra decode work past the witness.
     """
-    from collections import deque
-
-    from ..neighborhood.ngraph import NeighborhoodGraph, build_neighborhood_graph
+    from ..neighborhood.ngraph import NeighborhoodGraph, build_neighborhood_graph  # noqa: PLC0415
 
     stats = stats or GLOBAL_STATS
     tracer = tracer if tracer is not None else NULL_TRACER
@@ -187,7 +186,7 @@ def build_neighborhood_graph_parallel(
         "build:parallel", workers=workers, chunks=len(chunks), chunk_size=size
     ) as build_span:
         with stats.time_stage("parallel_scan"):
-            from ..graphs.families import family_cache_snapshot
+            from ..graphs.families import family_cache_snapshot  # noqa: PLC0415
 
             snapshot = family_cache_snapshot()
             stats.incr("family_cache_preload_entries", len(snapshot))

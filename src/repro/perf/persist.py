@@ -100,7 +100,7 @@ def encode_view(view) -> dict:
 
 
 def decode_view(payload: dict):
-    from ..local.views import View
+    from ..local.views import View  # noqa: PLC0415
 
     return View(
         radius=payload["radius"],

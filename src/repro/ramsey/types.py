@@ -19,6 +19,7 @@ the catalog.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import replace
 
 from ..certification.decoder import Decoder
 from ..errors import ViewError
@@ -44,8 +45,6 @@ def view_with_ids(
     so relative order is preserved by construction.  *id_bound* restores
     the known ``N`` (defaults to the largest grafted identifier).
     """
-    from dataclasses import replace
-
     if structure.ids is None:
         raise ViewError("structure views must carry rank identifiers")
     ranks = sorted(structure.ids)

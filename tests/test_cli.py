@@ -62,6 +62,44 @@ class TestCommands:
             main(["run", "not-an-experiment"])
 
 
+class TestHidingBackendFlag:
+    def test_explicit_backend_runs_and_reports(self, capsys):
+        assert main(
+            ["hiding", "degree-one", "--n", "3", "--backend", "streaming",
+             "--no-disk-cache"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=streaming" in out
+
+    def test_unknown_backend_lists_the_live_registry(self, capsys):
+        """The --backend choices (and therefore the unknown-name error)
+        come from available_backends(), not a hardcoded list."""
+        from repro.engine import available_backends
+
+        with pytest.raises(SystemExit) as exc:
+            main(["hiding", "degree-one", "--n", "3", "--backend", "quantum"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'quantum'" in err
+        for name in available_backends():
+            assert name in err
+
+    def test_backend_conflicts_with_materialized(self):
+        with pytest.raises(SystemExit, match="conflicts with --materialized"):
+            main(
+                ["hiding", "degree-one", "--n", "3", "--backend", "streaming",
+                 "--materialized"]
+            )
+
+    def test_backend_materialized_agrees_with_the_flag(self, capsys):
+        assert main(
+            ["hiding", "degree-one", "--n", "3", "--backend", "materialized",
+             "--materialized"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "backend=materialized" in out
+
+
 class TestViewsCommand:
     def test_views_prints_verdicts(self, capsys):
         assert main(["views", "degree-one", "path:3"]) == 0

@@ -15,6 +15,7 @@ from repro.core.registry import all_lcps, make_lcp
 from repro.engine import (
     BACKEND_MATERIALIZED,
     BACKEND_STREAMING,
+    BACKEND_VECTORIZED,
     ExecutionPlan,
     RunContext,
     Verdict,
@@ -24,6 +25,7 @@ from repro.engine import (
     resolve_plan,
 )
 from repro.graphs.properties import is_odd_closed_walk
+from repro.kernel import kernel_available
 from repro.perf import PerfStats, overridden
 from repro.perf.config import PerfConfig
 
@@ -43,11 +45,21 @@ def _fresh_engine_state():
     clear_engine_state()
 
 
+def _grid_backends():
+    """Backends the equivalence grid exercises: the vectorized kernel
+    backend joins whenever numpy is importable (it must answer with the
+    same bytes as the other two)."""
+    backends = [BACKEND_MATERIALIZED, BACKEND_STREAMING]
+    if kernel_available():
+        backends.append(BACKEND_VECTORIZED)
+    return backends
+
+
 def _plan_grid(tmp_path):
     """Every (backend × workers × cache tier) combination of the
     acceptance criterion.  Disk-tier plans get a private cache dir."""
     plans = []
-    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+    for backend in _grid_backends():
         for workers in (1, 2):
             plans.append(
                 (
@@ -122,13 +134,66 @@ def test_every_plan_yields_the_identical_decision(scheme, tmp_path):
 def test_plan_equivalence_at_n5_serial(scheme, tmp_path):
     lcp = make_lcp(scheme)
     fps = set()
-    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+    for backend in _grid_backends():
         clear_engine_state()
         plan = ExecutionPlan(
             backend=backend, workers=1, warm_start=False, disk_cache=False
         )
         fps.add(decide_hiding(lcp, 5, plan).decision_fingerprint())
     assert len(fps) == 1
+
+
+@pytest.mark.skipif(not kernel_available(), reason="numpy not importable")
+@pytest.mark.parametrize("scheme", sorted(all_lcps()))
+@pytest.mark.parametrize("symmetry", ["off", "on"])
+def test_vectorized_matches_streaming_exactly(scheme, symmetry, tmp_path):
+    """The kernel backend is a drop-in for streaming: same decision
+    bytes, same witness, and the same ``Provenance.instances_scanned``
+    under early exit (the kernel must stop at the same instance) — with
+    and without orbit pruning.  With early exit off, the materialized
+    backend agrees on the count too."""
+    lcp = make_lcp(scheme)
+    n = 4
+    for early_exit in (True, False):
+        verdicts = {}
+        for backend in (BACKEND_STREAMING, BACKEND_VECTORIZED):
+            clear_engine_state()
+            plan = ExecutionPlan(
+                backend=backend,
+                workers=1,
+                early_exit=early_exit,
+                warm_start=False,
+                memory_cache=False,
+                disk_cache=False,
+                symmetry=symmetry,
+            )
+            verdicts[backend] = decide_hiding(lcp, n, plan, ctx=RunContext.isolated())
+        stream, vec = verdicts[BACKEND_STREAMING], verdicts[BACKEND_VECTORIZED]
+        assert vec.decision_fingerprint() == stream.decision_fingerprint()
+        assert vec.witness == stream.witness
+        assert (
+            vec.provenance.instances_scanned == stream.provenance.instances_scanned
+        )
+        assert vec.provenance.kernel == "batch"
+        assert stream.provenance.kernel is None
+        if not early_exit:
+            clear_engine_state()
+            mat = decide_hiding(
+                lcp,
+                n,
+                ExecutionPlan(
+                    backend=BACKEND_MATERIALIZED,
+                    workers=1,
+                    memory_cache=False,
+                    disk_cache=False,
+                    symmetry=symmetry,
+                ),
+                ctx=RunContext.isolated(),
+            )
+            assert vec.decision_fingerprint() == mat.decision_fingerprint()
+            assert (
+                vec.provenance.instances_scanned == mat.provenance.instances_scanned
+            )
 
 
 def test_warm_started_chain_keeps_the_fingerprint():
@@ -169,13 +234,16 @@ def test_warm_started_chain_keeps_the_fingerprint():
 
 def test_provenance_reports_the_backend_that_ran():
     lcp = make_lcp("degree-one")
-    for backend in (BACKEND_MATERIALIZED, BACKEND_STREAMING):
+    for backend in _grid_backends():
+        clear_engine_state()
         verdict = decide_hiding(
             lcp, 3, ExecutionPlan(backend=backend, disk_cache=False)
         )
         assert verdict.provenance.backend == backend
         assert verdict.provenance.n == 3
         assert verdict.provenance.summary()
+        expected_kernel = "batch" if backend == BACKEND_VECTORIZED else None
+        assert verdict.provenance.kernel == expected_kernel
 
 
 def test_auto_backend_follows_the_config():
@@ -184,9 +252,12 @@ def test_auto_backend_follows_the_config():
         v = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False))
     assert v.provenance.backend == BACKEND_MATERIALIZED
     clear_engine_state()
+    # The streaming route upgrades itself to the vectorized kernel
+    # backend whenever numpy is importable.
+    expected = BACKEND_VECTORIZED if kernel_available() else BACKEND_STREAMING
     with overridden(streaming=True):
         v = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False))
-    assert v.provenance.backend == BACKEND_STREAMING
+    assert v.provenance.backend == expected
 
 
 def test_memory_tier_returns_the_identical_object():
@@ -291,13 +362,18 @@ if HAVE_HYPOTHESIS:
         )
         assert plan.is_resolved
         assert plan.backend in available_backends()
+        streaming_route = (
+            BACKEND_VECTORIZED if kernel_available() else BACKEND_STREAMING
+        )
         if streaming is not None:
+            # Explicit streaming= keeps its historical meaning: the
+            # scalar streaming backend, never an auto-upgrade.
             assert plan.backend == (
                 BACKEND_STREAMING if streaming else BACKEND_MATERIALIZED
             )
         else:
             assert plan.backend == (
-                BACKEND_STREAMING if config_streaming else BACKEND_MATERIALIZED
+                streaming_route if config_streaming else BACKEND_MATERIALIZED
             )
         assert plan.workers == (workers if workers is not None else config_workers)
         if plan.backend == BACKEND_MATERIALIZED:

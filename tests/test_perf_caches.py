@@ -145,6 +145,33 @@ class TestDecisionMemo:
         with overridden(decision_memo=False):
             assert memoized_decide(decoder) == decoder.decide
 
+    def test_memoized_decide_mixed_certificate_alphabet(self):
+        """Views whose labels mix ints, strings, and tuples memoize by
+        view identity — no cross-type comparison or key collision (the
+        batch kernel builds its acceptance tables through this path)."""
+        from itertools import product
+
+        lcp = DegreeOneLCP()
+        graph = path_graph(3)
+        base = Instance.build(graph)
+        layouts = extract_view_layouts(base, lcp.radius, include_ids=True)
+        stats = PerfStats()
+        decide = memoized_decide(lcp.decoder, stats)
+        alphabet = [0, "far", ("d1", 1)]
+        views = []
+        for combo in product(alphabet, repeat=graph.order):
+            labeling = Labeling(dict(zip(graph.nodes, combo)))
+            for template, order in layouts.values():
+                view = relabel_view(template, order, labeling)
+                views.append(view)
+                assert decide(view) == lcp.decoder.decide(view)
+        # The replay must be answered entirely from the memo.
+        misses = stats.get("memo_misses")
+        for view in views:
+            decide(view)
+        assert stats.get("memo_misses") == misses
+        assert stats.get("memo_hits") >= len(views)
+
 
 # ----------------------------------------------------------------------
 # Layout templates / relabel_view
@@ -273,6 +300,32 @@ class TestStatsAndConfig:
         with overridden(workers=7):
             assert CONFIG.workers == 7
         assert CONFIG.workers == before
+
+    def test_overridden_none_leaves_knob_alone(self):
+        """None means "don't touch" — call sites forward optional CLI
+        arguments unfiltered, so None must neither set nor restore."""
+        before_workers, before_block = CONFIG.workers, CONFIG.kernel_block_size
+        with overridden(workers=None, kernel_block_size=512):
+            assert CONFIG.workers == before_workers
+            assert CONFIG.kernel_block_size == 512
+            # A mutation made inside the scope to an un-overridden knob
+            # survives the exit (nothing was saved for it).
+            CONFIG.workers = before_workers + 1
+        assert CONFIG.workers == before_workers + 1
+        assert CONFIG.kernel_block_size == before_block
+        CONFIG.workers = before_workers
+
+    def test_overridden_scopes_nest_and_restore_on_error(self):
+        before = CONFIG.kernel_block_size
+        with overridden(kernel_block_size=64):
+            with overridden(kernel_block_size=8):
+                assert CONFIG.kernel_block_size == 8
+            assert CONFIG.kernel_block_size == 64
+            with pytest.raises(RuntimeError):
+                with overridden(kernel_block_size=16):
+                    raise RuntimeError("boom")
+            assert CONFIG.kernel_block_size == 64
+        assert CONFIG.kernel_block_size == before
 
 
 # ----------------------------------------------------------------------
