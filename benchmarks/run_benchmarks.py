@@ -30,6 +30,17 @@ Writes two JSON reports:
   Without numpy the vectorized rows are recorded as *skipped* with a
   note (mirroring the single-core ``parallel_N`` convention).
 
+  A **generation** section targets the generation-bound path: the same
+  cold symmetry-on sweeps for ``even-cycle`` at ``n = 6, 7`` with the
+  batched canonicalization kernel off (scalar ``_build_level`` /
+  ``min_edge_mask`` reference) and on, parity-checked down to the exact
+  ``SymmetryAccount`` totals; plus a ``kernel_labeling_limit`` pair at
+  ``n = 4`` showing the raised admission cap evaluating the 16^4
+  labeling space the scalar route must refuse (same decision
+  fingerprint; the row records kernel labelings evaluated and the
+  ``labelings_per_sec`` gauge).  Without numpy the kernel rows are
+  recorded as *skipped* with a note.
+
   A **symmetry** section compares the legacy edge-subset enumerator with
   the symmetry-reduced sweep (orderly generation + automorphism-orbit
   pruning) on cold full sweeps: ``degree-one`` at ``n = 5, 6``,
@@ -74,7 +85,10 @@ its symmetry sibling: orbit-pruned vs brute-force sweeps at ``n = 4``
 for both Theorem 1.1 schemes.  ``--kernel-smoke`` checks the vectorized
 backend against streaming (identical decision fingerprints and instance
 counts) across every registry scheme; it exits zero with a note when
-numpy is unavailable.
+numpy is unavailable.  ``--generation-kernel-smoke`` pins the orderly
+generator's emission stream: kernel vs scalar up to ``n = 7`` and both
+against the legacy edge-subset walk up to ``n = 6``; it fails the job
+on any divergence and checks the scalar fallback when numpy is absent.
 """
 
 from __future__ import annotations
@@ -93,6 +107,7 @@ from repro.core.registry import all_lcps, make_lcp
 from repro.engine import ExecutionPlan, RunContext, clear_engine_state, decide_hiding
 from repro.graphs.encoding import clear_canonical_cache
 from repro.graphs.families import (
+    _enumerate_graphs_exactly,
     clear_family_cache,
     enumerate_graphs_exactly_reference,
 )
@@ -106,8 +121,10 @@ from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
 from repro.symmetry import (
     SymmetryAccount,
+    automorphism_group,
     clear_automorphism_cache,
     clear_orderly_cache,
+    orderly_graphs_exactly,
 )
 
 REPEATS = 5
@@ -149,6 +166,23 @@ KERNEL_CASES = [
     ("even-cycle", 6, ("off", "on")),
     ("even-cycle", 7, ("off", "on")),
 ]
+
+#: Repeats for the generation-kernel rows (same cold-sweep protocol).
+GENERATION_REPEATS = SYMMETRY_REPEATS
+
+#: (scheme, n) for the generation-kernel comparison.  Even-cycle is the
+#: generation-bound workload: its 16^n labeling spaces exceed
+#: ``labeling_limit``, so the cold sweep's wall time is dominated by
+#: orderly generation and emission canonicalization — exactly what the
+#: batched canonicalization kernel accelerates.
+GENERATION_CASES = [
+    ("even-cycle", 6),
+    ("even-cycle", 7),
+]
+
+#: Raised labeling admission for the kernel_labeling_limit row: 16^4 =
+#: 65,536 even-cycle labelings, 3.3x over the scalar 20,000 cap.
+RAISED_LABELING_LIMIT = 70_000
 
 #: Streaming plans for the timed regimes: the in-process memo tier is off
 #: so every repeat pays the honest sweep/reload cost, not a dict lookup.
@@ -738,6 +772,275 @@ def smoke_kernel() -> int:
     return 0
 
 
+#: SymmetryAccount counters _account_into_stats mirrors into row stats;
+#: generation-kernel regime pairs must reconcile all of them exactly.
+_ACCOUNT_COUNTERS = (
+    "symmetry_labelings_total",
+    "symmetry_labelings_pruned",
+    "symmetry_bases_pruned",
+    "symmetry_instances_suppressed",
+)
+
+
+def run_generation() -> dict:
+    """Generation-kernel sweeps per :data:`GENERATION_CASES`.
+
+    Each (scheme, n) runs the same cold symmetry-on full sweep twice —
+    ``generation_off`` forces the scalar ``_build_level`` /
+    ``min_edge_mask`` reference, ``generation_on`` routes orderly
+    generation and emission through the batched canonicalization kernel
+    (:mod:`repro.kernel.generate`).  Parity demands identical views,
+    edges, effective instance counts, *and* identical
+    :class:`SymmetryAccount` totals (labelings total/pruned, bases
+    pruned, instances suppressed) — the kernel may only change wall
+    time.  Each row records the sweep's canonicalization count and
+    throughput (the ``canonicalizations_per_sec`` gauge of the run).
+
+    A final pair of rows demonstrates the raised admission cap: the
+    even-cycle n = 4 decision with the default 20,000 ``labeling_limit``
+    (the exhaustive unanimity pass refuses the 16^4 = 65,536 space)
+    against ``kernel_labeling_limit = 70,000`` (the batch kernel affords
+    it); the raised row records the kernel labelings actually evaluated
+    and must reach the same decision fingerprint.  Without numpy the
+    kernel rows are recorded as skipped with a note.
+    """
+    rows = []
+    have_numpy = kernel_available()
+    account_parity = True
+    for scheme, n in GENERATION_CASES:
+        lcp = make_lcp(scheme)
+        results = {}
+        for mode in ("off", "on"):
+            if mode == "on" and not have_numpy:
+                rows.append(
+                    {
+                        "regime": "generation_on",
+                        "scheme": scheme,
+                        "n": n,
+                        "skipped": True,
+                        "note": (
+                            "numpy not importable: the generation kernel "
+                            "is unavailable (install it via "
+                            "`pip install -e .[fast]`)"
+                        ),
+                        "workers_effective": 1,
+                    }
+                )
+                continue
+            times = []
+            graph = None
+            stats = PerfStats()
+            for _ in range(GENERATION_REPEATS):
+                _clear_everything()
+                clear_kernel_tables()
+                stats.reset()
+                start = time.perf_counter()
+                with overridden(
+                    generation_kernel="off" if mode == "off" else "auto"
+                ):
+                    graph = _sweep_symmetry(lcp, n, "on", stats)
+                times.append(time.perf_counter() - start)
+            best = min(times)
+            canon = GLOBAL_STATS.get("canonicalizations")
+            print(
+                f"  generation {scheme} n={n} {mode}: {best:.2f}s "
+                f"({canon} canonicalizations)",
+                file=sys.stderr,
+            )
+            row = _record(
+                f"generation_{mode}", n, best, statistics.mean(times),
+                graph, stats,
+            )
+            row["scheme"] = scheme
+            row["canonicalizations"] = canon
+            row["canonicalizations_per_sec"] = (
+                round(canon / best, 1) if best and canon else None
+            )
+            row["orderly_levels_vectorized"] = GLOBAL_STATS.get(
+                "orderly_levels_vectorized"
+            )
+            if mode == "on":
+                row["numpy_version"] = numpy_version()
+            results[mode] = (graph, row, stats)
+            rows.append(row)
+        if len(results) == 2:
+            off_graph, off_row, off_stats = results["off"]
+            on_graph, on_row, on_stats = results["on"]
+            accounts_equal = all(
+                off_stats.get(c) == on_stats.get(c) for c in _ACCOUNT_COUNTERS
+            )
+            account_parity = account_parity and accounts_equal
+            on_row["parity_with_scalar"] = (
+                on_graph.views == off_graph.views
+                and on_graph.edges == off_graph.edges
+                and on_graph.instances_scanned == off_graph.instances_scanned
+                and accounts_equal
+            )
+            on_row["account_reconciled"] = accounts_equal
+            on_row["speedup_vs_scalar"] = round(
+                off_row["seconds_best"] / on_row["seconds_best"], 3
+            )
+
+    # The raised-admission demonstration: same question, same decision,
+    # but only the kernel_labeling_limit row pays (and can afford) the
+    # exhaustive 16^4 unanimity pass.
+    raised_fp = {}
+    for regime, raised in (
+        ("labeling_default_cap", None),
+        ("labeling_kernel_raised", RAISED_LABELING_LIMIT),
+    ):
+        if not have_numpy:
+            rows.append(
+                {
+                    "regime": regime,
+                    "scheme": "even-cycle",
+                    "n": 4,
+                    "skipped": True,
+                    "note": (
+                        "numpy not importable: the vectorized backend is "
+                        "unavailable, and kernel_labeling_limit only "
+                        "raises the cap where the batch kernel actually "
+                        "evaluates the space"
+                    ),
+                    "workers_effective": 1,
+                }
+            )
+            continue
+        _clear_everything()
+        clear_kernel_tables()
+        stats = PerfStats()
+        plan = ExecutionPlan(
+            backend="vectorized",
+            workers=0,
+            early_exit=False,
+            warm_start=False,
+            memory_cache=False,
+            disk_cache=False,
+            kernel_labeling_limit=raised,
+        )
+        start = time.perf_counter()
+        verdict = decide_hiding(
+            EvenCycleLCP(), 4, plan, ctx=RunContext(stats=stats)
+        )
+        elapsed = time.perf_counter() - start
+        row = {
+            "regime": regime,
+            "scheme": "even-cycle",
+            "n": 4,
+            "seconds_best": round(elapsed, 6),
+            "workers_effective": 1,
+            "views": verdict.ngraph.order,
+            "edges": verdict.ngraph.size,
+            "instances_scanned": verdict.provenance.instances_scanned,
+            "kernel_labeling_limit": raised,
+            "kernel_labelings": stats.get("kernel_labelings"),
+            "labelings_per_sec": verdict.provenance.labelings_per_sec,
+        }
+        raised_fp[regime] = verdict.decision_fingerprint()
+        rows.append(row)
+        print(
+            f"  generation even-cycle n=4 {regime}: {elapsed:.3f}s "
+            f"({row['kernel_labelings']} kernel labelings)",
+            file=sys.stderr,
+        )
+    if len(raised_fp) == 2:
+        for row in rows:
+            if row["regime"] == "labeling_kernel_raised":
+                row["parity_with_scalar"] = (
+                    raised_fp["labeling_kernel_raised"]
+                    == raised_fp["labeling_default_cap"]
+                )
+
+    by_key = {(r["scheme"], r["n"], r["regime"]): r for r in rows}
+
+    def _speedup(scheme, n):
+        row = by_key.get((scheme, n, "generation_on"))
+        return row.get("speedup_vs_scalar") if row else None
+
+    raised_row = by_key.get(("even-cycle", 4, "labeling_kernel_raised"), {})
+    return {
+        "repeats": GENERATION_REPEATS,
+        "numpy_version": numpy_version(),
+        "rows": rows,
+        "parity_ok": all(r.get("parity_with_scalar", True) for r in rows),
+        "account_reconciled": account_parity,
+        "speedup_even_cycle_n6": _speedup("even-cycle", 6),
+        "speedup_even_cycle_n7": _speedup("even-cycle", 7),
+        "raised_limit_kernel_labelings": raised_row.get("kernel_labelings"),
+    }
+
+
+def smoke_generation() -> int:
+    """CI smoke for ``--generation-kernel-smoke``: the orderly
+    generator's emission stream — edges *and* seeded automorphism groups
+    — must be byte-identical between the generation kernel and the
+    scalar reference up to n = 7, and both must match the legacy
+    edge-subset walk up to n = 6.  Exits nonzero on any divergence.
+    Without numpy the kernel route degrades to the scalar one; the
+    legacy-walk comparison still runs (with a note), so the no-numpy CI
+    leg checks the fallback honestly."""
+    have_numpy = kernel_available()
+    if not have_numpy:
+        print(
+            "generation smoke: numpy not importable; kernel route falls "
+            "back to scalar — checking the fallback against the legacy "
+            "walk only",
+            file=sys.stderr,
+        )
+
+    def stream(n: int, mode: str, connected_only: bool):
+        clear_orderly_cache()
+        clear_automorphism_cache()
+        with overridden(generation_kernel=mode):
+            return [
+                (tuple(g.edges), automorphism_group(g).perms)
+                for g in orderly_graphs_exactly(n, connected_only=connected_only)
+            ]
+
+    failures = 0
+    checks = 0
+    for connected_only in (False, True):
+        for n in range(1, 8):
+            scalar = stream(n, "off", connected_only)
+            batched = stream(n, "auto", connected_only)
+            checks += 1
+            if batched != scalar:
+                failures += 1
+                print(
+                    f"GENERATION PARITY FAILURE: n={n} "
+                    f"connected_only={connected_only}: kernel emission "
+                    f"diverges from scalar ({len(batched)} vs "
+                    f"{len(scalar)} classes)",
+                    file=sys.stderr,
+                )
+                continue
+            if n <= 6:
+                legacy = [
+                    tuple(g.edges)
+                    for g in _enumerate_graphs_exactly(n, connected_only)
+                ]
+                checks += 1
+                if [edges for edges, _ in batched] != legacy:
+                    failures += 1
+                    print(
+                        f"GENERATION PARITY FAILURE: n={n} "
+                        f"connected_only={connected_only}: emission "
+                        f"diverges from the legacy edge-subset walk",
+                        file=sys.stderr,
+                    )
+    clear_orderly_cache()
+    clear_automorphism_cache()
+    if failures:
+        print(f"{failures} generation parity failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"generation smoke: {checks} emission parity checks passed "
+        + (f"(numpy {numpy_version()})" if have_numpy else "(scalar fallback)"),
+        file=sys.stderr,
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # The hiding benchmark: early exit vs full build, plus the disk cache
 # ----------------------------------------------------------------------
@@ -1012,6 +1315,14 @@ def main() -> int:
         "is unavailable",
     )
     parser.add_argument(
+        "--generation-kernel-smoke",
+        action="store_true",
+        help="CI smoke mode: vectorized orderly emission must be "
+        "byte-identical to the scalar reference (n <= 7) and to the "
+        "legacy edge-subset walk (n <= 6); without numpy the scalar "
+        "fallback is checked against the legacy walk",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -1024,6 +1335,8 @@ def main() -> int:
         return smoke_symmetry()
     if args.kernel_smoke:
         return smoke_kernel()
+    if args.generation_kernel_smoke:
+        return smoke_generation()
 
     target = Path(args.output)
     rows = []
@@ -1035,6 +1348,8 @@ def main() -> int:
     symmetry = run_symmetry(graph_sink=symmetry_graphs)
     print("benchmarking vectorized kernel ...", file=sys.stderr)
     kernel = run_kernel(symmetry, symmetry_graphs)
+    print("benchmarking generation kernel ...", file=sys.stderr)
+    generation = run_generation()
 
     by_key = {(r["regime"], r["n"]): r for r in rows}
     cold_speedup = (
@@ -1056,10 +1371,12 @@ def main() -> int:
             all(r.get("parity_with_baseline", True) for r in rows)
             and symmetry["parity_ok"]
             and kernel["parity_ok"]
+            and generation["parity_ok"]
         ),
         "rows": rows,
         "symmetry": symmetry,
         "kernel": kernel,
+        "generation": generation,
     }
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))

@@ -40,6 +40,7 @@ from ..neighborhood.hiding import HidingVerdict, classic_verdict
 from ..neighborhood.ngraph import build_neighborhood_graph_auto
 from ..obs.logs import get_logger
 from ..perf.config import CONFIG
+from ..perf.stats import GLOBAL_STATS
 from ..kernel import KERNEL_BATCH, kernel_available
 from ..symmetry.prune import SymmetryAccount
 from .context import RunContext
@@ -126,8 +127,11 @@ def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
     enumeration bounds, backend semantics) family.  Worker count is
     deliberately absent — verdicts are byte-identical for any.  Orbit
     pruning is part of the identity (early-exit counts may differ between
-    regimes); the orderly-vs-legacy generation mode is not (byte-identical
-    streams)."""
+    regimes); the orderly-vs-legacy generation mode and the generation
+    kernel are not (byte-identical streams).  A raised
+    ``kernel_labeling_limit`` *is* part of the identity — it admits
+    labeling spaces the base limit refuses, changing sweep content
+    (resolve already normalized it to ``None`` wherever it is a no-op)."""
     return (
         ENGINE_VERSION,
         plan.backend,
@@ -143,6 +147,7 @@ def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
         plan.labeling_limit,
         plan.early_exit,
         _symmetry_effective(lcp, plan),
+        plan.kernel_labeling_limit,
     )
 
 
@@ -176,6 +181,11 @@ def disk_key(lcp: LCP, n: int, plan: ExecutionPlan) -> dict:
     # (whose early-exit instance counts can legitimately differ).
     if _symmetry_effective(lcp, plan):
         key["symmetry"] = "on"
+    # Only when set (vectorized route, above the base limit): the raised
+    # admission limit changes sweep content, and pre-existing entries
+    # keep their addresses when it is off.
+    if plan.kernel_labeling_limit is not None:
+        key["kernel_labeling_limit"] = plan.kernel_labeling_limit
     return key
 
 
@@ -185,6 +195,7 @@ def _enumeration_bounds(plan: ExecutionPlan) -> dict:
         "id_order_types": plan.id_order_types,
         "include_all_accepted_labelings": plan.include_all_accepted_labelings,
         "labeling_limit": plan.labeling_limit,
+        "kernel_labeling_limit": plan.kernel_labeling_limit,
     }
 
 
@@ -253,6 +264,40 @@ def _apply_symmetry_account(ngraph, account: SymmetryAccount | None, ctx: RunCon
             ctx.stats.incr("symmetry_bases_pruned", account.bases_pruned)
 
 
+class _ThroughputMeter:
+    """Per-op throughput of one sweep: kernel labelings evaluated per
+    second and canonical forms computed per second.
+
+    Labelings are counted on the context stats (the batch kernel's
+    ``kernel_labelings``); canonicalizations on :data:`GLOBAL_STATS`,
+    where the orderly generator records them regardless of which stats
+    handle the engine threads (generation is process-memoized, so a
+    warm sweep honestly reports none).  The computed gauges land in the
+    context metrics registry and in ``Provenance`` — single-core hosts
+    track per-op perf trajectory even when wall-clock comparisons are
+    noisy."""
+
+    def __init__(self, ctx: RunContext) -> None:
+        self.ctx = ctx
+        self.labelings = ctx.stats.get("kernel_labelings")
+        self.canonicalizations = GLOBAL_STATS.get("canonicalizations")
+
+    def flags(self, elapsed: float) -> dict:
+        labelings = self.ctx.stats.get("kernel_labelings") - self.labelings
+        canon = GLOBAL_STATS.get("canonicalizations") - self.canonicalizations
+        out: dict = {}
+        if elapsed > 0.0:
+            if labelings:
+                out["labelings_per_sec"] = labelings / elapsed
+            if canon:
+                out["canonicalizations_per_sec"] = canon / elapsed
+        metrics = self.ctx.stats.metrics
+        if metrics is not None:
+            for name, value in out.items():
+                metrics.set_gauge(name, value)
+        return out
+
+
 # ----------------------------------------------------------------------
 # Materialized backend
 # ----------------------------------------------------------------------
@@ -269,7 +314,10 @@ class MaterializedBackend(Backend):
         start = time.perf_counter()
         pruned = _symmetry_effective(lcp, plan)
         account = SymmetryAccount() if pruned else None
-        with CONFIG.overridden(symmetry=plan.symmetry):
+        meter = _ThroughputMeter(ctx)
+        with CONFIG.overridden(
+            symmetry=plan.symmetry, generation_kernel=plan.generation_kernel
+        ):
             with ctx.tracer.span("sweep", n=n) as sweep:
                 with ctx.tracer.span(
                     "symmetry:generate", n=n, mode=plan.symmetry
@@ -314,15 +362,17 @@ class MaterializedBackend(Backend):
         with ctx.tracer.span("decide", method="classic"):
             legacy = classic_verdict(lcp, ngraph, exhaustive=True)
         witness = tracker.odd_cycle_views() if tracker is not None else None
+        elapsed = time.perf_counter() - start
         return _envelope(
             lcp,
             n,
             plan,
             legacy,
             witness,
-            time.perf_counter() - start,
+            elapsed,
             ctx,
             symmetry_pruned=pruned,
+            **meter.flags(elapsed),
         )
 
 
@@ -419,9 +469,10 @@ class StreamingBackend(Backend):
         pruned = _symmetry_effective(lcp, plan)
         account = SymmetryAccount() if pruned else None
         symmetry = plan.symmetry if pruned else "off"
-        with CONFIG.overridden(symmetry=plan.symmetry), ctx.stats.time_stage(
-            "streaming_sweep"
-        ):
+        meter = _ThroughputMeter(ctx)
+        with CONFIG.overridden(
+            symmetry=plan.symmetry, generation_kernel=plan.generation_kernel
+        ), ctx.stats.time_stage("streaming_sweep"):
             with ctx.tracer.span("sweep", n=n, early_exit=plan.early_exit) as sweep:
                 if state is not None and state.n <= n:
                     ctx.stats.incr("warm_starts")
@@ -497,17 +548,19 @@ class StreamingBackend(Backend):
             legacy = engine.verdict(exhaustive=True)
         if plan.warm_start and lcp.anonymous:
             _WARM_STATES[family] = _SweepState(n=n, engine=engine)
+        elapsed = time.perf_counter() - start
         return _envelope(
             lcp,
             n,
             plan,
             legacy,
             legacy.odd_cycle,
-            time.perf_counter() - start,
+            elapsed,
             ctx,
             warm_started=warm_started,
             symmetry_pruned=pruned,
             kernel=self.kernel,
+            **meter.flags(elapsed),
         )
 
 

@@ -70,6 +70,25 @@ class ExecutionPlan:
       ``Provenance.instances_scanned``, so full-sweep provenance is
       regime-independent; when pruning is effective the sweep's disk
       identity is tagged so pre-symmetry cache entries are never misread.
+    * ``generation_kernel`` — the generation-side kernel mode (``"auto"``
+      | ``"on"`` | ``"off"``): whether orderly generation and its
+      emission labeling run the batched canonicalization searches of
+      :mod:`repro.kernel.generate` instead of the scalar DFS.  ``None``
+      defers to ``CONFIG.generation_kernel``; ``"on"`` is rejected at
+      resolve time when numpy is missing.  Levels and emission streams
+      are byte-identical either way, so this knob never enters a cache
+      identity.
+    * ``kernel_labeling_limit`` — an elevated admission limit for the
+      exhaustive unanimity pass, honored only where the batch kernel
+      actually evaluates the labelings (``vectorized`` backend *and*
+      :func:`repro.kernel.batch.kernel_supports` for the base) — the
+      block-streamed kernel can afford spaces the scalar loop must
+      refuse.  ``None`` (the default) leaves every route at
+      ``labeling_limit``, so scalar-route behavior is unchanged; when it
+      admits new spaces it changes sweep content, so a set value is part
+      of the sweep's cache identity (resolve normalizes it to ``None``
+      on non-vectorized backends and when it does not exceed
+      ``labeling_limit``, where it is a no-op).
     """
 
     backend: str = BACKEND_AUTO
@@ -83,6 +102,8 @@ class ExecutionPlan:
     include_all_accepted_labelings: bool = True
     labeling_limit: int = 20_000
     symmetry: str | None = None
+    generation_kernel: str | None = None
+    kernel_labeling_limit: int | None = None
 
     @property
     def is_resolved(self) -> bool:
@@ -92,6 +113,7 @@ class ExecutionPlan:
             and self.warm_start is not None
             and self.disk_cache is not None
             and self.symmetry is not None
+            and self.generation_kernel is not None
         )
 
     def resolve(self, config: PerfConfig | None = None) -> "ExecutionPlan":
@@ -125,6 +147,35 @@ class ExecutionPlan:
             raise ValueError(
                 f"unknown symmetry mode {symmetry!r}; known: auto, on, off"
             )
+        generation = (
+            self.generation_kernel
+            if self.generation_kernel is not None
+            else config.generation_kernel
+        )
+        if generation not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown generation_kernel mode {generation!r}; "
+                "known: auto, on, off"
+            )
+        if generation == "on":
+            from ..kernel import kernel_available  # noqa: PLC0415
+
+            if not kernel_available():
+                raise ValueError(
+                    "generation_kernel='on' requires numpy (install it via "
+                    "`pip install -e .[fast]`; if REPRO_DISABLE_NUMPY is "
+                    "set, unset it) — use 'auto' for a silent fallback"
+                )
+        raised_limit = self.kernel_labeling_limit
+        if raised_limit is not None:
+            if raised_limit <= 0:
+                raise ValueError(
+                    f"kernel_labeling_limit must be positive, got {raised_limit}"
+                )
+            # A raised limit is a no-op off the kernel route or at/below
+            # the base limit; normalize those plans to one cache identity.
+            if backend != BACKEND_VECTORIZED or raised_limit <= self.labeling_limit:
+                raised_limit = None
         early_exit = self.early_exit
         if backend == BACKEND_MATERIALIZED:
             early_exit = False
@@ -137,6 +188,8 @@ class ExecutionPlan:
             warm_start=warm,
             disk_cache=disk,
             symmetry=symmetry,
+            generation_kernel=generation,
+            kernel_labeling_limit=raised_limit,
         )
 
     def describe(self) -> str:
@@ -148,12 +201,18 @@ class ExecutionPlan:
         ]
         workers = "auto" if self.workers is None else (self.workers or "serial")
         symmetry = "auto" if self.symmetry is None else self.symmetry
-        return (
+        generation = (
+            "auto" if self.generation_kernel is None else self.generation_kernel
+        )
+        text = (
             f"backend={self.backend} workers={workers} "
             f"early_exit={self.early_exit} warm_start={self.warm_start} "
             f"cache={'+'.join(tiers) if tiers else 'none'} "
-            f"symmetry={symmetry}"
+            f"symmetry={symmetry} generation_kernel={generation}"
         )
+        if self.kernel_labeling_limit is not None:
+            text += f" kernel_labeling_limit={self.kernel_labeling_limit}"
+        return text
 
 
 def resolve_plan(
@@ -169,6 +228,8 @@ def resolve_plan(
     include_all_accepted_labelings: bool = True,
     labeling_limit: int = 20_000,
     symmetry: str | None = None,
+    generation_kernel: str | None = None,
+    kernel_labeling_limit: int | None = None,
     config: PerfConfig | None = None,
 ) -> ExecutionPlan:
     """The plan resolver: legacy keyword vocabulary → resolved plan.
@@ -201,4 +262,6 @@ def resolve_plan(
         include_all_accepted_labelings=include_all_accepted_labelings,
         labeling_limit=labeling_limit,
         symmetry=symmetry,
+        generation_kernel=generation_kernel,
+        kernel_labeling_limit=kernel_labeling_limit,
     ).resolve(config)

@@ -62,6 +62,13 @@ class Provenance:
     #: vectorized numpy kernel, ``None`` for the scalar loops (and for
     #: disk reloads, which scan nothing).
     kernel: str | None = None
+    #: Per-op throughput gauges of the producing sweep (``None`` when
+    #: the corresponding op never ran — a scalar sweep evaluates no
+    #: kernel labelings, a generation-warm sweep canonicalizes nothing).
+    #: Mirrored into the context metrics registry as gauges of the same
+    #: names, so single-core hosts track per-op perf trajectory.
+    labelings_per_sec: float | None = None
+    canonicalizations_per_sec: float | None = None
     wall_time_s: float = 0.0
     trace_id: str | None = None
 
@@ -84,6 +91,10 @@ class Provenance:
         )
         if self.kernel is not None:
             text += f", kernel={self.kernel}"
+        if self.labelings_per_sec is not None:
+            text += f", {self.labelings_per_sec:,.0f} labelings/s"
+        if self.canonicalizations_per_sec is not None:
+            text += f", {self.canonicalizations_per_sec:,.0f} canon/s"
         if self.trace_id is not None:
             text += f", trace {self.trace_id}"
         return text

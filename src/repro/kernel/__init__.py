@@ -77,16 +77,27 @@ def numpy_version() -> str | None:
     return None if np is None else np.__version__
 
 
-from .batch import batch_unanimous_labelings  # noqa: E402
+from .batch import batch_unanimous_labelings, kernel_supports  # noqa: E402
+from .generate import (  # noqa: E402
+    MAX_GENERATION_NODES,
+    batch_colex_canonical,
+    batch_min_edge_mask,
+    generation_supported,
+)
 from .tables import acceptance_table, clear_kernel_tables  # noqa: E402
 
 __all__ = [
     "DISABLE_ENV",
     "KERNEL_BATCH",
+    "MAX_GENERATION_NODES",
     "acceptance_table",
+    "batch_colex_canonical",
+    "batch_min_edge_mask",
     "batch_unanimous_labelings",
     "clear_kernel_tables",
+    "generation_supported",
     "kernel_available",
+    "kernel_supports",
     "numpy_or_none",
     "numpy_version",
 ]

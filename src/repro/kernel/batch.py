@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..local.labeling import Labeling
+from ..local.views import layout_label_columns
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS
 from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS, PerfStats
@@ -89,7 +90,7 @@ def batch_unanimous_labelings(
     plans = []
     for template, order in layouts.values():
         table = acceptance_table(decoder, template, tuple(alphabet), np, stats=stats)
-        cols = np.array([node_index[u] for u in order], dtype=np.intp)
+        cols = np.array(layout_label_columns(order, node_index), dtype=np.intp)
         weights = a ** np.arange(len(order) - 1, -1, -1, dtype=np.int64)
         plans.append((table, cols, weights))
 

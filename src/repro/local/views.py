@@ -423,6 +423,21 @@ def extract_view_layouts(
     return layouts
 
 
+def layout_label_columns(label_order, node_index: dict) -> tuple[int, ...]:
+    """Column indices a layout template reads from a ``(batch, nodes)``
+    label-digit matrix — the array-native face of ``label_order``.
+
+    The batch kernel (:mod:`repro.kernel.batch`) materializes candidate
+    labelings as integer digit matrices with one column per graph node
+    (in ``node_index`` order); a template's acceptance then depends on
+    the digits at exactly these columns, in template-position order.
+    Keeping this translation beside :func:`extract_view_layouts` pins
+    the two representations together: ``relabel_view`` and the kernel's
+    table gather read the same positions by construction.
+    """
+    return tuple(node_index[u] for u in label_order)
+
+
 def relabel_view(template: View, label_order, labeling) -> View:
     """Instantiate a layout template under a concrete labeling.
 

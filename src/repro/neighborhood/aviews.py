@@ -52,6 +52,7 @@ def labeled_yes_instances(
     symmetry: str = "off",
     account=None,
     kernel: str | None = None,
+    kernel_labeling_limit: int | None = None,
     stats=None,
 ) -> Iterator[Instance]:
     """Labeled yes-instances of *lcp* over the given graphs.
@@ -82,6 +83,13 @@ def labeled_yes_instances(
       available, falling back to the scalar loop otherwise; *stats*
       receives its batch counters.  The yielded stream is identical
       either way.
+    * Raised admission: *kernel_labeling_limit* (when above
+      *labeling_limit*) admits a base's exhaustive unanimity pass only
+      where the batch kernel actually evaluates it — ``kernel ==
+      "batch"``, numpy importable, and the space indexable
+      (:func:`repro.kernel.batch.kernel_supports`) — so the block-
+      streamed kernel can afford labeling spaces the scalar route must
+      refuse while scalar-route behavior stays byte-identical.
     """
     pruning = symmetry_pruning_effective(lcp, symmetry)
     if pruning and account is None:
@@ -146,8 +154,21 @@ def labeled_yes_instances(
                     yield base.with_labeling(labeling)
                 if include_all_accepted_labelings:
                     alphabet = lcp.certificate_alphabet(graph)
+                    effective_limit = labeling_limit
+                    if (
+                        alphabet is not None
+                        and kernel_labeling_limit is not None
+                        and kernel_labeling_limit > effective_limit
+                        and kernel == "batch"
+                    ):
+                        from ..kernel import kernel_supports, numpy_or_none  # noqa: PLC0415
+
+                        if numpy_or_none() is not None and kernel_supports(
+                            graph, alphabet
+                        ):
+                            effective_limit = kernel_labeling_limit
                     if alphabet is not None and (
-                        count_labelings(graph, len(alphabet)) <= labeling_limit
+                        count_labelings(graph, len(alphabet)) <= effective_limit
                     ):
                         stabilizer = (
                             instance_stabilizer(group, graph, ports, ids, include_ids)
@@ -184,6 +205,7 @@ def yes_instances_up_to(
     symmetry: str = "off",
     account=None,
     kernel: str | None = None,
+    kernel_labeling_limit: int | None = None,
     stats=None,
 ) -> Iterator[Instance]:
     """The Lemma 3.1 sweep: labeled yes-instances on at most *n* nodes.
@@ -205,6 +227,7 @@ def yes_instances_up_to(
         symmetry=symmetry,
         account=account,
         kernel=kernel,
+        kernel_labeling_limit=kernel_labeling_limit,
         stats=stats,
     )
 
@@ -220,6 +243,7 @@ def yes_instances_between(
     symmetry: str = "off",
     account=None,
     kernel: str | None = None,
+    kernel_labeling_limit: int | None = None,
     stats=None,
 ) -> Iterator[Instance]:
     """The suffix of the Lemma 3.1 sweep: sizes ``lo+1 .. hi`` only.
@@ -247,5 +271,6 @@ def yes_instances_between(
         symmetry=symmetry,
         account=account,
         kernel=kernel,
+        kernel_labeling_limit=kernel_labeling_limit,
         stats=stats,
     )

@@ -59,6 +59,15 @@ class PerfConfig:
       unobservable — the yielded stream and all accounting are
       block-size independent — so this is purely a memory/throughput
       trade.
+    * ``generation_kernel`` — the generation-side kernel mode
+      (``"auto"`` | ``"on"`` | ``"off"``): whether the orderly
+      generator and its emission labeling run the batched
+      canonicalization searches of :mod:`repro.kernel.generate` instead
+      of the scalar per-graph DFS.  Levels and emission streams are
+      byte-identical either way, so this knob never enters a cache key;
+      ``"auto"`` engages the kernel whenever numpy is importable,
+      ``"on"`` asserts it (plans resolve it to an error when numpy is
+      missing), ``"off"`` forces the scalar reference path.
     """
 
     layout_cache: bool = True
@@ -76,6 +85,7 @@ class PerfConfig:
     disk_cache_dir: str | None = None
     symmetry: str = "auto"
     kernel_block_size: int = 4096
+    generation_kernel: str = "auto"
 
     def apply(self, **kwargs) -> "PerfConfig":
         """Update fields in place (unknown names raise); returns self."""

@@ -25,6 +25,15 @@ classes are emitted in ascending mask order, so downstream sweeps,
 early-exit witnesses, and verdict fingerprints are identical whichever
 enumerator ran.  The automorphism group computed during generation is
 transported to the emitted labeling and seeded into the group cache.
+
+Both the level build and the emission labeling have an array-native
+fast path (:mod:`repro.kernel.generate`): when numpy is importable and
+``CONFIG.generation_kernel`` is not ``"off"``, the orbit-minimality
+subset filter, the colex canonicalization of candidate children, and
+the per-class minimal edge mask all run as batched frontier searches
+over ``(batch, nodes)`` bitset matrices.  The batched paths are exact —
+levels and emission streams are byte-identical to the scalar DFS — so
+the kernel mode never enters any cache identity.
 """
 
 from __future__ import annotations
@@ -33,9 +42,33 @@ from collections.abc import Iterator
 from itertools import combinations
 
 from ..graphs.graph import Graph
+from ..kernel import numpy_or_none
+from ..kernel.generate import (
+    batch_automorphisms,
+    batch_colex_canonical,
+    batch_deletion_flags,
+    batch_min_edge_mask,
+    generation_supported,
+    orbit_minimal_subsets,
+    subset_bit_matrix,
+)
+from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS
 from .canon import automorphisms_from_perms, colex_canonical, min_edge_mask
 from .groups import AutomorphismGroup, seed_automorphisms
+
+#: Graphs per batched-canonicalization block.  Chunking bounds the
+#: frontier arrays' peak memory; block boundaries are unobservable (each
+#: graph's search is independent and blocks run in order).
+_GENERATION_BLOCK = 2048
+
+
+def _generation_np():
+    """The numpy module when the generation kernel should engage, else
+    ``None`` (knob off, numpy missing, or ``REPRO_DISABLE_NUMPY``)."""
+    if CONFIG.generation_kernel == "off":
+        return None
+    return numpy_or_none()
 
 #: ``size -> tuple of (adjacency rows, automorphism index perms)`` for
 #: *all* graphs (connected and not) on that many nodes, one per class.
@@ -57,7 +90,12 @@ def _level(
     if n == 1:
         entries = (((0,), ((0,),)),)
     else:
-        entries = _build_level(n, _level(n - 1))
+        parents = _level(n - 1)
+        np = _generation_np()
+        if np is not None and generation_supported(n):
+            entries = _build_level_batched(n, parents, np)
+        else:
+            entries = _build_level(n, parents)
     _LEVELS[n] = entries
     return entries
 
@@ -65,6 +103,8 @@ def _level(
 def _build_level(
     k: int, parents: tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]
 ) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    """Scalar reference level build — the exact semantics the batched
+    path below must reproduce entry for entry."""
     m = k - 1  # index of the new vertex
     out = []
     for rows_p, auts_p in parents:
@@ -91,11 +131,76 @@ def _build_level(
             # the canonical form entirely for those.
             if s.bit_count() != max(row.bit_count() for row in child):
                 continue
+            GLOBAL_STATS.incr("canonicalizations")
             _, perms = colex_canonical(child, k)
             # Child-side filter: new vertex in the canonical-deletion orbit.
             if not any(pm[m] == m for pm in perms):
                 continue
             out.append((tuple(child), automorphisms_from_perms(perms, k)))
+    return tuple(out)
+
+
+def _build_level_batched(
+    k: int,
+    parents: tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...],
+    np,
+) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    """Array-native level build: both orderly filters and the canonical
+    form run as batched numpy searches (:mod:`repro.kernel.generate`).
+
+    Byte-identical to :func:`_build_level`: subsets are filtered in
+    ascending order per parent, surviving candidates keep (parent-major,
+    subset-ascending) order through one batched colex canonicalization,
+    and the emitted ``(rows, automorphisms)`` entries — including the
+    automorphism tuples' internal order — match the scalar DFS exactly.
+    """
+    m = k - 1  # index of the new vertex
+    GLOBAL_STATS.incr("orderly_levels_vectorized")
+    bits = subset_bit_matrix(m, np)
+    popcnt = bits.sum(axis=1, dtype=np.int64)
+    batches = []
+    for rows_p, auts_p in parents:
+        nontrivial = auts_p[1:]
+        sigma = (
+            np.array(nontrivial, dtype=np.int64)
+            if nontrivial
+            else np.zeros((0, m), dtype=np.int64)
+        )
+        # Parent-side filter: keep the orbit-minimal subset only.
+        keep = orbit_minimal_subsets(bits, sigma, np)
+        # The canonical last position holds a maximum-degree node, so a
+        # new vertex of smaller degree can never be accepted; drop those
+        # before the canonical form is ever computed (scalar skip).
+        deg_p = np.array([row.bit_count() for row in rows_p], dtype=np.int64)
+        np.logical_and(keep, popcnt >= (deg_p[None, :] + bits).max(axis=1), out=keep)
+        kept = np.nonzero(keep)[0]
+        if not len(kept):
+            continue
+        kids = np.empty((len(kept), k), dtype=np.int64)
+        kids[:, :m] = np.array(rows_p, dtype=np.int64)[None, :] | (bits[kept] << m)
+        kids[:, m] = kept
+        batches.append(kids)
+    if not batches:
+        return ()
+    candidates = np.concatenate(batches, axis=0)
+    out = []
+    for start in range(0, len(candidates), _GENERATION_BLOCK):
+        chunk = candidates[start : start + _GENERATION_BLOCK]
+        perms, gid = batch_colex_canonical(chunk, k, np, stats=GLOBAL_STATS)
+        # Child-side filter: new vertex in the canonical-deletion orbit.
+        flags = batch_deletion_flags(perms, gid, len(chunk), m, np)
+        auts = batch_automorphisms(perms, gid, len(chunk), k, np)
+        bounds = np.searchsorted(gid, np.arange(len(chunk) + 1, dtype=np.int64))
+        rows_list = chunk.tolist()
+        auts_list = auts.tolist()
+        for g in np.nonzero(flags)[0].tolist():
+            lo, hi = int(bounds[g]), int(bounds[g + 1])
+            out.append(
+                (
+                    tuple(rows_list[g]),
+                    tuple(tuple(a) for a in auts_list[lo:hi]),
+                )
+            )
     return tuple(out)
 
 
@@ -129,15 +234,33 @@ def orderly_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Grap
         return
     GLOBAL_STATS.incr("orderly_generations")
     possible_edges = list(combinations(range(n), 2))
-    labeled = []
+    pending = []
     for rows, auts in _level(n):
         if connected_only and not _bitset_connected(rows, n):
             continue
         group = AutomorphismGroup(nodes=tuple(range(n)), perms=auts)
-        mask, perm = min_edge_mask(
-            list(rows), n, first_candidates=group.orbit_representatives()
-        )
-        labeled.append((mask, perm, rows, auts))
+        pending.append((rows, auts, group.orbit_representatives()))
+    labeled = []
+    np = _generation_np()
+    if np is not None and generation_supported(n) and len(pending) > 1:
+        # Batched emission labeling: one frontier search over the whole
+        # level instead of one scalar DFS per class.
+        for start in range(0, len(pending), _GENERATION_BLOCK):
+            chunk = pending[start : start + _GENERATION_BLOCK]
+            rows_matrix = np.array([rows for rows, _, _ in chunk], dtype=np.int64)
+            firsts = [reps for _, _, reps in chunk]
+            masks, perms = batch_min_edge_mask(
+                rows_matrix, n, firsts, np, stats=GLOBAL_STATS
+            )
+            masks_list = masks.tolist()
+            perms_list = perms.tolist()
+            for i, (rows, auts, _) in enumerate(chunk):
+                labeled.append((masks_list[i], tuple(perms_list[i]), rows, auts))
+    else:
+        for rows, auts, reps in pending:
+            GLOBAL_STATS.incr("canonicalizations")
+            mask, perm = min_edge_mask(list(rows), n, first_candidates=reps)
+            labeled.append((mask, perm, rows, auts))
     labeled.sort(key=lambda entry: entry[0])
     for mask, perm, rows, auts in labeled:
         graph = Graph(

@@ -1,0 +1,314 @@
+"""Property suite: the generation kernel is byte-identical to the scalar path.
+
+The batched canonicalization and orderly-generation kernels of
+:mod:`repro.kernel.generate` are pure accelerations: for every
+isomorphism class up to ``n = 7`` the vectorized canonical key, the
+minimizing-assignment order (hence the automorphism tuples), the level
+build, and the emission stream must match the scalar
+``colex_canonical`` / ``min_edge_mask`` / ``_build_level`` reference
+bit for bit.  OEIS A000088 / A001349 pin the class counts so a parity
+bug that drops or duplicates classes on *both* routes cannot hide.
+
+The suite also covers the capability seams: the
+``REPRO_DISABLE_NUMPY`` fallback, the ``generation_kernel`` plan knob,
+the raised ``kernel_labeling_limit`` admission (content parity with a
+plainly raised limit, normalization on non-vectorized plans), and the
+satellite guarantee that ``src/repro`` itself no longer calls the
+deprecation shims.
+"""
+
+from __future__ import annotations
+
+import ast
+from itertools import permutations
+from pathlib import Path
+
+import pytest
+
+from repro.core.even_cycle import EvenCycleLCP
+from repro.engine import (
+    ExecutionPlan,
+    clear_engine_state,
+    decide_hiding,
+    resolve_plan,
+)
+from repro.kernel import DISABLE_ENV, kernel_available, numpy_or_none
+from repro.kernel.generate import (
+    MAX_GENERATION_NODES,
+    batch_colex_canonical,
+    batch_min_edge_mask,
+    generation_supported,
+    orbit_minimal_subsets,
+    subset_bit_matrix,
+)
+from repro.symmetry.canon import (
+    automorphisms_from_perms,
+    colex_canonical,
+    min_edge_mask,
+)
+from repro.symmetry.groups import (
+    AutomorphismGroup,
+    automorphism_group,
+    clear_automorphism_cache,
+)
+from repro.symmetry.orderly import (
+    _build_level,
+    _build_level_batched,
+    _level,
+    clear_orderly_cache,
+    count_classes,
+    orderly_graphs_exactly,
+)
+
+HAVE_NUMPY = kernel_available()
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not importable")
+
+#: Isomorphism classes on exactly n nodes, n = 1..7 (OEIS A000088).
+ALL_COUNTS = [1, 2, 4, 11, 34, 156, 1044]
+#: Connected classes on exactly n nodes, n = 1..7 (OEIS A001349).
+CONNECTED_COUNTS = [1, 1, 2, 6, 21, 112, 853]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_generation_caches():
+    """The kernel-vs-scalar comparisons below rebuild the memoized
+    levels under different routes; never let one leak into other tests."""
+    clear_orderly_cache()
+    clear_automorphism_cache()
+    clear_engine_state()
+    yield
+    clear_orderly_cache()
+    clear_automorphism_cache()
+    clear_engine_state()
+
+
+def _scalar_levels(n: int):
+    """Levels 1..n built strictly by the scalar reference path."""
+    levels = {1: (((0,), ((0,),)),)}
+    for k in range(2, n + 1):
+        levels[k] = _build_level(k, levels[k - 1])
+    return levels
+
+
+def _class_matrices(n: int, np):
+    """Adjacency-row matrices for every class on *n* nodes plus a few
+    deterministic relabelings — canonical and non-canonical inputs."""
+    perms = list(permutations(range(n)))
+    perms = perms[:: max(1, len(perms) // 5)]
+    rows_out = []
+    for rows, _ in _scalar_levels(n)[n]:
+        for sigma in perms:
+            rows_out.append(
+                [
+                    sum(
+                        (rows[sigma[u]] >> sigma[v] & 1) << v
+                        for v in range(n)
+                    )
+                    for u in range(n)
+                ]
+            )
+    return np.array(rows_out, dtype=np.int64)
+
+
+@needs_numpy
+class TestBatchCanonicalization:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_colex_matches_scalar_including_perm_order(self, n):
+        np = numpy_or_none()
+        matrix = _class_matrices(n, np)
+        perms, gid = batch_colex_canonical(matrix, n, np)
+        bounds = np.searchsorted(gid, np.arange(len(matrix) + 1))
+        for g, adj in enumerate(matrix.tolist()):
+            _, scalar_perms = colex_canonical(adj, n)
+            lo, hi = int(bounds[g]), int(bounds[g + 1])
+            batched = tuple(tuple(p) for p in perms[lo:hi].tolist())
+            # Same minimizing assignments in the same DFS order — the
+            # automorphism tuples derived from them inherit the parity.
+            assert batched == scalar_perms
+            assert automorphisms_from_perms(batched, n) == (
+                automorphisms_from_perms(scalar_perms, n)
+            )
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_min_edge_mask_matches_scalar(self, n):
+        np = numpy_or_none()
+        matrix = _class_matrices(n, np)
+        firsts = []
+        for adj in matrix.tolist():
+            _, cperms = colex_canonical(adj, n)
+            group = AutomorphismGroup(
+                nodes=tuple(range(n)),
+                perms=automorphisms_from_perms(cperms, n),
+            )
+            firsts.append(group.orbit_representatives())
+        masks, final = batch_min_edge_mask(matrix, n, firsts, np)
+        for g, adj in enumerate(matrix.tolist()):
+            mask, perm = min_edge_mask(adj, n, first_candidates=firsts[g])
+            assert int(masks[g]) == mask
+            # Scalar keeps the *last* minimizing assignment; so must we.
+            assert tuple(final[g].tolist()) == perm
+
+    def test_orbit_minimal_subsets_matches_scalar_filter(self):
+        np = numpy_or_none()
+        for m in range(0, 6):
+            bits = subset_bit_matrix(m, np)
+            for sigma_tuple in (
+                (),
+                (tuple(range(m))[::-1],) if m else (),
+                tuple(permutations(range(m)))[:3] if m else (),
+            ):
+                sigma = (
+                    np.array(sigma_tuple, dtype=np.int64)
+                    if sigma_tuple
+                    else np.zeros((0, m), dtype=np.int64)
+                )
+                keep = orbit_minimal_subsets(bits, sigma, np)
+                for s in range(1 << m):
+                    minimal = all(
+                        sum(
+                            ((s >> i) & 1) << sig[i] for i in range(m)
+                        )
+                        >= s
+                        for sig in sigma_tuple
+                    )
+                    assert bool(keep[s]) == minimal
+
+
+@needs_numpy
+class TestLevelBuildParity:
+    def test_batched_levels_identical_to_scalar(self):
+        np = numpy_or_none()
+        scalar = _scalar_levels(7)
+        for k in range(2, 8):
+            assert _build_level_batched(k, scalar[k - 1], np) == scalar[k]
+
+    def test_generation_supported_bounds(self):
+        assert generation_supported(1)
+        assert generation_supported(MAX_GENERATION_NODES)
+        assert not generation_supported(MAX_GENERATION_NODES + 1)
+
+
+def _emission_stream(n: int, connected_only: bool, generation_kernel: str):
+    """(edges, seeded automorphisms) per emitted graph, in stream order."""
+    from repro.perf.config import CONFIG  # noqa: PLC0415
+
+    clear_orderly_cache()
+    clear_automorphism_cache()
+    with CONFIG.overridden(generation_kernel=generation_kernel):
+        return [
+            (tuple(g.edges), automorphism_group(g).perms)
+            for g in orderly_graphs_exactly(n, connected_only=connected_only)
+        ]
+
+
+class TestEmissionParity:
+    @needs_numpy
+    @pytest.mark.parametrize("connected_only", [False, True])
+    def test_stream_byte_identical_to_scalar_up_to_7(self, connected_only):
+        counts = CONNECTED_COUNTS if connected_only else ALL_COUNTS
+        for n in range(1, 8):
+            scalar = _emission_stream(n, connected_only, "off")
+            batched = _emission_stream(n, connected_only, "auto")
+            assert batched == scalar
+            assert len(batched) == counts[n - 1]
+
+    @needs_numpy
+    def test_oeis_counts_on_kernel_route(self):
+        from repro.perf.config import CONFIG  # noqa: PLC0415
+
+        with CONFIG.overridden(generation_kernel="auto"):
+            for n in range(1, 8):
+                assert count_classes(n) == ALL_COUNTS[n - 1]
+                assert (
+                    count_classes(n, connected_only=True)
+                    == CONNECTED_COUNTS[n - 1]
+                )
+
+    def test_disabled_numpy_falls_back_to_scalar(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        assert numpy_or_none() is None
+        for n in range(1, 7):
+            stream = _emission_stream(n, True, "auto")
+            assert len(stream) == CONNECTED_COUNTS[n - 1]
+
+    @needs_numpy
+    def test_levels_memoized_identically_across_routes(self, monkeypatch):
+        # A level built by the kernel then read under the fallback (or
+        # vice versa) must be indistinguishable: same memoized tuples.
+        batched = {k: _level(k) for k in range(1, 7)}
+        clear_orderly_cache()
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        for k in range(1, 7):
+            assert _level(k) == batched[k]
+
+
+class TestKernelLabelingLimit:
+    @needs_numpy
+    def test_raised_limit_content_parity(self):
+        # 16^4 = 65,536 > the 20,000 scalar cap: only the raised limit
+        # admits the exhaustive unanimity pass.  Admitting it through
+        # kernel_labeling_limit must decide exactly what a plainly
+        # raised labeling_limit decides.
+        def sweep(**kwargs):
+            clear_engine_state()
+            plan = ExecutionPlan(
+                backend="vectorized",
+                workers=0,
+                early_exit=False,
+                warm_start=False,
+                memory_cache=False,
+                disk_cache=False,
+                **kwargs,
+            )
+            return decide_hiding(EvenCycleLCP(), 4, plan)
+
+        raised = sweep(labeling_limit=20_000, kernel_labeling_limit=70_000)
+        plain = sweep(labeling_limit=70_000)
+        assert raised.decision_fingerprint() == plain.decision_fingerprint()
+        assert raised.provenance.kernel == "batch"
+
+    @needs_numpy
+    def test_normalized_away_on_non_vectorized_plans(self):
+        streaming = resolve_plan(backend="streaming", kernel_labeling_limit=70_000)
+        assert streaming.kernel_labeling_limit is None
+        vectorized = resolve_plan(backend="vectorized", kernel_labeling_limit=70_000)
+        assert vectorized.kernel_labeling_limit == 70_000
+        assert "kernel_labeling_limit=70000" in vectorized.describe()
+        # A raise that is not actually a raise is normalized away too.
+        lowered = resolve_plan(backend="vectorized", kernel_labeling_limit=10)
+        assert lowered.kernel_labeling_limit is None
+
+    def test_invalid_raised_limit_rejected(self):
+        with pytest.raises(ValueError, match="kernel_labeling_limit"):
+            resolve_plan(kernel_labeling_limit=0)
+
+    def test_generation_kernel_on_requires_numpy(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_ENV, "1")
+        with pytest.raises(ValueError, match="generation_kernel"):
+            resolve_plan(generation_kernel="on")
+        assert resolve_plan(generation_kernel="auto").generation_kernel == "auto"
+
+    def test_invalid_generation_kernel_rejected(self):
+        with pytest.raises(ValueError, match="generation_kernel"):
+            resolve_plan(generation_kernel="sometimes")
+
+
+SHIM_NAMES = {"hiding_verdict_up_to", "streaming_hiding_verdict_up_to"}
+
+
+def test_src_repro_never_calls_the_deprecation_shims():
+    """Satellite guarantee: the library itself is shim-free — every
+    internal decision goes through ``repro.engine.decide_hiding``.  The
+    shims stay importable for external consumers only."""
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    offenders = []
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = getattr(func, "id", None) or getattr(func, "attr", None)
+            if name in SHIM_NAMES:
+                offenders.append(f"{path.relative_to(src)}:{node.lineno}")
+    assert not offenders, f"deprecation-shim call sites in src/repro: {offenders}"
