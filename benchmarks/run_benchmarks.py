@@ -446,6 +446,8 @@ def run(n: int) -> list[dict]:
                     "regime": f"parallel_{workers}",
                     "n": n,
                     "skipped": True,
+                    "skip_reason": "single_core_host",
+                    "cpu_count": cpus,
                     "note": (
                         "single-core host: a process pool can only measure "
                         "pool overhead here, not parallelism"
@@ -631,6 +633,8 @@ def run_kernel(symmetry: dict, symmetry_graphs: dict) -> dict:
                         "scheme": scheme,
                         "n": n,
                         "skipped": True,
+                        "skip_reason": "numpy_unavailable",
+                        "cpu_count": os.cpu_count() or 1,
                         "note": (
                             "numpy not importable: the vectorized kernel "
                             "is unavailable (install it via "
@@ -818,6 +822,8 @@ def run_generation() -> dict:
                         "scheme": scheme,
                         "n": n,
                         "skipped": True,
+                        "skip_reason": "numpy_unavailable",
+                        "cpu_count": os.cpu_count() or 1,
                         "note": (
                             "numpy not importable: the generation kernel "
                             "is unavailable (install it via "
@@ -896,6 +902,8 @@ def run_generation() -> dict:
                     "scheme": "even-cycle",
                     "n": 4,
                     "skipped": True,
+                    "skip_reason": "numpy_unavailable",
+                    "cpu_count": os.cpu_count() or 1,
                     "note": (
                         "numpy not importable: the vectorized backend is "
                         "unavailable, and kernel_labeling_limit only "
@@ -1130,6 +1138,8 @@ def run_hiding(n: int) -> list[dict]:
                 "regime": "vectorized_cold",
                 "n": n,
                 "skipped": True,
+                "skip_reason": "numpy_unavailable",
+                "cpu_count": os.cpu_count() or 1,
                 "note": (
                     "numpy not importable: the vectorized backend is "
                     "unavailable (install it via `pip install -e .[fast]`)"
@@ -1285,6 +1295,128 @@ def smoke_early_exit(trace_out: str | None = None) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Parameter frontier (campaign layer)
+# ----------------------------------------------------------------------
+
+#: The tracked frontier campaign: both Theorem 1.1 schemes, the k axis
+#: next to the native k=2, n small enough for sub-second cells.
+FRONTIER_SCHEMES = ("degree-one", "even-cycle")
+FRONTIER_N_MAX = 5
+FRONTIER_K_VALUES = (2, 3)
+
+
+def _frontier_spec(backend: str = "auto"):
+    from repro.campaign import CampaignSpec  # noqa: PLC0415
+
+    return CampaignSpec.sweep(
+        FRONTIER_SCHEMES,
+        n_max=FRONTIER_N_MAX,
+        n_min=3,
+        k_values=FRONTIER_K_VALUES,
+        plan=ExecutionPlan(backend=backend, disk_cache=False),
+    )
+
+
+def run_frontier() -> dict:
+    """Benchmark the campaign explorer: one cold pass (every cell swept)
+    and one warm pass (every cell memo-served) over the tracked frontier
+    campaign, so the explorer's cells/sec throughput becomes a tracked
+    ``BENCH_*.json`` trajectory.  The emitted frontier report is
+    schema-validated in-process; ``valid`` folds into the payload's
+    ``parity_ok`` gate."""
+    from repro.campaign import (  # noqa: PLC0415
+        build_frontier_report,
+        run_campaign,
+        validate_frontier_report,
+    )
+
+    spec = _frontier_spec()
+    _clear_everything()
+    cold = run_campaign(spec)
+    warm = run_campaign(spec)
+    report = build_frontier_report(cold)
+    errors = validate_frontier_report(report.payload)
+    summary = report.payload["summary"]
+    rows = [
+        {
+            "regime": "frontier_cold",
+            "cells": len(cold.results),
+            "errors": len(cold.errors),
+            "seconds": round(cold.wall_time_s, 6),
+            "cells_per_sec": (
+                None if cold.cells_per_sec is None else round(cold.cells_per_sec, 3)
+            ),
+        },
+        {
+            "regime": "frontier_warm",
+            "cells": len(warm.results),
+            "errors": len(warm.errors),
+            "seconds": round(warm.wall_time_s, 6),
+            "cells_per_sec": (
+                None if warm.cells_per_sec is None else round(warm.cells_per_sec, 3)
+            ),
+        },
+    ]
+    return {
+        "schemes": list(FRONTIER_SCHEMES),
+        "n_max": FRONTIER_N_MAX,
+        "k_values": list(FRONTIER_K_VALUES),
+        "rows": rows,
+        "flips": summary["flips"],
+        "flips_by_axis": summary["flips_by_axis"],
+        "report_digest": report.digest,
+        "valid": not errors,
+        "validation_errors": errors,
+    }
+
+
+def smoke_frontier() -> int:
+    """CI smoke for ``--frontier-smoke``: run the tiny tracked campaign
+    (2 schemes × n ≤ 5 × 2 values of k), schema-validate the frontier
+    report, and require at least one verdict flip.  Runs identically in
+    the numpy and no-numpy legs — the auto backend degrades to the
+    scalar streaming route without numpy, and verdicts are backend-
+    independent."""
+    from repro.campaign import (  # noqa: PLC0415
+        build_frontier_report,
+        run_campaign,
+        validate_frontier_report,
+    )
+
+    _clear_everything()
+    run = run_campaign(_frontier_spec())
+    report = build_frontier_report(run)
+    errors = validate_frontier_report(report.payload)
+    summary = report.payload["summary"]
+    print(
+        f"frontier smoke: {summary['cells']} cells, "
+        f"{summary['errors']} errors, {summary['flips']} flips "
+        f"{summary['flips_by_axis']}",
+        file=sys.stderr,
+    )
+    if errors:
+        for error in errors:
+            print(f"INVALID FRONTIER REPORT: {error}", file=sys.stderr)
+        return 1
+    if run.errors:
+        for result in run.errors:
+            print(
+                f"CELL ERROR: {result.cell.label()}: {result.error}",
+                file=sys.stderr,
+            )
+        return 1
+    if summary["flips"] == 0:
+        print(
+            "FRONTIER SMOKE FAILURE: no verdict flip located (the "
+            "campaign spans a known n-flip for both schemes)",
+            file=sys.stderr,
+        )
+        return 1
+    print("frontier smoke: report schema-valid, flips located", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -1323,6 +1455,14 @@ def main() -> int:
         "fallback is checked against the legacy walk",
     )
     parser.add_argument(
+        "--frontier-smoke",
+        action="store_true",
+        help="CI smoke mode: run the tiny tracked campaign (2 schemes x "
+        "n<=5 x 2 values of k), schema-validate the frontier report, "
+        "and require a located verdict flip; backend-independent, so it "
+        "runs in both the numpy and no-numpy legs",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -1337,6 +1477,8 @@ def main() -> int:
         return smoke_kernel()
     if args.generation_kernel_smoke:
         return smoke_generation()
+    if args.frontier_smoke:
+        return smoke_frontier()
 
     target = Path(args.output)
     rows = []
@@ -1350,6 +1492,8 @@ def main() -> int:
     kernel = run_kernel(symmetry, symmetry_graphs)
     print("benchmarking generation kernel ...", file=sys.stderr)
     generation = run_generation()
+    print("benchmarking parameter frontier ...", file=sys.stderr)
+    frontier = run_frontier()
 
     by_key = {(r["regime"], r["n"]): r for r in rows}
     cold_speedup = (
@@ -1372,11 +1516,13 @@ def main() -> int:
             and symmetry["parity_ok"]
             and kernel["parity_ok"]
             and generation["parity_ok"]
+            and frontier["valid"]
         ),
         "rows": rows,
         "symmetry": symmetry,
         "kernel": kernel,
         "generation": generation,
+        "frontier": frontier,
     }
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))

@@ -17,11 +17,11 @@ from repro.core import (
     ShatterLCP,
     WatermelonLCP,
 )
+from repro.engine import ExecutionPlan, decide_hiding
 from repro.graphs import cycle_graph, path_graph
 from repro.neighborhood import (
     build_extraction_decoder,
     hiding_verdict_from_instances,
-    hiding_verdict_up_to,
     run_extraction,
 )
 
@@ -29,13 +29,15 @@ from repro.neighborhood import (
 def main() -> None:
     print("=== Lemma 3.2 hiding audit ===\n")
 
-    # Anonymous schemes: the full Lemma 3.1 sweep at small n.
+    # Anonymous schemes: the full Lemma 3.1 sweep at small n, routed
+    # through the decision engine (one plan reused for every scheme).
+    plan = ExecutionPlan()
     for name, lcp, n in [
         ("degree-one (Lemma 4.1)", DegreeOneLCP(), 4),
         ("even-cycle (Lemma 4.2)", EvenCycleLCP(), 6),
         ("revealing baseline", RevealingLCP(), 4),
     ]:
-        verdict = hiding_verdict_up_to(lcp, n)
+        verdict = decide_hiding(lcp, n, plan)
         print(f"{name:28s} V(D,{n}): {verdict.ngraph.order:3d} views  -> {verdict.summary()}")
 
     # Non-anonymous schemes: the Section 7 witness constructions.
@@ -54,7 +56,7 @@ def main() -> None:
     # The converse direction: extraction from the revealing baseline.
     print("\n=== Extraction from the non-hiding baseline ===\n")
     lcp = RevealingLCP()
-    verdict = hiding_verdict_up_to(lcp, 4)
+    verdict = decide_hiding(lcp, 4, plan)
     decoder = build_extraction_decoder(verdict.ngraph, 2)
     assert decoder is not None
     for graph, label in [(path_graph(4), "P4"), (cycle_graph(4), "C4")]:

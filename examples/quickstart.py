@@ -10,8 +10,8 @@ Run:  python examples/quickstart.py
 
 from repro import Instance
 from repro.core import DegreeOneLCP
+from repro.engine import ExecutionPlan, decide_hiding
 from repro.graphs import path_graph
-from repro.neighborhood import hiding_verdict_up_to
 
 
 def main() -> None:
@@ -34,7 +34,9 @@ def main() -> None:
 
     # 4. Hiding (Lemma 3.2): the accepting neighborhood graph V(D, 4) is
     #    not 2-colorable, so no one-round decoder can extract a coloring.
-    verdict = hiding_verdict_up_to(lcp, 4)
+    #    The plan picks the execution route (backend, workers, caches);
+    #    the defaults are fine for a sweep this small.
+    verdict = decide_hiding(lcp, 4, ExecutionPlan())
     print(f"\n{verdict.summary()}")
     print(
         f"V(D, 4): {verdict.ngraph.order} accepting views, "

@@ -1,0 +1,190 @@
+"""Campaign specifications and their expansion into cells.
+
+A :class:`CampaignSpec` is declarative data: which schemes, which graph
+families, which ``n`` bounds, which ``k``/``r`` values, which alphabet
+caps.  :meth:`CampaignSpec.cells` expands the axes into a deterministic,
+ordered stream of immutable :class:`Cell` work units — ``n`` innermost
+and ascending, so consecutive cells of one sweep family hit the
+streaming engine's cross-``n`` warm start.
+
+``None`` in the ``k``/``r`` axes means "the scheme's native value"; it
+is resolved against the registry at expansion time so every emitted
+cell is fully concrete, and duplicate cells (``k=None`` next to the
+explicit native ``k``) collapse to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from ..certification.lcp import LCP, parametrized
+from ..core.registry import make_lcp, scheme_names
+from ..engine.plan import ExecutionPlan
+from ..graphs.families import graph_family_names
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully concrete point of the campaign's parameter space.
+
+    Immutable and hashable; ``(scheme, family, n, k, r,
+    alphabet_limit)`` is the cell's identity across drivers, stores, and
+    reports.
+    """
+
+    scheme: str
+    family: str
+    n: int
+    k: int
+    r: int
+    alphabet_limit: int | None = None
+
+    def key(self) -> tuple:
+        return (self.scheme, self.family, self.n, self.k, self.r, self.alphabet_limit)
+
+    def axes(self) -> dict:
+        """The cell as a readable dict (report payloads)."""
+        return {
+            "scheme": self.scheme,
+            "family": self.family,
+            "n": self.n,
+            "k": self.k,
+            "r": self.r,
+            "alphabet_limit": self.alphabet_limit,
+        }
+
+    def label(self) -> str:
+        text = f"{self.scheme}[{self.family}] n={self.n} k={self.k} r={self.r}"
+        if self.alphabet_limit is not None:
+            text += f" |Σ|≤{self.alphabet_limit}"
+        return text
+
+    def lcp(self) -> LCP:
+        """The cell's scheme, re-parameterized to the cell's ``k``/``r``
+        (the registry object itself for native values, so default cells
+        keep the pre-campaign cache identity)."""
+        return parametrized(make_lcp(self.scheme), k=self.k, radius=self.r)
+
+    def plan(self, base: ExecutionPlan) -> ExecutionPlan:
+        """*base* scoped to this cell (family and alphabet axes)."""
+        return replace(
+            base, graph_family=self.family, alphabet_limit=self.alphabet_limit
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep over the campaign axes.
+
+    * ``schemes`` — registry names (:func:`repro.core.registry.scheme_names`).
+    * ``n_values`` — sweep bounds, ascending per family for warm starts.
+    * ``k_values`` / ``r_values`` — ``None`` entries mean the scheme's
+      native value.
+    * ``families`` — named graph families (``"all"`` = no filter).
+    * ``alphabet_limits`` — caps on the certificate alphabet
+      (``None`` = full alphabet).
+    * ``plan`` — the base :class:`ExecutionPlan` every cell starts from;
+      cells override only ``graph_family``/``alphabet_limit``.
+    """
+
+    schemes: tuple[str, ...]
+    n_values: tuple[int, ...]
+    k_values: tuple[int | None, ...] = (None,)
+    r_values: tuple[int | None, ...] = (None,)
+    families: tuple[str, ...] = ("all",)
+    alphabet_limits: tuple[int | None, ...] = (None,)
+    plan: ExecutionPlan = field(default_factory=ExecutionPlan)
+
+    @classmethod
+    def sweep(
+        cls,
+        schemes,
+        n_max: int,
+        n_min: int = 1,
+        k_values=(None,),
+        r_values=(None,),
+        families=("all",),
+        alphabet_limits=(None,),
+        plan: ExecutionPlan | None = None,
+    ) -> "CampaignSpec":
+        """The common shape: every ``n`` from *n_min* to *n_max*."""
+        return cls(
+            schemes=tuple(schemes),
+            n_values=tuple(range(n_min, n_max + 1)),
+            k_values=tuple(k_values),
+            r_values=tuple(r_values),
+            families=tuple(families),
+            alphabet_limits=tuple(alphabet_limits),
+            plan=plan if plan is not None else ExecutionPlan(),
+        )
+
+    def validate(self) -> list[str]:
+        """Every problem with the spec (empty list = valid)."""
+        errors = []
+        if not self.schemes:
+            errors.append("no schemes")
+        known = set(scheme_names())
+        for scheme in self.schemes:
+            if scheme not in known:
+                errors.append(f"unknown scheme {scheme!r}")
+        known_families = set(graph_family_names())
+        for family in self.families:
+            if family not in known_families:
+                errors.append(f"unknown graph family {family!r}")
+        if not self.n_values:
+            errors.append("no n values")
+        for n in self.n_values:
+            if n < 1:
+                errors.append(f"n must be >= 1, got {n}")
+        for k in self.k_values:
+            if k is not None and k < 1:
+                errors.append(f"k must be >= 1, got {k}")
+        for r in self.r_values:
+            if r is not None and r < 1:
+                errors.append(f"r must be >= 1, got {r}")
+        for limit in self.alphabet_limits:
+            if limit is not None and limit < 1:
+                errors.append(f"alphabet_limit must be >= 1, got {limit}")
+        return errors
+
+    def cells(self) -> Iterator[Cell]:
+        """The ordered cell stream: scheme, family, alphabet, r, k
+        outermost-to-innermost, then ``n`` ascending — so consecutive
+        cells share a sweep family and warm-start each other.  ``None``
+        ``k``/``r`` entries resolve to the scheme's native values;
+        duplicate cells collapse (first occurrence wins)."""
+        errors = self.validate()
+        if errors:
+            raise ValueError(f"invalid campaign spec: {'; '.join(errors)}")
+        seen: set[tuple] = set()
+        for scheme in self.schemes:
+            native = make_lcp(scheme)
+            for family in self.families:
+                for limit in self.alphabet_limits:
+                    for r in self.r_values:
+                        for k in self.k_values:
+                            for n in sorted(self.n_values):
+                                cell = Cell(
+                                    scheme=scheme,
+                                    family=family,
+                                    n=n,
+                                    k=k if k is not None else native.k,
+                                    r=r if r is not None else native.radius,
+                                    alphabet_limit=limit,
+                                )
+                                if cell.key() in seen:
+                                    continue
+                                seen.add(cell.key())
+                                yield cell
+
+    def as_dict(self) -> dict:
+        """Readable payload form (frontier report header)."""
+        return {
+            "schemes": list(self.schemes),
+            "n_values": list(self.n_values),
+            "k_values": list(self.k_values),
+            "r_values": list(self.r_values),
+            "families": list(self.families),
+            "alphabet_limits": list(self.alphabet_limits),
+        }

@@ -138,3 +138,109 @@ class LCP(ABC):
         return max(
             self.certificate_bits(labeling.of(v), n, id_bound) for v in labeling.nodes()
         )
+
+
+# ----------------------------------------------------------------------
+# Cell-scoped parameterization (the campaign layer's k and r axes)
+# ----------------------------------------------------------------------
+
+
+class _TolerantProver(Prover):
+    """A prover whose enumeration survives off-promise instances.
+
+    Re-parameterizing a scheme to a non-native ``k`` can admit
+    yes-instances the base prover was never written for (a triangle is a
+    3-colorable member of H1, but the degree-one prover reveals a
+    2-coloring and rejects it).  For the Lemma 3.1 sweep that is fine:
+    the exhaustive unanimity pass is the literal "some labeling accepted
+    at v" of the definition, so the honest prover contributing nothing
+    for such an instance is sound.  ``certify`` keeps raising — a direct
+    round trip on an off-promise instance should still fail loudly.
+    """
+
+    def __init__(self, base: Prover) -> None:
+        self.base = base
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def certify(self, instance: Instance) -> Labeling:
+        return self.base.certify(instance)
+
+    def all_certifications(self, instance: Instance):
+        from ..errors import PromiseViolationError  # noqa: PLC0415
+
+        try:
+            yield from self.base.all_certifications(instance)
+        except PromiseViolationError:
+            return
+
+
+class ParametrizedLCP(LCP):
+    """A registry scheme re-parameterized to a different ``k`` and/or
+    verification radius ``r`` — the campaign layer's cell-scoped view of
+    a scheme.
+
+    Everything except ``k``/``radius`` delegates to the base scheme:
+    same promise class, same decoder, same certificate codec, same
+    ``name`` (cache keys already carry ``k`` and ``radius`` as separate
+    fields, so parameterized sweeps get their own addresses without
+    renaming).  Never constructed for the native parameters —
+    :func:`parametrized` returns the base object itself there, which is
+    what keeps default-cell cache identities byte-identical to the
+    pre-campaign layout.
+    """
+
+    def __init__(self, base: LCP, k: int | None = None, radius: int | None = None):
+        self.base = base
+        self.k = k if k is not None else base.k
+        self.radius = radius if radius is not None else base.radius
+        self.anonymous = base.anonymous
+        self._prover = (
+            _TolerantProver(base.prover) if self.k != base.k else base.prover
+        )
+
+    @property
+    def prover(self) -> Prover:
+        return self._prover
+
+    @property
+    def decoder(self) -> Decoder:
+        return self.base.decoder
+
+    @property
+    def name(self) -> str:
+        return self.base.name
+
+    def promise(self, graph: Graph) -> bool:
+        return self.base.promise(graph)
+
+    def certificate_alphabet(self, graph: Graph) -> list[Certificate] | None:
+        return self.base.certificate_alphabet(graph)
+
+    def certificate_bits(self, certificate: Certificate, n: int, id_bound: int) -> int:
+        return self.base.certificate_bits(certificate, n, id_bound)
+
+
+def parametrized(lcp: LCP, k: int | None = None, radius: int | None = None) -> LCP:
+    """*lcp* with ``k``/``radius`` overridden — or *lcp* itself when both
+    requested values are native (``None`` means "keep").
+
+    Raises ``ValueError`` for non-positive parameters.  Unwraps nested
+    parameterizations so ``parametrized(parametrized(D, k=3), k=2)``
+    never stacks delegation layers.
+    """
+    if k is not None and k < 1:
+        raise ValueError(f"parametrized: k must be >= 1, got {k}")
+    if radius is not None and radius < 1:
+        raise ValueError(f"parametrized: radius must be >= 1, got {radius}")
+    if isinstance(lcp, ParametrizedLCP):
+        base = lcp.base
+        k = k if k is not None else lcp.k
+        radius = radius if radius is not None else lcp.radius
+    else:
+        base = lcp
+    if (k is None or k == base.k) and (radius is None or radius == base.radius):
+        return base
+    return ParametrizedLCP(base, k=k, radius=radius)

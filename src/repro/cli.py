@@ -20,8 +20,13 @@ Subcommands
     ``--materialized`` for the classic full-build pipeline).  The scheme
     may equivalently be given as ``--scheme``; ``--trace`` prints the
     run's span tree and ``--trace-out FILE`` writes a full run report.
+``repro frontier run|show ...``
+    Sweep a campaign over the (scheme, family, n, k, r, alphabet)
+    parameter space and report where the hiding verdict flips; ``show``
+    validates and renders a stored frontier report.
 ``repro report show|diff|validate ...``
-    Inspect, compare, or schema-check run reports under ``.repro_runs/``.
+    Inspect, compare, or schema-check run reports under ``.repro_runs/``
+    (``validate`` accepts frontier reports too, dispatching on schema).
 ``repro cache stats|clear``
     Inspect or empty the persistent sweep cache under ``.repro_cache/``.
 
@@ -237,6 +242,80 @@ def cmd_hiding(args: argparse.Namespace) -> int:
     return 0
 
 
+def _family_choices() -> list[str]:
+    from .graphs.families import graph_family_names  # noqa: PLC0415
+
+    return graph_family_names()
+
+
+def _csv_ints(text: str | None) -> tuple[int | None, ...]:
+    """Parse a comma-separated int list (``None`` -> the native-value
+    singleton the campaign axes use as their default)."""
+    if text is None:
+        return (None,)
+    try:
+        return tuple(int(part) for part in text.split(",") if part)
+    except ValueError:
+        raise SystemExit(f"expected a comma-separated list of ints, got {text!r}")
+
+
+def cmd_frontier_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignSpec, build_frontier_report, run_campaign  # noqa: PLC0415
+    from .engine import resolve_plan  # noqa: PLC0415
+    from .perf.config import CONFIG  # noqa: PLC0415
+
+    schemes = tuple(part for part in args.schemes.split(",") if part)
+    families = tuple(part for part in args.family.split(",") if part)
+    with CONFIG.overridden(disk_cache_dir=args.cache_dir):
+        plan = resolve_plan(
+            backend=args.backend if args.backend is not None else "auto",
+            workers=args.workers,
+            disk_cache=False if args.no_disk_cache else None,
+            symmetry=args.symmetry,
+        )
+        spec = CampaignSpec.sweep(
+            schemes,
+            n_max=args.n_max,
+            n_min=args.n_min,
+            k_values=_csv_ints(args.k),
+            r_values=_csv_ints(args.r),
+            families=families,
+            alphabet_limits=_csv_ints(args.alphabet_limit),
+            plan=plan,
+        )
+        errors = spec.validate()
+        if errors:
+            raise SystemExit("repro frontier run: " + "; ".join(errors))
+
+        def progress(result) -> None:
+            verdict = (
+                f"ERROR {result.error}"
+                if result.error is not None
+                else f"hiding={result.hiding}"
+            )
+            print(f"  {result.cell.label()}: {verdict}", file=sys.stderr)
+
+        run = run_campaign(spec, progress=progress if not args.quiet else None)
+    report = build_frontier_report(run)
+    canonical = report.write(path=args.out)
+    print(report.render())
+    print(f"report:    {canonical}")
+    return 0 if not run.errors else 1
+
+
+def cmd_frontier_show(args: argparse.Namespace) -> int:
+    from .campaign import FrontierReport, validate_frontier_report  # noqa: PLC0415
+
+    report = FrontierReport.load(args.ref, directory=args.runs_dir)
+    errors = validate_frontier_report(report.payload)
+    if errors:
+        for error in errors:
+            print(f"INVALID: {error}")
+        return 1
+    print(report.render())
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .obs.report import RunReport, diff_reports, render_diff, validate_report  # noqa: PLC0415
 
@@ -252,12 +331,21 @@ def cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(f"repro report {args.action}: exactly one report required")
     report = RunReport.load(args.refs[0], directory=args.runs_dir)
     if args.action == "validate":
-        errors = validate_report(report.payload)
+        # Dispatch on the declared schema: frontier reports live in the
+        # same runs directory and validate against their own gate.
+        from .campaign import FRONTIER_SCHEMA, validate_frontier_report  # noqa: PLC0415
+
+        if report.payload.get("schema") == FRONTIER_SCHEMA:
+            errors = validate_frontier_report(report.payload)
+            kind = "frontier report"
+        else:
+            errors = validate_report(report.payload)
+            kind = "run report"
         if errors:
             for error in errors:
                 print(f"INVALID: {error}")
             return 1
-        print(f"valid run report {report.digest}")
+        print(f"valid {kind} {report.digest}")
         return 0
     print(report.render())
     return 0
@@ -429,6 +517,95 @@ def build_parser() -> argparse.ArgumentParser:
         "under .repro_runs/ is always written for traced runs)",
     )
     hiding_parser.set_defaults(fn=cmd_hiding)
+
+    frontier_parser = sub.add_parser(
+        "frontier",
+        help="sweep the (scheme, family, n, k, r, alphabet) parameter "
+        "space and report where the hiding verdict flips",
+    )
+    frontier_sub = frontier_parser.add_subparsers(dest="action", required=True)
+    fr_run = frontier_sub.add_parser(
+        "run", help="run a campaign and write the frontier report"
+    )
+    fr_run.add_argument(
+        "schemes",
+        help="comma-separated scheme names, e.g. even-cycle or "
+        "degree-one,even-cycle",
+    )
+    fr_run.add_argument(
+        "--n-max", type=int, required=True, metavar="N", help="largest sweep bound"
+    )
+    fr_run.add_argument(
+        "--n-min", type=int, default=1, metavar="N", help="smallest sweep bound"
+    )
+    fr_run.add_argument(
+        "--k",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated k values (default: each scheme's native k)",
+    )
+    fr_run.add_argument(
+        "--r",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated verification radii (default: native r)",
+    )
+    fr_run.add_argument(
+        "--family",
+        default="all",
+        metavar="F1,F2",
+        help="comma-separated graph families "
+        f"(known: {', '.join(_family_choices())})",
+    )
+    fr_run.add_argument(
+        "--alphabet-limit",
+        default=None,
+        metavar="A1,A2",
+        help="comma-separated caps on the certificate alphabet "
+        "(default: the full alphabet)",
+    )
+    from .engine import available_backends as _backends  # noqa: PLC0415
+
+    fr_run.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", *_backends()],
+        help="engine backend for every cell (default: auto)",
+    )
+    fr_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="processes per sweep (default: serial)",
+    )
+    fr_run.add_argument(
+        "--symmetry", choices=["auto", "on", "off"], default=None,
+        help="symmetry reduction for the sweeps (default: the session config)",
+    )
+    fr_run.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="skip the persistent .repro_cache/ for this campaign",
+    )
+    fr_run.add_argument(
+        "--cache-dir", default=None, metavar="DIR", help="cache directory override"
+    )
+    fr_run.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the frontier report to FILE (the content-"
+        "addressed copy under .repro_runs/ is always written)",
+    )
+    fr_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    fr_run.set_defaults(fn=cmd_frontier_run)
+    fr_show = frontier_sub.add_parser(
+        "show", help="validate and render a frontier report"
+    )
+    fr_show.add_argument("ref", help="report path or digest under the runs dir")
+    fr_show.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="runs directory for digest lookups (default: $REPRO_RUNS_DIR "
+        "or ./.repro_runs)",
+    )
+    fr_show.set_defaults(fn=cmd_frontier_show)
 
     report_parser = sub.add_parser(
         "report", help="inspect, diff, or validate run reports"

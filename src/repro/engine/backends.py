@@ -148,6 +148,8 @@ def family_key(lcp: LCP, plan: ExecutionPlan) -> tuple:
         plan.early_exit,
         _symmetry_effective(lcp, plan),
         plan.kernel_labeling_limit,
+        plan.graph_family,
+        plan.alphabet_limit,
     )
 
 
@@ -186,6 +188,13 @@ def disk_key(lcp: LCP, n: int, plan: ExecutionPlan) -> dict:
     # keep their addresses when it is off.
     if plan.kernel_labeling_limit is not None:
         key["kernel_labeling_limit"] = plan.kernel_labeling_limit
+    # Campaign axes, only when off their defaults: the default cell —
+    # full family, full alphabet — keeps the pre-campaign content
+    # address byte-for-byte.
+    if plan.graph_family != "all":
+        key["graph_family"] = plan.graph_family
+    if plan.alphabet_limit is not None:
+        key["alphabet_limit"] = plan.alphabet_limit
     return key
 
 
@@ -196,6 +205,8 @@ def _enumeration_bounds(plan: ExecutionPlan) -> dict:
         "include_all_accepted_labelings": plan.include_all_accepted_labelings,
         "labeling_limit": plan.labeling_limit,
         "kernel_labeling_limit": plan.kernel_labeling_limit,
+        "family": plan.graph_family,
+        "alphabet_limit": plan.alphabet_limit,
     }
 
 

@@ -56,24 +56,30 @@ def decide_hiding(
     plan: ExecutionPlan | None = None,
     *,
     k: int | None = None,
+    r: int | None = None,
     ctx: RunContext | None = None,
 ) -> Verdict:
     """Decide whether *lcp* hides a ``k``-coloring up to *n* nodes.
 
     *plan* says how (backend, workers, caches); an unresolved plan — or
     ``None``, meaning "all defaults" — is resolved against ``ctx.config``
-    first.  *k* is a guard, not a parameter: the decided ``k`` is always
-    ``lcp.k``, and passing a different value raises.  *ctx* defaults to
+    first.  *k* and *r* are real decision inputs: a non-native value
+    re-parameterizes the scheme for this decision
+    (:func:`repro.certification.lcp.parametrized`), changing the
+    yes-instance filter / verification radius and with them every cache
+    identity — ``lcp.k`` and ``lcp.radius`` are fields of both the
+    family key and the disk key, so the native parameters keep their
+    pre-campaign content addresses byte-for-byte.  ``None`` (or the
+    native value) decides the scheme as registered.  *ctx* defaults to
     the process-wide context (global config, stats, shared cache tiers).
 
     Returns the unified :class:`~repro.engine.verdict.Verdict` envelope;
     pre-engine consumers read ``verdict.legacy``.
     """
-    if k is not None and k != lcp.k:
-        raise ValueError(
-            f"decide_hiding(k={k}) conflicts with the scheme's k={lcp.k}; "
-            "the decided k is always lcp.k"
-        )
+    if k is not None or r is not None:
+        from ..certification.lcp import parametrized  # noqa: PLC0415
+
+        lcp = parametrized(lcp, k=k, radius=r)
     if ctx is None:
         ctx = RunContext.default()
     tracer = ctx.tracer

@@ -89,6 +89,18 @@ class ExecutionPlan:
       of the sweep's cache identity (resolve normalizes it to ``None``
       on non-vectorized backends and when it does not exceed
       ``labeling_limit``, where it is a no-op).
+    * ``graph_family`` — a registered named graph family
+      (:data:`repro.graphs.families.GRAPH_FAMILIES`) restricting the
+      sweep's graph enumeration; ``"all"`` (the default) is the full
+      Lemma 3.1 sweep.  The filter composes with the scheme's own
+      ``is_yes_instance`` check.  Part of every cache identity; the disk
+      key records it only when non-default, so pre-campaign
+      ``.repro_cache/`` entries keep their content addresses.
+    * ``alphabet_limit`` — cap the exhaustive unanimity pass to the
+      first ``alphabet_limit`` letters of the scheme's certificate
+      alphabet (the campaign layer's alphabet-size axis).  ``None`` (the
+      default) uses the full alphabet.  Changes sweep content, so a set
+      value is part of every cache identity (disk key: only when set).
     """
 
     backend: str = BACKEND_AUTO
@@ -104,6 +116,8 @@ class ExecutionPlan:
     symmetry: str | None = None
     generation_kernel: str | None = None
     kernel_labeling_limit: int | None = None
+    graph_family: str = "all"
+    alphabet_limit: int | None = None
 
     @property
     def is_resolved(self) -> bool:
@@ -176,6 +190,13 @@ class ExecutionPlan:
             # the base limit; normalize those plans to one cache identity.
             if backend != BACKEND_VECTORIZED or raised_limit <= self.labeling_limit:
                 raised_limit = None
+        from ..graphs.families import graph_family_predicate  # noqa: PLC0415
+
+        graph_family_predicate(self.graph_family)  # raises for unknown names
+        if self.alphabet_limit is not None and self.alphabet_limit < 1:
+            raise ValueError(
+                f"alphabet_limit must be positive, got {self.alphabet_limit}"
+            )
         early_exit = self.early_exit
         if backend == BACKEND_MATERIALIZED:
             early_exit = False
@@ -212,6 +233,10 @@ class ExecutionPlan:
         )
         if self.kernel_labeling_limit is not None:
             text += f" kernel_labeling_limit={self.kernel_labeling_limit}"
+        if self.graph_family != "all":
+            text += f" graph_family={self.graph_family}"
+        if self.alphabet_limit is not None:
+            text += f" alphabet_limit={self.alphabet_limit}"
         return text
 
 
@@ -230,6 +255,8 @@ def resolve_plan(
     symmetry: str | None = None,
     generation_kernel: str | None = None,
     kernel_labeling_limit: int | None = None,
+    graph_family: str = "all",
+    alphabet_limit: int | None = None,
     config: PerfConfig | None = None,
 ) -> ExecutionPlan:
     """The plan resolver: legacy keyword vocabulary → resolved plan.
@@ -264,4 +291,6 @@ def resolve_plan(
         symmetry=symmetry,
         generation_kernel=generation_kernel,
         kernel_labeling_limit=kernel_labeling_limit,
+        graph_family=graph_family,
+        alphabet_limit=alphabet_limit,
     ).resolve(config)

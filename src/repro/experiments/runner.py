@@ -2,6 +2,16 @@
 
 Used by CI-style invocations (`python -m repro.experiments.runner`) and
 by anyone who wants the full reproduction written to disk in one call.
+
+The runner's configuration surface is two objects: an
+:class:`~repro.engine.plan.ExecutionPlan` saying *how* the experiments'
+sweeps should run, and (optionally) a
+:class:`~repro.campaign.CampaignSpec` naming a parameter-frontier sweep
+to append to the batch.  The historical keyword knobs
+(``workers``/``streaming``/``disk_cache``/``symmetry``) remain accepted
+as a back-compat wrapper — :func:`plan_from_knobs` is the single
+translation into a plan, and mixing the two vocabularies in one call
+raises.
 """
 
 from __future__ import annotations
@@ -11,6 +21,11 @@ import sys
 import time
 from pathlib import Path
 
+from ..engine.plan import (
+    BACKEND_AUTO,
+    BACKEND_MATERIALIZED,
+    ExecutionPlan,
+)
 from ..obs.trace import NULL_TRACER, Tracer
 from ..perf import GLOBAL_STATS
 from ..perf.config import CONFIG
@@ -18,36 +33,98 @@ from .registry import ExperimentResult, all_experiments
 from .report import render_perf_stats, render_results
 
 
-def run_all(
-    verbose: bool = True,
+def plan_from_knobs(
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
     symmetry: str | None = None,
+) -> ExecutionPlan:
+    """The legacy runner vocabulary as an (unresolved) plan.
+
+    ``None`` everywhere means "defer to the session config", exactly the
+    historical behavior; ``streaming`` maps onto the backend axis the
+    same way :func:`repro.engine.plan.resolve_plan` does.
+    """
+    if streaming is None:
+        backend = BACKEND_AUTO
+    else:
+        backend = "streaming" if streaming else BACKEND_MATERIALIZED
+    return ExecutionPlan(
+        backend=backend,
+        workers=workers,
+        disk_cache=disk_cache,
+        symmetry=symmetry,
+    )
+
+
+def config_overrides(plan: ExecutionPlan | None) -> dict:
+    """The ``CONFIG.overridden`` kwargs one plan scopes a batch with.
+
+    Experiments read the session config rather than taking a plan per
+    call, so the runner projects the plan back onto the config knobs for
+    the duration of the batch.  ``None`` fields override nothing (the
+    pre-plan semantics of the keyword knobs).
+    """
+    if plan is None:
+        return {}
+    streaming = None
+    if plan.backend != BACKEND_AUTO:
+        streaming = plan.backend != BACKEND_MATERIALIZED
+    return {
+        "workers": plan.workers,
+        "streaming": streaming,
+        "disk_cache": plan.disk_cache,
+        "symmetry": plan.symmetry,
+    }
+
+
+def _plan_or_legacy(
+    plan: ExecutionPlan | None,
+    workers,
+    streaming,
+    disk_cache,
+    symmetry,
+) -> ExecutionPlan:
+    legacy = {
+        "workers": workers,
+        "streaming": streaming,
+        "disk_cache": disk_cache,
+        "symmetry": symmetry,
+    }
+    given = {name: value for name, value in legacy.items() if value is not None}
+    if plan is not None:
+        if given:
+            raise ValueError(
+                "run_all: pass either plan= or the legacy knobs "
+                f"({', '.join(sorted(given))}), not both"
+            )
+        return plan
+    return plan_from_knobs(**legacy)
+
+
+def run_all(
+    plan: ExecutionPlan | None = None,
+    verbose: bool = True,
     tracer: Tracer | None = None,
+    *,
+    workers: int | None = None,
+    streaming: bool | None = None,
+    disk_cache: bool | None = None,
+    symmetry: str | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment, in id order.
 
-    With *workers* > 1 the neighborhood-graph sweeps inside the
-    experiments run on a process pool (results are identical; see
-    :mod:`repro.perf.parallel`).  *streaming* routes the hiding sweeps
-    through the early-exit engine, and *disk_cache* persists their
-    verdicts under ``.repro_cache/`` across runs — experiments that need
-    the complete ``V(D, n)`` opt out per call, so all verdicts are
-    unchanged either way.
-
-    The knobs are scoped to this call (``CONFIG.overridden``): a runner
-    invocation can no longer leak ``workers``/``streaming``/``disk_cache``
-    into subsequent in-process work.
+    *plan* scopes the batch: its backend/workers/cache/symmetry fields
+    become the session config for the duration of the call
+    (``CONFIG.overridden``), so a runner invocation can no longer leak
+    knobs into subsequent in-process work.  The keyword knobs are the
+    pre-plan vocabulary, still accepted (but not combinable with
+    *plan*) via :func:`plan_from_knobs`.
     """
+    plan = _plan_or_legacy(plan, workers, streaming, disk_cache, symmetry)
     tracer = tracer if tracer is not None else NULL_TRACER
     results = []
-    with CONFIG.overridden(
-        workers=workers,
-        streaming=streaming,
-        disk_cache=disk_cache,
-        symmetry=symmetry,
-    ):
+    with CONFIG.overridden(**config_overrides(plan)):
         with tracer.span("run-all", experiments=len(all_experiments())):
             for experiment in all_experiments():
                 start = time.perf_counter()
@@ -70,34 +147,60 @@ def run_all(
 
 def run_all_and_save(
     path: str | Path,
+    plan: ExecutionPlan | None = None,
+    campaign=None,
     verbose: bool = True,
+    trace_out: str | Path | None = None,
+    *,
     workers: int | None = None,
     streaming: bool | None = None,
     disk_cache: bool | None = None,
     symmetry: str | None = None,
-    trace_out: str | Path | None = None,
 ) -> bool:
     """Run everything, write the rendered report (plus the perf-stats
     section) to *path*.
+
+    With *campaign* (a :class:`~repro.campaign.CampaignSpec`), the batch
+    also sweeps the parameter frontier: the campaign runs after the
+    experiments, its :class:`~repro.campaign.FrontierReport` is written
+    content-addressed under ``.repro_runs/``, and a frontier section is
+    appended to the text report.
 
     With *trace_out*, the batch also runs traced: a
     :class:`~repro.obs.report.RunReport` (one span per experiment under
     a ``run-all`` root) is written to that path, plus the
     content-addressed copy under ``.repro_runs/``.
 
-    Returns True iff every experiment reproduced OK.
+    Returns True iff every experiment reproduced OK (and, when a
+    campaign ran, every cell decided without error).
     """
     GLOBAL_STATS.reset()
     tracer = Tracer() if trace_out is not None else None
     results = run_all(
+        plan=plan,
         verbose=verbose,
+        tracer=tracer,
         workers=workers,
         streaming=streaming,
         disk_cache=disk_cache,
         symmetry=symmetry,
-        tracer=tracer,
     )
     report = render_results(results) + "\n\n" + render_perf_stats(GLOBAL_STATS)
+    ok = all(r.ok for r in results)
+    if campaign is not None:
+        from ..campaign import build_frontier_report, run_campaign  # noqa: PLC0415
+
+        run = run_campaign(campaign)
+        frontier = build_frontier_report(run)
+        canonical = frontier.write()
+        summary = frontier.payload["summary"]
+        report += (
+            "\n\nPARAMETER FRONTIER\n"
+            f"  cells: {summary['cells']}  errors: {summary['errors']}  "
+            f"flips: {summary['flips']} {summary['flips_by_axis']}\n"
+            f"  report: {canonical}\n"
+        )
+        ok = ok and not run.errors
     Path(path).write_text(report + "\n", encoding="utf-8")
     if tracer is not None:
         from ..obs.report import RunReport  # noqa: PLC0415
@@ -112,7 +215,7 @@ def run_all_and_save(
             },
         )
         run_report.write(path=trace_out)
-    return all(r.ok for r in results)
+    return ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -166,14 +269,14 @@ def main(argv: list[str] | None = None) -> int:
         from ..obs.logs import setup_logging  # noqa: PLC0415
 
         setup_logging(args.log_level)
-    ok = run_all_and_save(
-        args.target,
+    # The CLI speaks the legacy vocabulary; translate once, up front.
+    plan = plan_from_knobs(
         workers=args.workers,
         streaming=args.streaming or None,
         disk_cache=args.disk_cache or None,
         symmetry=args.symmetry,
-        trace_out=args.trace_out,
     )
+    ok = run_all_and_save(args.target, plan=plan, trace_out=args.trace_out)
     print(f"report written to {args.target}")
     return 0 if ok else 1
 

@@ -24,7 +24,13 @@ from itertools import combinations
 from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS
 from .graph import FrozenGraph, Graph
-from .properties import is_bipartite, is_even_cycle
+from .properties import (
+    is_bipartite,
+    is_cycle_graph,
+    is_even_cycle,
+    is_path_graph,
+    is_tree,
+)
 from .shatter import has_shatter_point
 from .watermelon import is_watermelon
 
@@ -391,3 +397,43 @@ def watermelon_family_up_to(n: int) -> Iterator[Graph]:
             break
         for lengths in length_multisets(budget, 2, k):
             yield watermelon_graph(lengths)
+
+
+# ----------------------------------------------------------------------
+# Named graph families (the campaign layer's family axis)
+# ----------------------------------------------------------------------
+
+#: name -> membership predicate (``None`` means "no filter": every graph
+#: the Lemma 3.1 sweep would enumerate).  A campaign cell names one of
+#: these to restrict the sweep's graph part; the predicate composes with
+#: — it never replaces — the scheme's own ``is_yes_instance`` filter.
+GRAPH_FAMILIES: dict[str, Callable[[Graph], bool] | None] = {
+    "all": None,
+    "bipartite": is_bipartite,
+    "trees": is_tree,
+    "paths": is_path_graph,
+    "cycles": is_cycle_graph,
+    "even-cycles": is_even_cycle,
+    "min-degree-one": lambda g: g.order >= 2 and g.min_degree() == 1,
+    "shatter": has_shatter_point,
+    "watermelons": is_watermelon,
+}
+
+
+def graph_family_names() -> list[str]:
+    """Registered family names, in registration order (``"all"`` first)."""
+    return list(GRAPH_FAMILIES)
+
+
+def graph_family_predicate(name: str) -> Callable[[Graph], bool] | None:
+    """The membership predicate for a registered family name.
+
+    ``None`` for ``"all"``; raises ``ValueError`` for unknown names so
+    a typo in a campaign spec fails before any sweep runs."""
+    try:
+        return GRAPH_FAMILIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph family {name!r}; known: "
+            f"{', '.join(graph_family_names())}"
+        ) from None

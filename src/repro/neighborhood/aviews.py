@@ -25,7 +25,11 @@ from collections.abc import Iterable, Iterator
 
 from ..certification.enumeration import unanimously_accepted_labelings
 from ..certification.lcp import LCP
-from ..graphs.families import all_graphs_exactly, all_graphs_up_to
+from ..graphs.families import (
+    all_graphs_exactly,
+    all_graphs_up_to,
+    graph_family_predicate,
+)
 from ..graphs.graph import Graph
 from ..local.identifiers import IdentifierAssignment, all_order_types
 from ..local.instance import Instance
@@ -54,6 +58,8 @@ def labeled_yes_instances(
     kernel: str | None = None,
     kernel_labeling_limit: int | None = None,
     stats=None,
+    family: str = "all",
+    alphabet_limit: int | None = None,
 ) -> Iterator[Instance]:
     """Labeled yes-instances of *lcp* over the given graphs.
 
@@ -90,7 +96,14 @@ def labeled_yes_instances(
       (:func:`repro.kernel.batch.kernel_supports`) — so the block-
       streamed kernel can afford labeling spaces the scalar route must
       refuse while scalar-route behavior stays byte-identical.
+    * Campaign axes: *family* names a registered graph family
+      (:data:`repro.graphs.families.GRAPH_FAMILIES`) whose predicate
+      pre-filters the graph stream (``"all"`` keeps every graph), and
+      *alphabet_limit* caps the unanimity pass to the first letters of
+      the scheme's certificate alphabet.  Both default to the full
+      pre-campaign sweep.
     """
+    predicate = graph_family_predicate(family)
     pruning = symmetry_pruning_effective(lcp, symmetry)
     if pruning and account is None:
         from ..symmetry.prune import SymmetryAccount  # noqa: PLC0415
@@ -98,6 +111,8 @@ def labeled_yes_instances(
         account = SymmetryAccount()
     include_ids = not lcp.anonymous
     for graph in graphs:
+        if predicate is not None and not predicate(graph):
+            continue
         if not lcp.is_yes_instance(graph):
             continue
         node_order = node_sort_order(graph)
@@ -154,6 +169,8 @@ def labeled_yes_instances(
                     yield base.with_labeling(labeling)
                 if include_all_accepted_labelings:
                     alphabet = lcp.certificate_alphabet(graph)
+                    if alphabet is not None and alphabet_limit is not None:
+                        alphabet = alphabet[:alphabet_limit]
                     effective_limit = labeling_limit
                     if (
                         alphabet is not None
@@ -207,6 +224,8 @@ def yes_instances_up_to(
     kernel: str | None = None,
     kernel_labeling_limit: int | None = None,
     stats=None,
+    family: str = "all",
+    alphabet_limit: int | None = None,
 ) -> Iterator[Instance]:
     """The Lemma 3.1 sweep: labeled yes-instances on at most *n* nodes.
 
@@ -229,6 +248,8 @@ def yes_instances_up_to(
         kernel=kernel,
         kernel_labeling_limit=kernel_labeling_limit,
         stats=stats,
+        family=family,
+        alphabet_limit=alphabet_limit,
     )
 
 
@@ -245,6 +266,8 @@ def yes_instances_between(
     kernel: str | None = None,
     kernel_labeling_limit: int | None = None,
     stats=None,
+    family: str = "all",
+    alphabet_limit: int | None = None,
 ) -> Iterator[Instance]:
     """The suffix of the Lemma 3.1 sweep: sizes ``lo+1 .. hi`` only.
 
@@ -273,4 +296,6 @@ def yes_instances_between(
         kernel=kernel,
         kernel_labeling_limit=kernel_labeling_limit,
         stats=stats,
+        family=family,
+        alphabet_limit=alphabet_limit,
     )

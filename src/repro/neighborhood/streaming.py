@@ -126,12 +126,20 @@ class StreamingHidingEngine(GraphConsumer):
         return tuple(self.ngraph.views[i] for i in self.witness_indices)
 
     def proper_coloring(self) -> dict[int, int] | None:
-        """The maintained coloring, or ``None`` once a witness exists."""
+        """The canonical coloring, or ``None`` once a witness exists.
+
+        For ``k != 2`` the incrementally maintained DSATUR coloring is a
+        fail-fast detector, not a canonical witness (its colors depend
+        on edge arrival order), so the emitted coloring is re-derived by
+        the same exact procedure the materialized path uses — the
+        backend-equivalence contract pins the witness bytes, not just
+        the verdict.
+        """
         if self.witness_found:
             return None
         if self.forest is not None:
             return self.forest.two_coloring()
-        return dict(self.coloring.color)
+        return self.ngraph.proper_coloring(self.k)
 
     def verdict(self, exhaustive: bool = True) -> HidingVerdict:
         if self.witness_found:

@@ -1,0 +1,383 @@
+"""Campaign layer: spec expansion, the driver, cache identity, and the
+frontier report.
+
+The load-bearing properties:
+
+* a **default cell** (native ``k``/``r``, full family, full alphabet)
+  answers with the byte-identical decision fingerprint of a direct
+  ``decide_hiding`` call, and its disk key digests to the exact
+  pre-campaign content address (existing ``.repro_cache/`` entries keep
+  serving);
+* cell verdicts round-trip both ``VerdictStore`` tiers, including cells
+  off the native parameters;
+* the frontier report locates real verdict flips, survives a
+  write/load round-trip, and satisfies its own validator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    Cell,
+    FrontierReport,
+    build_frontier_report,
+    run_campaign,
+    validate_frontier_report,
+)
+from repro.campaign.frontier import find_flips
+from repro.core.registry import make_lcp
+from repro.engine import (
+    ExecutionPlan,
+    RunContext,
+    clear_engine_state,
+    decide_hiding,
+)
+from repro.engine.backends import ENGINE_VERSION, disk_key
+from repro.engine.stores import DiskVerdictStore, MemoryVerdictStore
+from repro.perf import overridden
+from repro.perf.persist import digest_for
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_state():
+    clear_engine_state()
+    yield
+    clear_engine_state()
+
+
+NO_CACHE = ExecutionPlan(disk_cache=False)
+
+
+# ----------------------------------------------------------------------
+# Spec expansion
+# ----------------------------------------------------------------------
+
+
+def test_cells_resolve_native_parameters_and_dedupe():
+    """``None`` k/r resolve at expansion; the explicit native value next
+    to ``None`` collapses to one cell."""
+    native = make_lcp("degree-one")
+    spec = CampaignSpec.sweep(
+        ("degree-one",), n_max=4, n_min=3, k_values=(None, native.k, 3)
+    )
+    cells = list(spec.cells())
+    assert all(cell.k in (native.k, 3) for cell in cells)
+    assert all(cell.r == native.radius for cell in cells)
+    assert len(cells) == len({cell.key() for cell in cells})
+    assert len(cells) == 4  # 2 n-values x 2 distinct k-values
+
+
+def test_cells_order_n_innermost_ascending():
+    """The stream order keeps ``n`` innermost and ascending so one sweep
+    family's cells warm-start each other."""
+    spec = CampaignSpec.sweep(
+        ("degree-one", "even-cycle"), n_max=5, n_min=3, k_values=(2, 3)
+    )
+    cells = list(spec.cells())
+    for before, after in zip(cells, cells[1:]):
+        if before.key()[:-4] == after.key()[:-4] and before.k == after.k:
+            assert after.n > before.n
+    # scheme is the outermost axis
+    schemes = [cell.scheme for cell in cells]
+    assert schemes == sorted(schemes, key=("degree-one", "even-cycle").index)
+
+
+def test_invalid_specs_are_rejected():
+    assert CampaignSpec(schemes=(), n_values=(3,)).validate()
+    assert CampaignSpec(schemes=("no-such-scheme",), n_values=(3,)).validate()
+    assert CampaignSpec(
+        schemes=("degree-one",), n_values=(3,), families=("no-such-family",)
+    ).validate()
+    assert CampaignSpec(schemes=("degree-one",), n_values=(0,)).validate()
+    assert CampaignSpec(schemes=("degree-one",), n_values=(3,), k_values=(0,)).validate()
+    with pytest.raises(ValueError, match="invalid campaign spec"):
+        list(CampaignSpec(schemes=(), n_values=()).cells())
+    assert not CampaignSpec.sweep(("degree-one",), n_max=4).validate()
+
+
+# ----------------------------------------------------------------------
+# Default cells reproduce the seed decisions byte-for-byte
+# ----------------------------------------------------------------------
+
+
+def test_default_cells_reproduce_direct_decisions():
+    """Every native-parameter cell answers with the byte-identical
+    fingerprint of a plain ``decide_hiding`` call — the campaign layer
+    adds no decision semantics of its own."""
+    spec = CampaignSpec.sweep(
+        ("degree-one", "even-cycle"), n_max=5, n_min=3, plan=NO_CACHE
+    )
+    for cell in spec.cells():
+        assert cell.k == make_lcp(cell.scheme).k
+        clear_engine_state()
+        direct = decide_hiding(
+            make_lcp(cell.scheme), cell.n, NO_CACHE, ctx=RunContext.isolated()
+        )
+        clear_engine_state()
+        via_cell = decide_hiding(
+            make_lcp(cell.scheme),
+            cell.n,
+            cell.plan(NO_CACHE.resolve()),
+            k=cell.k,
+            r=cell.r,
+            ctx=RunContext.isolated(),
+        )
+        assert (
+            via_cell.decision_fingerprint() == direct.decision_fingerprint()
+        ), cell.label()
+
+
+# ----------------------------------------------------------------------
+# Cache identity
+# ----------------------------------------------------------------------
+
+
+def test_default_cell_disk_key_is_the_precampaign_address():
+    """The frozen pre-campaign key layout, written out literally: a
+    default cell's disk key must digest to this exact content address,
+    so every ``.repro_cache/`` entry from before the campaign layer
+    still resolves."""
+    lcp = make_lcp("degree-one")
+    plan = ExecutionPlan().resolve()
+    precampaign_key = {
+        "engine_version": ENGINE_VERSION,
+        "lcp_type": type(lcp).__name__,
+        "lcp_name": lcp.name,
+        "decoder": lcp.decoder.name,
+        "k": lcp.k,
+        "radius": lcp.radius,
+        "anonymous": lcp.anonymous,
+        "n": 4,
+        "port_limit": plan.port_limit,
+        "id_order_types": plan.id_order_types,
+        "include_all_accepted_labelings": plan.include_all_accepted_labelings,
+        "labeling_limit": plan.labeling_limit,
+        "early_exit": plan.early_exit,
+    }
+    if plan.backend != "streaming":
+        precampaign_key["backend"] = plan.backend
+    # Orbit pruning is effective for the anonymous degree-one scheme
+    # under the default config, and was already part of the pre-campaign
+    # layout when effective.
+    precampaign_key["symmetry"] = "on"
+    cell = Cell(scheme="degree-one", family="all", n=4, k=lcp.k, r=lcp.radius)
+    cell_key = disk_key(cell.lcp(), cell.n, cell.plan(plan))
+    assert cell_key == precampaign_key
+    assert digest_for(cell_key) == digest_for(precampaign_key)
+
+
+def test_off_default_cells_get_distinct_addresses():
+    """Off-native k and non-default family/alphabet axes each move the
+    content address — a campaign can never poison a default entry."""
+    lcp = make_lcp("degree-one")
+    plan = ExecutionPlan().resolve()
+    default = Cell(scheme="degree-one", family="all", n=4, k=lcp.k, r=lcp.radius)
+    digests = {
+        digest_for(disk_key(cell.lcp(), cell.n, cell.plan(plan)))
+        for cell in (
+            default,
+            dataclasses.replace(default, k=3),
+            dataclasses.replace(default, family="even-cycles"),
+            dataclasses.replace(default, alphabet_limit=2),
+        )
+    }
+    assert len(digests) == 4
+    # and the non-default axes appear in the readable key only when set
+    base_key = disk_key(lcp, 4, plan)
+    assert "graph_family" not in base_key
+    assert "alphabet_limit" not in base_key
+    family_cell = dataclasses.replace(default, family="even-cycles")
+    family_key = disk_key(family_cell.lcp(), 4, family_cell.plan(plan))
+    assert family_key["graph_family"] == "even-cycles"
+
+
+def test_precampaign_disk_entries_still_resolve(tmp_path):
+    """An entry persisted under the pre-campaign address is served to a
+    default campaign cell: write through a plain plan, read through the
+    cell-scoped plan."""
+    with overridden(disk_cache_dir=str(tmp_path)):
+        plan = ExecutionPlan(
+            backend="streaming", warm_start=False, memory_cache=False, disk_cache=True
+        )
+        first = decide_hiding(
+            make_lcp("degree-one"), 4, plan, ctx=RunContext.isolated()
+        )
+        assert first.provenance.disk_cache_hit is False
+        lcp = make_lcp("degree-one")
+        cell = Cell(scheme="degree-one", family="all", n=4, k=lcp.k, r=lcp.radius)
+        clear_engine_state()
+        second = decide_hiding(
+            make_lcp(cell.scheme),
+            cell.n,
+            cell.plan(plan.resolve()),
+            k=cell.k,
+            r=cell.r,
+            ctx=RunContext.isolated(),
+        )
+    assert second.provenance.disk_cache_hit is True
+    assert second.decision_fingerprint() == first.decision_fingerprint()
+
+
+# ----------------------------------------------------------------------
+# VerdictStore round-trips
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [
+        Cell(scheme="degree-one", family="all", n=4, k=2, r=1),
+        Cell(scheme="degree-one", family="all", n=4, k=3, r=1),
+        Cell(scheme="even-cycle", family="even-cycles", n=4, k=2, r=1),
+    ],
+    ids=lambda cell: cell.label(),
+)
+def test_cell_verdicts_round_trip_both_store_tiers(cell, tmp_path):
+    """A cell's verdict survives both tiers: the memory store returns
+    the same envelope, the disk store reconstructs one with the same
+    decision fingerprint under the cell's own key."""
+    plan = cell.plan(ExecutionPlan(backend="streaming", disk_cache=False).resolve())
+    verdict = decide_hiding(
+        make_lcp(cell.scheme), cell.n, plan, k=cell.k, r=cell.r,
+        ctx=RunContext.isolated(),
+    )
+    memory = MemoryVerdictStore()
+    assert memory.load(cell.key()) is None
+    memory.store(cell.key(), verdict)
+    assert memory.load(cell.key()) is verdict
+
+    disk = DiskVerdictStore()
+    key = disk_key(cell.lcp(), cell.n, plan)
+    with overridden(disk_cache_dir=str(tmp_path)):
+        assert disk.load(key) is None
+        assert disk.store(key, verdict)
+        restored = disk.load(key)
+    assert restored is not None
+    assert restored.hiding == verdict.hiding
+    assert restored.decision_fingerprint() == verdict.decision_fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def test_run_campaign_records_per_cell_provenance():
+    spec = CampaignSpec.sweep(("degree-one",), n_max=4, n_min=3, plan=NO_CACHE)
+    run = run_campaign(spec, ctx=RunContext.isolated())
+    assert len(run.results) == 2
+    assert not run.errors
+    for result in run.results:
+        assert result.hiding in (True, False)
+        assert result.colorable == (not result.hiding)
+        assert result.fingerprint
+        assert result.provenance["backend"] == run.plan.backend
+        assert result.provenance["views"] > 0
+        assert result.wall_time_s >= 0.0
+
+
+def test_run_campaign_survives_a_bad_cell(monkeypatch):
+    """One raising cell becomes an errored result; the sweep continues."""
+    import repro.campaign.driver as driver_mod
+
+    spec = CampaignSpec.sweep(("degree-one",), n_max=4, n_min=3, plan=NO_CACHE)
+    real = driver_mod.decide_hiding
+
+    def flaky(lcp, n, plan, **kwargs):
+        if n == 3:
+            raise RuntimeError("boom")
+        return real(lcp, n, plan, **kwargs)
+
+    monkeypatch.setattr(driver_mod, "decide_hiding", flaky)
+    run = run_campaign(spec, ctx=RunContext.isolated())
+    assert len(run.results) == 2
+    assert len(run.errors) == 1
+    assert run.errors[0].error == "RuntimeError: boom"
+    assert run.results[1].ok
+
+
+# ----------------------------------------------------------------------
+# Frontier report
+# ----------------------------------------------------------------------
+
+
+def _even_cycle_run():
+    spec = CampaignSpec.sweep(
+        ("even-cycle",), n_max=6, n_min=3, k_values=(2, 3), plan=NO_CACHE
+    )
+    return run_campaign(spec, ctx=RunContext.isolated())
+
+
+def test_frontier_locates_the_even_cycle_flip():
+    """The acceptance campaign: even-cycle, n <= 6, k in {2, 3} — the
+    hiding verdict flips along n at 3 -> 4 for both k values."""
+    run = _even_cycle_run()
+    report = build_frontier_report(run)
+    assert validate_frontier_report(report.payload) == []
+    flips = report.payload["flips"]
+    assert len(flips) >= 1
+    n_flips = [flip for flip in flips if flip["axis"] == "n"]
+    assert {(flip["from"]["value"], flip["to"]["value"]) for flip in n_flips} == {
+        (3, 4)
+    }
+    for flip in n_flips:
+        assert flip["from"]["hiding"] is False
+        assert flip["to"]["hiding"] is True
+        assert flip["from"]["colorable"] is True
+
+
+def test_frontier_report_round_trips(tmp_path):
+    run = _even_cycle_run()
+    report = build_frontier_report(run)
+    canonical = report.write(directory=tmp_path)
+    assert canonical.name == f"{report.digest}.json"
+    loaded = FrontierReport.load(report.digest, directory=tmp_path)
+    assert loaded.payload == report.payload
+    assert loaded.digest == report.digest
+    assert validate_frontier_report(loaded.payload) == []
+    assert "frontier report" in loaded.render()
+
+
+def test_find_flips_skips_errored_and_undecided_cells():
+    run = _even_cycle_run()
+    flips_before = find_flips(run.results)
+    broken = tuple(
+        dataclasses.replace(result, hiding=None, colorable=None)
+        if result.cell.n == 4
+        else result
+        for result in run.results
+    )
+    # with n=4 undecided, adjacency is 3 -> 5 (both hiding=... flips remain
+    # only if the verdicts still differ across the gap)
+    for flip in find_flips(broken):
+        assert flip["from"]["value"] != 4
+        assert flip["to"]["value"] != 4
+    assert flips_before  # sanity: the unbroken run has flips
+
+
+def test_validator_flags_corrupt_payloads():
+    run = _even_cycle_run()
+    payload = build_frontier_report(run).payload
+    assert validate_frontier_report(payload) == []
+
+    bad = dict(payload, schema="bogus/v0")
+    assert any("schema" in error for error in validate_frontier_report(bad))
+
+    bad = {key: value for key, value in payload.items() if key != "summary"}
+    assert any("summary" in error for error in validate_frontier_report(bad))
+
+    bad = dict(payload, cells=[])
+    assert any("non-empty" in error for error in validate_frontier_report(bad))
+
+    cells = [dict(record) for record in payload["cells"]]
+    cells[0]["colorable"] = cells[0]["hiding"]
+    bad = dict(payload, cells=cells)
+    assert any("complement" in error for error in validate_frontier_report(bad))
+
+    summary = dict(payload["summary"], cells=999)
+    bad = dict(payload, summary=summary)
+    assert any("summary.cells" in error for error in validate_frontier_report(bad))

@@ -130,6 +130,50 @@ def test_every_plan_yields_the_identical_decision(scheme, tmp_path):
     )
 
 
+def test_every_campaign_cell_is_plan_equivalent(tmp_path):
+    """The campaign-layer acceptance criterion: every cell of a small
+    frontier campaign — including off-native ``k`` — answers with the
+    identical decision fingerprint across backends × cache tiers."""
+    from repro.campaign import CampaignSpec
+
+    spec = CampaignSpec.sweep(
+        ("degree-one", "even-cycle"), n_max=4, n_min=3, k_values=(2, 3)
+    )
+    for cell in spec.cells():
+        lcp = make_lcp(cell.scheme)
+        fingerprints = {}
+        for backend in _grid_backends():
+            tiers = [
+                ("nocache", False, False, None),
+                ("memory", True, False, None),
+                ("memory+disk", True, True, str(tmp_path / backend)),
+            ]
+            for tier, memory_cache, disk_cache, cache_dir in tiers:
+                label = f"{backend}-{tier}"
+                base = ExecutionPlan(
+                    backend=backend,
+                    warm_start=False,
+                    memory_cache=memory_cache,
+                    disk_cache=disk_cache,
+                )
+                clear_engine_state()
+                with overridden(disk_cache_dir=cache_dir):
+                    verdict = decide_hiding(
+                        lcp,
+                        cell.n,
+                        cell.plan(base),
+                        k=cell.k,
+                        r=cell.r,
+                        ctx=RunContext.isolated(),
+                    )
+                assert verdict.hiding in (True, False), (cell.label(), label)
+                fingerprints[label] = verdict.decision_fingerprint()
+        assert len(set(fingerprints.values())) == 1, (
+            f"{cell.label()}: plans disagree: "
+            f"{ {label: fp[:60] for label, fp in fingerprints.items()} }"
+        )
+
+
 @pytest.mark.parametrize("scheme", ["degree-one", "revealing", "even-cycle"])
 def test_plan_equivalence_at_n5_serial(scheme, tmp_path):
     lcp = make_lcp(scheme)
@@ -312,12 +356,23 @@ def test_materialized_disk_entries_do_not_collide_with_streaming(tmp_path):
     assert mat.decision_fingerprint() == stream.decision_fingerprint()
 
 
-def test_decide_hiding_k_guard():
+def test_decide_hiding_k_is_a_decision_input():
+    """``k`` re-parameterizes the scheme instead of raising: the native
+    value is a no-op, an off-native value changes the decided question
+    (and its fingerprint), and nonsense values still raise."""
     lcp = make_lcp("degree-one")
+    plan = ExecutionPlan(disk_cache=False)
+    native = decide_hiding(lcp, 3, plan, k=lcp.k)
+    assert native.k == lcp.k
+    off = decide_hiding(lcp, 4, plan, k=lcp.k + 1)
+    assert off.k == lcp.k + 1
+    assert off.decision_fingerprint() != decide_hiding(
+        lcp, 4, plan
+    ).decision_fingerprint()
     with pytest.raises(ValueError):
-        decide_hiding(lcp, 3, k=lcp.k + 1)
-    ok = decide_hiding(lcp, 3, ExecutionPlan(disk_cache=False), k=lcp.k)
-    assert ok.k == lcp.k
+        decide_hiding(lcp, 3, plan, k=0)
+    with pytest.raises(ValueError):
+        decide_hiding(lcp, 3, plan, r=0)
 
 
 def test_unknown_backend_is_rejected():
