@@ -116,7 +116,7 @@ from repro.kernel import clear_kernel_tables, kernel_available, numpy_version
 from repro.neighborhood import build_neighborhood_graph, labeled_yes_instances
 from repro.neighborhood.aviews import yes_instances_up_to
 from repro.neighborhood.hiding import hiding_verdict_from_instances
-from repro.obs import RunReport, Tracer, validate_report
+from repro.obs import RunReport, Tracer, sentinel, validate_report
 from repro.perf import GLOBAL_STATS, PerfStats, clear_shared_caches, overridden
 from repro.perf.parallel import build_neighborhood_graph_parallel
 from repro.symmetry import (
@@ -1524,6 +1524,17 @@ def main() -> int:
         "generation": generation,
         "frontier": frontier,
     }
+    # Regression sentinel: judge this run's rows against the recorded
+    # trajectory and embed the machine-readable verdict block before the
+    # payload hits disk; the rows themselves are appended to the history
+    # only after both payloads are judged (a run never competes with
+    # itself as baseline).
+    history = sentinel.load_history()
+    sentinel_rows = sentinel.extract_rows(payload)
+    payload["sentinel"] = sentinel.verdict_block(sentinel_rows, history)
+    print(
+        sentinel.render_verdicts(payload["sentinel"]["verdicts"]), file=sys.stderr
+    )
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(payload, indent=2))
     print(f"written to {target}", file=sys.stderr)
@@ -1551,11 +1562,19 @@ def main() -> int:
         ),
         "rows": hiding_rows,
     }
+    hiding_sentinel_rows = sentinel.extract_rows(hiding_payload)
+    hiding_payload["sentinel"] = sentinel.verdict_block(hiding_sentinel_rows, history)
+    print(
+        sentinel.render_verdicts(hiding_payload["sentinel"]["verdicts"]),
+        file=sys.stderr,
+    )
     Path(args.hiding_output).write_text(
         json.dumps(hiding_payload, indent=2) + "\n", encoding="utf-8"
     )
     print(json.dumps(hiding_payload, indent=2))
     print(f"written to {args.hiding_output}", file=sys.stderr)
+    history_file = sentinel.append_history(sentinel_rows + hiding_sentinel_rows)
+    print(f"timing history appended to {history_file}", file=sys.stderr)
     return 0 if payload["parity_ok"] and hiding_payload["parity_ok"] else 1
 
 

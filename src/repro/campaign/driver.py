@@ -56,7 +56,9 @@ class CellResult:
     ``fingerprint`` digests the verdict's
     :meth:`~repro.engine.verdict.Verdict.decision_fingerprint`, the
     byte-level identity the plan-equivalence suite pins across backends
-    and cache tiers.
+    and cache tiers.  ``trace_id`` is promoted out of the provenance
+    dict so frontier rows join directly against span exports and run
+    reports (``None`` for untraced or errored cells).
     """
 
     cell: Cell
@@ -66,6 +68,7 @@ class CellResult:
     provenance: dict | None = None
     wall_time_s: float = 0.0
     error: str | None = None
+    trace_id: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +83,7 @@ class CellResult:
             "provenance": self.provenance,
             "wall_time_s": self.wall_time_s,
             "error": self.error,
+            "trace_id": self.trace_id,
         }
 
 
@@ -122,16 +126,42 @@ def run_campaign(
     base = spec.plan.resolve(ctx.config)
     results = []
     start = time.perf_counter()
+    # The cell stream is deterministic and cheap to expand; materialize
+    # it so the bus can announce the total count (the ETA denominator).
+    cells = list(spec.cells())
+    bus = ctx.progress
+    bus.emit(
+        "campaign_started",
+        total_cells=len(cells),
+        schemes=list(spec.schemes),
+        trace_id=ctx.tracer.trace_id if ctx.tracer.active else None,
+    )
     with ctx.tracer.span("campaign", schemes=",".join(spec.schemes)) as root:
-        for cell in spec.cells():
+        for cell in cells:
+            bus.emit("cell_started", label=cell.label(), cell=cell.axes())
             result = _run_cell(cell, base, ctx)
             results.append(result)
+            bus.emit(
+                "cell_finished",
+                label=cell.label(),
+                cell=cell.axes(),
+                hiding=result.hiding,
+                error=result.error,
+                wall_time_s=result.wall_time_s,
+                trace_id=result.trace_id,
+            )
             if progress is not None:
                 progress(result)
         root.set_attributes(
             cells=len(results), errors=sum(1 for r in results if not r.ok)
         )
     elapsed = time.perf_counter() - start
+    bus.emit(
+        "campaign_finished",
+        cells=len(results),
+        errors=sum(1 for r in results if not r.ok),
+        wall_time_s=elapsed,
+    )
     log.info(
         "campaign finished: %d cells in %.2fs (%d errors)",
         len(results),
@@ -171,4 +201,5 @@ def _run_cell(cell: Cell, base: ExecutionPlan, ctx: RunContext) -> CellResult:
         provenance={name: provenance[name] for name in _PROVENANCE_FIELDS},
         wall_time_s=time.perf_counter() - start,
         error=None,
+        trace_id=provenance.get("trace_id"),
     )

@@ -263,7 +263,9 @@ def validate_frontier_report(payload: dict) -> list[str]:
         if not isinstance(record, dict):
             errors.append(f"cells[{i}] is not an object")
             continue
-        for key in ("cell", "hiding", "colorable", "fingerprint", "error"):
+        # ``trace_id`` is required as a key (joinability contract) but
+        # may be null — untraced campaigns have nothing to join.
+        for key in ("cell", "hiding", "colorable", "fingerprint", "error", "trace_id"):
             if key not in record:
                 errors.append(f"cells[{i}] missing {key!r}")
         axes = record.get("cell")

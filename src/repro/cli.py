@@ -19,14 +19,24 @@ Subcommands
     Decide hiding via the streaming early-exit engine (or
     ``--materialized`` for the classic full-build pipeline).  The scheme
     may equivalently be given as ``--scheme``; ``--trace`` prints the
-    run's span tree and ``--trace-out FILE`` writes a full run report.
+    run's span tree, ``--trace-out FILE`` writes a full run report, and
+    ``--profile`` prints the span self-time table plus a
+    flamegraph-compatible folded-stack file.
 ``repro frontier run|show ...``
     Sweep a campaign over the (scheme, family, n, k, r, alphabet)
     parameter space and report where the hiding verdict flips; ``show``
-    validates and renders a stored frontier report.
-``repro report show|diff|validate ...``
+    validates and renders a stored frontier report.  On a terminal the
+    sweep shows a live single-line progress display with rate and ETA
+    (disable with ``REPRO_NO_PROGRESS=1``); ``--events-out FILE``
+    captures the raw progress event stream as JSONL.
+``repro report show|diff|validate|list|profile ...``
     Inspect, compare, or schema-check run reports under ``.repro_runs/``
-    (``validate`` accepts frontier reports too, dispatching on schema).
+    (``validate`` accepts frontier reports too, dispatching on schema);
+    ``list`` enumerates stored reports newest first, ``profile`` renders
+    the span self-time breakdown of one report.
+``repro bench check ...``
+    Compare fresh ``BENCH_*.json`` rows against the recorded timing
+    history and exit nonzero on confirmed regressions.
 ``repro cache stats|clear``
     Inspect or empty the persistent sweep cache under ``.repro_cache/``.
 
@@ -152,6 +162,38 @@ def cmd_certify(args: argparse.Namespace) -> int:
     return 0 if result.unanimous else 1
 
 
+def _attach_progress(*buses, events_out: str | None = None):
+    """Wire the stock progress subscribers to *buses* (plus the global
+    bus, where the orderly generator announces — deduplicated when a
+    context already uses it).  The TTY renderer attaches only on a
+    terminal with ``REPRO_NO_PROGRESS`` unset; the JSONL sink only when
+    *events_out* is given.  Returns a detach callable (idempotent
+    cleanup for a ``finally`` block)."""
+    from .obs import GLOBAL_PROGRESS, JSONLSink, TTYRenderer, progress_enabled  # noqa: PLC0415
+
+    targets = list(dict.fromkeys((*buses, GLOBAL_PROGRESS)))
+    renderer = TTYRenderer() if progress_enabled() else None
+    sink = JSONLSink(events_out) if events_out is not None else None
+    for bus in targets:
+        if renderer is not None:
+            bus.subscribe(renderer)
+        if sink is not None:
+            bus.subscribe(sink)
+
+    def detach() -> None:
+        for bus in targets:
+            if renderer is not None:
+                bus.unsubscribe(renderer)
+            if sink is not None:
+                bus.unsubscribe(sink)
+        if renderer is not None:
+            renderer.close()
+        if sink is not None:
+            sink.close()
+
+    return detach
+
+
 def _resolve_hiding_scheme(args: argparse.Namespace) -> str:
     """The scheme from the positional or the ``--scheme`` option (they
     are aliases; giving both only works when they agree)."""
@@ -175,7 +217,7 @@ def cmd_hiding(args: argparse.Namespace) -> int:
 
     scheme = _resolve_hiding_scheme(args)
     lcp = make_lcp(scheme)
-    traced = args.trace or args.trace_out is not None
+    traced = args.trace or args.trace_out is not None or args.profile
     if traced:
         from .obs import RunReport, Tracer, render_span_tree  # noqa: PLC0415
 
@@ -185,6 +227,7 @@ def cmd_hiding(args: argparse.Namespace) -> int:
     else:
         stats = PerfStats() if args.perf_stats else GLOBAL_STATS
         ctx = RunContext(stats=stats)
+    detach_progress = _attach_progress(ctx.progress)
     materialized_route = (
         args.backend == "materialized" if args.backend is not None
         else args.materialized
@@ -193,22 +236,25 @@ def cmd_hiding(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"repro hiding: --backend {args.backend} conflicts with --materialized"
         )
-    with CONFIG.overridden(
-        disk_cache_dir=args.cache_dir,
-        # The default route is the auto rule: streaming, upgraded to the
-        # vectorized kernel backend when numpy is importable.
-        streaming=not materialized_route,
-    ):
-        # The routing decision (flags -> backend/caches) is the engine's
-        # plan resolver; the CLI only translates its vocabulary.
-        disk_cache = False if materialized_route else not args.no_disk_cache
-        plan = resolve_plan(
-            backend=args.backend if args.backend is not None else "auto",
-            workers=args.workers,
-            disk_cache=disk_cache,
-            symmetry=args.symmetry,
-        )
-        verdict = decide_hiding(lcp, args.n, plan, ctx=ctx)
+    try:
+        with CONFIG.overridden(
+            disk_cache_dir=args.cache_dir,
+            # The default route is the auto rule: streaming, upgraded to the
+            # vectorized kernel backend when numpy is importable.
+            streaming=not materialized_route,
+        ):
+            # The routing decision (flags -> backend/caches) is the engine's
+            # plan resolver; the CLI only translates its vocabulary.
+            disk_cache = False if materialized_route else not args.no_disk_cache
+            plan = resolve_plan(
+                backend=args.backend if args.backend is not None else "auto",
+                workers=args.workers,
+                disk_cache=disk_cache,
+                symmetry=args.symmetry,
+            )
+            verdict = decide_hiding(lcp, args.n, plan, ctx=ctx)
+    finally:
+        detach_progress()
     g = verdict.ngraph
     print(f"scheme:    {lcp.name}  ({PAPER_REFERENCES[scheme]})")
     print(f"plan:      {plan.describe()}")
@@ -236,6 +282,18 @@ def cmd_hiding(args: argparse.Namespace) -> int:
             print(render_span_tree(tracer.finished_spans()))
         coverage = report.payload["span_coverage"]
         print(f"report:    {canonical}  (span coverage {coverage:.1%})")
+        if args.profile:
+            from .obs import render_profile, write_folded  # noqa: PLC0415
+
+            spans = tracer.finished_spans()
+            print()
+            print(render_profile(spans, wall_time_s=verdict.provenance.wall_time_s))
+            folded = (
+                args.folded_out
+                if args.folded_out is not None
+                else canonical.with_suffix(".folded")
+            )
+            print(f"folded:    {write_folded(spans, folded)}")
     if args.perf_stats:
         print()
         print(stats.render())
@@ -295,7 +353,18 @@ def cmd_frontier_run(args: argparse.Namespace) -> int:
             )
             print(f"  {result.cell.label()}: {verdict}", file=sys.stderr)
 
-        run = run_campaign(spec, progress=progress if not args.quiet else None)
+        from .obs import progress_enabled  # noqa: PLC0415
+
+        # On a terminal the live single-line renderer supersedes the
+        # per-cell scroll; off-terminal (CI logs) the scroll remains.
+        live = progress_enabled()
+        detach_progress = _attach_progress(events_out=args.events_out)
+        try:
+            run = run_campaign(
+                spec, progress=progress if not (args.quiet or live) else None
+            )
+        finally:
+            detach_progress()
     report = build_frontier_report(run)
     canonical = report.write(path=args.out)
     print(report.render())
@@ -316,9 +385,78 @@ def cmd_frontier_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_age(seconds: float) -> str:
+    """Coarse human age for the report listing."""
+    if seconds < 90:
+        return f"{int(seconds)}s"
+    if seconds < 90 * 60:
+        return f"{int(seconds / 60)}m"
+    if seconds < 36 * 3600:
+        return f"{int(seconds / 3600)}h"
+    return f"{int(seconds / 86400)}d"
+
+
+def _report_list(args: argparse.Namespace) -> int:
+    import json  # noqa: PLC0415
+    import time  # noqa: PLC0415
+    from pathlib import Path  # noqa: PLC0415
+
+    from .obs.report import runs_dir  # noqa: PLC0415
+
+    root = Path(args.runs_dir) if args.runs_dir is not None else runs_dir()
+    if not root.is_dir():
+        print(f"no reports ({root} does not exist)")
+        return 0
+    entries = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if not isinstance(payload, dict) or "schema" not in payload:
+            continue
+        decision = payload.get("decision") or {}
+        created = payload.get("created")
+        if not isinstance(created, (int, float)):
+            created = path.stat().st_mtime
+        scheme = payload.get("scheme")
+        n = payload.get("n")
+        subject = f"{scheme} n<={n}" if scheme else "-"
+        entries.append(
+            {
+                "digest": path.stem,
+                "schema": payload.get("schema"),
+                "created": created,
+                "subject": subject,
+                "fingerprint": decision.get("fingerprint") or "-",
+            }
+        )
+    if not entries:
+        print(f"no reports under {root}")
+        return 0
+    entries.sort(key=lambda entry: entry["created"], reverse=True)
+    now = time.time()
+    rows = [
+        [
+            entry["digest"],
+            entry["schema"],
+            _format_age(max(0.0, now - entry["created"])),
+            entry["subject"],
+            entry["fingerprint"][:16],
+        ]
+        for entry in entries
+    ]
+    print(format_table(["digest", "schema", "age", "subject", "decision fp"], rows))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .obs.report import RunReport, diff_reports, render_diff, validate_report  # noqa: PLC0415
 
+    if args.action == "list":
+        if args.refs:
+            raise SystemExit("repro report list: takes no report references")
+        return _report_list(args)
     if args.action == "diff":
         if len(args.refs) != 2:
             raise SystemExit("repro report diff: exactly two reports required")
@@ -330,6 +468,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     if len(args.refs) != 1:
         raise SystemExit(f"repro report {args.action}: exactly one report required")
     report = RunReport.load(args.refs[0], directory=args.runs_dir)
+    if args.action == "profile":
+        from .obs import render_profile, write_folded  # noqa: PLC0415
+
+        spans = report.payload.get("spans") or []
+        provenance = report.payload.get("provenance") or {}
+        wall = provenance.get("wall_time_s")
+        if not wall:
+            wall = report.payload.get("wall_time_s")
+        print(render_profile(spans, wall_time_s=wall))
+        if args.folded_out is not None:
+            print(f"folded: {write_folded(spans, args.folded_out)}")
+        return 0
     if args.action == "validate":
         # Dispatch on the declared schema: frontier reports live in the
         # same runs directory and validate against their own gate.
@@ -376,6 +526,46 @@ def cmd_cache(args: argparse.Namespace) -> int:
             f"v{entry.get('version')}"
         )
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json  # noqa: PLC0415
+    from pathlib import Path  # noqa: PLC0415
+
+    from .obs import sentinel  # noqa: PLC0415
+
+    paths = args.payloads or [
+        name
+        for name in ("BENCH_neighborhood.json", "BENCH_hiding.json")
+        if Path(name).is_file()
+    ]
+    if not paths:
+        raise SystemExit(
+            "repro bench check: no BENCH_*.json payloads found (pass paths "
+            "explicitly or run benchmarks/run_benchmarks.py first)"
+        )
+    fresh = []
+    for path in paths:
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            raise SystemExit(f"repro bench check: cannot read {path}: {exc}")
+        fresh.extend(sentinel.extract_rows(payload))
+    history = sentinel.load_history(args.history)
+    verdicts = sentinel.check_regressions(
+        fresh, history, threshold=args.threshold, min_samples=args.min_samples
+    )
+    print(sentinel.render_verdicts(verdicts, verbose=args.verbose))
+    regressions = sum(1 for v in verdicts if v["status"] == "regression")
+    if not regressions:
+        return 0
+    if args.advisory:
+        print(
+            f"advisory mode: {regressions} regression(s) reported, not failing",
+            file=sys.stderr,
+        )
+        return 0
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -516,6 +706,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run report to FILE (the content-addressed copy "
         "under .repro_runs/ is always written for traced runs)",
     )
+    hiding_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the decision and print the span self-time table, "
+        "plus a flamegraph-compatible folded-stack file next to the "
+        "run report",
+    )
+    hiding_parser.add_argument(
+        "--folded-out",
+        default=None,
+        metavar="FILE",
+        help="with --profile: folded-stack output path (default: the "
+        "run report path with a .folded suffix)",
+    )
     hiding_parser.set_defaults(fn=cmd_hiding)
 
     frontier_parser = sub.add_parser(
@@ -595,6 +799,14 @@ def build_parser() -> argparse.ArgumentParser:
     fr_run.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
     )
+    fr_run.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="append the raw progress event stream (campaign_started, "
+        "cell_started/finished, instances_scanned deltas) as JSONL, "
+        "joinable with traces via trace_id",
+    )
     fr_run.set_defaults(fn=cmd_frontier_run)
     fr_show = frontier_sub.add_parser(
         "show", help="validate and render a frontier report"
@@ -608,11 +820,13 @@ def build_parser() -> argparse.ArgumentParser:
     fr_show.set_defaults(fn=cmd_frontier_show)
 
     report_parser = sub.add_parser(
-        "report", help="inspect, diff, or validate run reports"
+        "report", help="inspect, diff, validate, list, or profile run reports"
     )
-    report_parser.add_argument("action", choices=["show", "diff", "validate"])
     report_parser.add_argument(
-        "refs", nargs="+", help="report path(s) or digest(s) under the runs dir"
+        "action", choices=["show", "diff", "validate", "list", "profile"]
+    )
+    report_parser.add_argument(
+        "refs", nargs="*", help="report path(s) or digest(s) under the runs dir"
     )
     report_parser.add_argument(
         "--runs-dir",
@@ -621,7 +835,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs directory for digest lookups (default: $REPRO_RUNS_DIR "
         "or ./.repro_runs)",
     )
+    report_parser.add_argument(
+        "--folded-out",
+        default=None,
+        metavar="FILE",
+        help="with profile: also write the flamegraph-compatible "
+        "folded-stack export to FILE",
+    )
     report_parser.set_defaults(fn=cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark trajectory tools (regression sentinel)"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="action", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="compare fresh BENCH_*.json rows against the recorded timing "
+        "history; exits nonzero on confirmed regressions",
+    )
+    bench_check.add_argument(
+        "payloads",
+        nargs="*",
+        help="BENCH payload path(s) (default: BENCH_neighborhood.json and "
+        "BENCH_hiding.json when present)",
+    )
+    bench_check.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="history JSONL (default: <runs dir>/bench_history.jsonl)",
+    )
+    from .obs.sentinel import DEFAULT_MIN_SAMPLES, DEFAULT_THRESHOLD  # noqa: PLC0415
+
+    bench_check.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="X",
+        help="regression ratio vs the trailing median "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    bench_check.add_argument(
+        "--min-samples",
+        type=int,
+        default=DEFAULT_MIN_SAMPLES,
+        metavar="N",
+        help="prior samples a series needs before it can regress "
+        f"(default: {DEFAULT_MIN_SAMPLES})",
+    )
+    bench_check.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but exit 0 (history-seeding runs)",
+    )
+    bench_check.add_argument(
+        "--verbose", action="store_true", help="show healthy rows too"
+    )
+    bench_check.set_defaults(fn=cmd_bench)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the persistent sweep cache"

@@ -39,6 +39,7 @@ from ..neighborhood.aviews import (
 from ..neighborhood.hiding import HidingVerdict, classic_verdict
 from ..neighborhood.ngraph import build_neighborhood_graph_auto
 from ..obs.logs import get_logger
+from ..obs.progress import counting_instances
 from ..perf.config import CONFIG
 from ..perf.stats import GLOBAL_STATS
 from ..kernel import KERNEL_BATCH, kernel_available
@@ -198,6 +199,22 @@ def disk_key(lcp: LCP, n: int, plan: ExecutionPlan) -> dict:
     return key
 
 
+def _with_progress(instances, lcp: LCP, n: int, ctx: RunContext):
+    """Wrap an instance stream with ``instances_scanned`` progress
+    deltas — only when someone is listening, so an unobserved sweep
+    keeps the raw generator (and its exact early-exit behavior; the
+    wrapper yields the stream unchanged either way)."""
+    if not ctx.progress.active:
+        return instances
+    return counting_instances(
+        instances,
+        ctx.progress,
+        scheme=lcp.name,
+        n=n,
+        trace_id=ctx.tracer.trace_id if ctx.tracer.active else None,
+    )
+
+
 def _enumeration_bounds(plan: ExecutionPlan) -> dict:
     return {
         "port_limit": plan.port_limit,
@@ -334,12 +351,17 @@ class MaterializedBackend(Backend):
                     "symmetry:generate", n=n, mode=plan.symmetry
                 ) as gen:
                     gen.set_attributes(sizes_warmed=warm_graph_families(0, n))
-                instances = yes_instances_up_to(
+                instances = _with_progress(
+                    yes_instances_up_to(
+                        lcp,
+                        n,
+                        **_enumeration_bounds(plan),
+                        symmetry=plan.symmetry if pruned else "off",
+                        account=account,
+                    ),
                     lcp,
                     n,
-                    **_enumeration_bounds(plan),
-                    symmetry=plan.symmetry if pruned else "off",
-                    account=account,
+                    ctx,
                 )
                 # The parity detector rides along (k = 2, near-free union-find)
                 # so this backend reports the same canonical stream witness as
@@ -501,15 +523,20 @@ class StreamingBackend(Backend):
                             else warm_graph_families(state.n, n),
                             deferred=plan.early_exit,
                         )
-                    instances = yes_instances_between(
+                    instances = _with_progress(
+                        yes_instances_between(
+                            lcp,
+                            state.n,
+                            n,
+                            **_enumeration_bounds(plan),
+                            symmetry=symmetry,
+                            account=account,
+                            kernel=self.kernel,
+                            stats=ctx.stats,
+                        ),
                         lcp,
-                        state.n,
                         n,
-                        **_enumeration_bounds(plan),
-                        symmetry=symmetry,
-                        account=account,
-                        kernel=self.kernel,
-                        stats=ctx.stats,
+                        ctx,
                     )
                 else:
                     engine = StreamingHidingEngine(
@@ -528,14 +555,19 @@ class StreamingBackend(Backend):
                             else warm_graph_families(0, n),
                             deferred=plan.early_exit,
                         )
-                    instances = yes_instances_up_to(
+                    instances = _with_progress(
+                        yes_instances_up_to(
+                            lcp,
+                            n,
+                            **_enumeration_bounds(plan),
+                            symmetry=symmetry,
+                            account=account,
+                            kernel=self.kernel,
+                            stats=ctx.stats,
+                        ),
                         lcp,
                         n,
-                        **_enumeration_bounds(plan),
-                        symmetry=symmetry,
-                        account=account,
-                        kernel=self.kernel,
-                        stats=ctx.stats,
+                        ctx,
                     )
                 with self._kernel_span(ctx):
                     build_neighborhood_graph_auto(

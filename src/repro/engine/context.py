@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..obs.metrics import GLOBAL_METRICS, MetricsRegistry
+from ..obs.progress import GLOBAL_PROGRESS, ProgressBus
 from ..obs.trace import NULL_TRACER, Tracer
 from ..perf.config import CONFIG, PerfConfig
 from ..perf.stats import GLOBAL_STATS, PerfStats
@@ -58,6 +59,13 @@ class RunContext:
     * ``tracer`` — the :class:`~repro.obs.trace.Tracer` collecting the
       run's span tree; the default :data:`~repro.obs.trace.NULL_TRACER`
       records nothing at zero cost.
+    * ``progress`` — the :class:`~repro.obs.progress.ProgressBus` for
+      live telemetry events.  The default is the process-wide
+      :data:`~repro.obs.progress.GLOBAL_PROGRESS` bus, which with no
+      subscribers costs one truthiness test per emission — subscribe a
+      renderer or sink there to observe any default-context run.
+      Purely observational: nothing downstream of an event feeds back
+      into decisions or cache identities.
     * ``memory`` — per-backend memo tiers; ``None`` entries fall back to
       the shared process-wide stores.
     * ``disk`` — the persistent tier.
@@ -67,6 +75,7 @@ class RunContext:
     stats: PerfStats = field(default_factory=lambda: GLOBAL_STATS)
     metrics: MetricsRegistry = field(default_factory=lambda: GLOBAL_METRICS)
     tracer: Tracer = field(default=NULL_TRACER)
+    progress: ProgressBus = field(default_factory=lambda: GLOBAL_PROGRESS)
     memory: dict[str, MemoryVerdictStore] | None = None
     disk: VerdictStore = field(default_factory=lambda: _SHARED_DISK_STORE)
 
@@ -84,6 +93,7 @@ class RunContext:
             config=config if config is not None else CONFIG,
             stats=PerfStats().bind_metrics(metrics),
             metrics=metrics,
+            progress=ProgressBus(),
             memory={
                 "materialized": MemoryVerdictStore(hit_counter="sweep_memo_hits"),
                 "streaming": MemoryVerdictStore(hit_counter="stream_memo_hits"),

@@ -84,6 +84,15 @@ def decide_hiding(
         ctx = RunContext.default()
     tracer = ctx.tracer
     start = time.perf_counter()
+    ctx.progress.emit(
+        "decision_started",
+        label=f"{lcp.name} k={lcp.k} n<={n}",
+        scheme=lcp.name,
+        n=n,
+        k=lcp.k,
+        trace_id=tracer.trace_id if tracer.active else None,
+    )
+    verdict = None
     try:
         with tracer.span("decide_hiding", scheme=lcp.name, n=n, k=lcp.k) as root:
             with tracer.span("resolve-plan"):
@@ -92,11 +101,21 @@ def decide_hiding(
                 )
                 backend = get_backend(plan.backend)
             root.set_attribute("backend", plan.backend)
-            return _decide(lcp, n, plan, backend, ctx, root)
+            verdict = _decide(lcp, n, plan, backend, ctx, root)
+            return verdict
     finally:
+        elapsed = time.perf_counter() - start
         ctx.metrics.incr("decisions_total")
-        ctx.metrics.observe(
-            "decision_latency_seconds", time.perf_counter() - start
+        ctx.metrics.observe("decision_latency_seconds", elapsed)
+        ctx.progress.emit(
+            "decision_finished",
+            label=f"{lcp.name} k={lcp.k} n<={n}",
+            scheme=lcp.name,
+            n=n,
+            k=lcp.k,
+            hiding=verdict.hiding if verdict is not None else None,
+            wall_time_s=elapsed,
+            trace_id=tracer.trace_id if tracer.active else None,
         )
 
 

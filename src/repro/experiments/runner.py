@@ -26,6 +26,7 @@ from ..engine.plan import (
     BACKEND_MATERIALIZED,
     ExecutionPlan,
 )
+from ..obs.progress import GLOBAL_PROGRESS
 from ..obs.trace import NULL_TRACER, Tracer
 from ..perf import GLOBAL_STATS
 from ..perf.config import CONFIG
@@ -128,12 +129,24 @@ def run_all(
         with tracer.span("run-all", experiments=len(all_experiments())):
             for experiment in all_experiments():
                 start = time.perf_counter()
+                GLOBAL_PROGRESS.emit(
+                    "experiment_started",
+                    exp_id=experiment.exp_id,
+                    trace_id=tracer.trace_id if tracer.active else None,
+                )
                 with tracer.span(
                     "experiment", exp_id=experiment.exp_id
                 ) as span:
                     result = experiment.run()
                     span.set_attribute("ok", result.ok)
                 elapsed = time.perf_counter() - start
+                GLOBAL_PROGRESS.emit(
+                    "experiment_finished",
+                    exp_id=experiment.exp_id,
+                    ok=result.ok,
+                    wall_time_s=elapsed,
+                    trace_id=tracer.trace_id if tracer.active else None,
+                )
                 if verbose:
                     status = "OK" if result.ok else "MISMATCH"
                     print(

@@ -1,0 +1,173 @@
+"""Metrics exposition: a :class:`MetricsRegistry` as Prometheus text or
+flat JSON.
+
+The future service layer (ROADMAP: certification-as-a-service) scrapes
+whatever this module renders, so the formats are pinned here rather
+than improvised at an HTTP handler later:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): ``# TYPE`` headers, counters suffixed ``_total`` by
+  the caller's naming (names are passed through, only sanitized),
+  histograms as *cumulative* ``_bucket{le="..."}`` series closed by
+  ``le="+Inf"`` plus ``_sum``/``_count``.
+* :func:`parse_prometheus` — the minimal inverse, enough to round-trip
+  what :func:`to_prometheus` writes (the format-stability test in
+  ``tests/test_export.py`` pins render → parse → equality).
+* :func:`to_flat_json` — one flat ``{"metric_name": value}`` document
+  for dashboards that want JSON; histogram series flatten to
+  ``name_bucket_le_<bound>`` keys next to ``name_sum``/``name_count``.
+
+Stdlib-only, pure functions; nothing here mutates a registry.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import MetricsRegistry
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize *name* into a legal Prometheus metric name, prefixed."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _NAME_BAD_CHARS.sub("_", full)
+    if not _NAME_OK.match(full):
+        full = "_" + full
+    return full
+
+
+def _format_value(value: float | int) -> str:
+    """Canonical sample rendering: integers stay integral, floats use
+    repr (shortest round-trippable form)."""
+    if isinstance(value, bool):  # bools are ints; refuse the trap
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float | int) -> str:
+    return _format_value(float(bound))
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render *registry* in the Prometheus text exposition format.
+
+    Deterministic: metrics sort by exposed name within each kind, so the
+    output is diffable across runs (and byte-stable for the round-trip
+    test).  Gauges that were never set are skipped — Prometheus has no
+    notion of a null sample.
+    """
+    lines: list[str] = []
+    counters = sorted(
+        (metric_name(name, prefix), c.value) for name, c in registry.counters.items()
+    )
+    for name, value in counters:
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+    gauges = sorted(
+        (metric_name(name, prefix), g.value)
+        for name, g in registry.gauges.items()
+        if g.value is not None
+    )
+    for name, value in gauges:
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    histograms = sorted(
+        (metric_name(name, prefix), h) for name, h in registry.histograms.items()
+    )
+    for name, hist in histograms:
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{name}_sum {_format_value(hist.total)}")
+        lines.append(f"{name}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_flat_json(registry: MetricsRegistry, prefix: str = "repro") -> dict:
+    """One flat ``{exposed_name: value}`` document (JSON-serializable)."""
+    doc: dict[str, float | int] = {}
+    for name, counter in registry.counters.items():
+        doc[metric_name(name, prefix)] = counter.value
+    for name, gauge in registry.gauges.items():
+        if gauge.value is not None:
+            doc[metric_name(name, prefix)] = gauge.value
+    for name, hist in registry.histograms.items():
+        exposed = metric_name(name, prefix)
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.bucket_counts):
+            cumulative += count
+            doc[f"{exposed}_bucket_le_{_format_le(bound)}"] = cumulative
+        doc[f"{exposed}_bucket_le_Inf"] = hist.count
+        doc[f"{exposed}_sum"] = hist.total
+        doc[f"{exposed}_count"] = hist.count
+    return dict(sorted(doc.items()))
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def _parse_number(text: str) -> float | int:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse text-exposition output back into plain data.
+
+    Returns ``{"types": {name: kind}, "samples": [(name, labels, value)]}``
+    where ``labels`` is a (possibly empty) dict.  Covers exactly the
+    subset :func:`to_prometheus` emits — this is a format-stability
+    check, not a general Prometheus client.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float | int]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line {lineno}: {line!r}")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for pair in raw.split(","):
+                key, _, value = pair.partition("=")
+                labels[key.strip()] = value.strip().strip('"')
+        samples.append((match.group("name"), labels, _parse_number(match.group("value"))))
+    return {"types": types, "samples": samples}

@@ -1,0 +1,240 @@
+"""Benchmark-regression sentinel: the ``BENCH_*.json`` trajectory,
+finally read.
+
+Every benchmark run already writes timing rows; nothing compared them
+run-over-run, so a kernel or symmetry-layer slowdown would ship
+silently.  The sentinel closes that loop with three stdlib pieces:
+
+* **History** — an append-only JSONL file (default
+  ``.repro_runs/bench_history.jsonl``, honoring ``$REPRO_RUNS_DIR``),
+  one record per benchmark row per run, keyed by
+  ``(benchmark, section, regime, scheme, n, cpu_count)``.  ``cpu_count``
+  is part of the key because a 2-core CI runner and a 16-core laptop
+  are different machines, not a regression.
+* **Check** — :func:`check_regressions` compares fresh rows against the
+  *trailing median* of their key's history (robust to one-off noise
+  spikes in either direction) with a noise-aware threshold: a row is a
+  regression only when ``seconds_best`` exceeds ``threshold ×`` the
+  median (default 1.4, far above timer jitter) *and* the key has at
+  least *min_samples* prior samples — young keys report
+  ``insufficient_history`` (or ``new``), never failures.
+* **Verdict block** — :func:`verdict_block` is the machine-readable
+  summary ``benchmarks/run_benchmarks.py`` embeds into the BENCH
+  payloads; ``repro bench check`` renders it and exits nonzero on
+  confirmed regressions (advisory mode available for seeding CI).
+
+Timer discipline: the rows being judged were measured upstream with
+``perf_counter``; the only wall-clock here is the ``created`` metadata
+stamp on history records.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+
+from .report import runs_dir
+
+#: Schema tag for history records and verdict blocks.
+SENTINEL_SCHEMA = "repro.bench-sentinel/v1"
+
+#: Fresh-vs-trailing-median ratio above which a row is a regression.
+DEFAULT_THRESHOLD = 1.4
+
+#: Prior samples a key needs before a verdict can be "regression".
+DEFAULT_MIN_SAMPLES = 3
+
+#: Trailing-median window: only this many most-recent samples per key
+#: feed the baseline, so ancient (pre-optimization) history ages out.
+TRAILING_WINDOW = 9
+
+#: The identity of one timing series.
+KEY_FIELDS = ("benchmark", "section", "regime", "scheme", "n", "cpu_count")
+
+
+def history_path(path: str | Path | None = None) -> Path:
+    """The history file: *path* if given, else
+    ``<runs_dir>/bench_history.jsonl``."""
+    if path is not None:
+        return Path(path)
+    return runs_dir() / "bench_history.jsonl"
+
+
+def row_key(row: dict) -> tuple:
+    """The series key of one (history or fresh) row."""
+    return tuple(row.get(field) for field in KEY_FIELDS)
+
+
+def _section_rows(payload: dict) -> list[tuple[str, dict, int | None]]:
+    """``(section, row, cpu_count)`` triples from one BENCH payload:
+    the top-level ``rows`` list is section ``"main"``; every dict value
+    with its own ``rows`` list is a named section."""
+    cpu = payload.get("cpu_count")
+    out: list[tuple[str, dict, int | None]] = []
+    for row in payload.get("rows", []) or []:
+        out.append(("main", row, cpu))
+    for name, section in payload.items():
+        if isinstance(section, dict):
+            for row in section.get("rows", []) or []:
+                out.append((name, row, cpu))
+    return out
+
+
+def extract_rows(payload: dict, created: float | None = None) -> list[dict]:
+    """Flatten one BENCH payload into sentinel history rows.
+
+    Only timing rows participate (``seconds_best`` present); parity and
+    summary blocks stay out of the history.  *created* defaults to the
+    current wall clock — metadata only, never compared.
+    """
+    benchmark = payload.get("benchmark", "unknown")
+    created = created if created is not None else time.time()
+    rows = []
+    for section, row, cpu in _section_rows(payload):
+        seconds = row.get("seconds_best")
+        if not isinstance(seconds, (int, float)):
+            continue
+        rows.append(
+            {
+                "schema": SENTINEL_SCHEMA,
+                "created": created,
+                "benchmark": benchmark,
+                "section": section,
+                "regime": row.get("regime", ""),
+                "scheme": row.get("scheme", ""),
+                "n": row.get("n"),
+                "cpu_count": cpu,
+                "seconds_best": float(seconds),
+                "seconds_mean": row.get("seconds_mean"),
+            }
+        )
+    return rows
+
+
+def load_history(path: str | Path | None = None) -> list[dict]:
+    """History records in file (append) order; missing file is empty
+    history, malformed lines are skipped (the file is append-only and a
+    crashed run may leave a torn tail)."""
+    file = history_path(path)
+    if not file.exists():
+        return []
+    records = []
+    for line in file.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and "seconds_best" in record:
+            records.append(record)
+    return records
+
+
+def append_history(rows: list[dict], path: str | Path | None = None) -> Path:
+    """Append *rows* (one JSON line each); returns the file written."""
+    file = history_path(path)
+    file.parent.mkdir(parents=True, exist_ok=True)
+    with file.open("a", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return file
+
+
+def check_regressions(
+    fresh: list[dict],
+    history: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+) -> list[dict]:
+    """Judge every fresh row against its key's trailing history.
+
+    Returns one verdict per fresh row: the key fields plus
+    ``seconds_best``, ``baseline_median``, ``ratio``, ``samples`` and a
+    ``status`` in ``{"ok", "regression", "new", "insufficient_history"}``.
+    History order matters — the baseline is the median of the *last*
+    :data:`TRAILING_WINDOW` samples per key.
+    """
+    by_key: dict[tuple, list[float]] = {}
+    for record in history:
+        by_key.setdefault(row_key(record), []).append(record["seconds_best"])
+    verdicts = []
+    for row in fresh:
+        key = row_key(row)
+        samples = by_key.get(key, [])
+        verdict = {field: row.get(field) for field in KEY_FIELDS}
+        verdict["seconds_best"] = row["seconds_best"]
+        verdict["samples"] = len(samples)
+        if not samples:
+            verdict.update(status="new", baseline_median=None, ratio=None)
+        elif len(samples) < min_samples:
+            verdict.update(
+                status="insufficient_history", baseline_median=None, ratio=None
+            )
+        else:
+            baseline = median(samples[-TRAILING_WINDOW:])
+            ratio = row["seconds_best"] / baseline if baseline > 0 else float("inf")
+            verdict.update(
+                status="regression" if ratio > threshold else "ok",
+                baseline_median=round(baseline, 6),
+                ratio=round(ratio, 3),
+            )
+        verdicts.append(verdict)
+    return verdicts
+
+
+def verdict_block(
+    fresh: list[dict],
+    history: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+) -> dict:
+    """The machine-readable sentinel summary embedded in BENCH payloads."""
+    verdicts = check_regressions(
+        fresh, history, threshold=threshold, min_samples=min_samples
+    )
+    counts: dict[str, int] = {}
+    for verdict in verdicts:
+        counts[verdict["status"]] = counts.get(verdict["status"], 0) + 1
+    return {
+        "schema": SENTINEL_SCHEMA,
+        "threshold": threshold,
+        "min_samples": min_samples,
+        "status": "regression" if counts.get("regression") else "ok",
+        "counts": counts,
+        "verdicts": verdicts,
+    }
+
+
+def render_verdicts(verdicts: list[dict], verbose: bool = False) -> str:
+    """Human-readable verdict table — regressions always shown, healthy
+    rows summarized unless *verbose*."""
+    if not verdicts:
+        return "bench sentinel: no timing rows to check"
+    lines = []
+    shown = 0
+    for verdict in verdicts:
+        if verdict["status"] in ("ok", "new", "insufficient_history") and not verbose:
+            continue
+        shown += 1
+        key = "/".join(
+            str(verdict[field]) for field in KEY_FIELDS if verdict[field] not in (None, "")
+        )
+        if verdict["baseline_median"] is not None:
+            detail = (
+                f"{verdict['seconds_best']:.4f}s vs median "
+                f"{verdict['baseline_median']:.4f}s (x{verdict['ratio']:.2f}, "
+                f"{verdict['samples']} samples)"
+            )
+        else:
+            detail = f"{verdict['seconds_best']:.4f}s ({verdict['samples']} samples)"
+        lines.append(f"  {verdict['status']:<22} {key}  {detail}")
+    counts: dict[str, int] = {}
+    for verdict in verdicts:
+        counts[verdict["status"]] = counts.get(verdict["status"], 0) + 1
+    summary = ", ".join(f"{name}={count}" for name, count in sorted(counts.items()))
+    header = f"bench sentinel: {len(verdicts)} rows checked ({summary})"
+    return "\n".join([header] + lines) if lines else header

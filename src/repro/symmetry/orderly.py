@@ -43,6 +43,7 @@ from itertools import combinations
 
 from ..graphs.graph import Graph
 from ..kernel import numpy_or_none
+from ..obs.progress import GLOBAL_PROGRESS
 from ..kernel.generate import (
     batch_automorphisms,
     batch_colex_canonical,
@@ -89,14 +90,22 @@ def _level(
         return cached
     if n == 1:
         entries = (((0,), ((0,),)),)
+        vectorized = False
     else:
         parents = _level(n - 1)
         np = _generation_np()
-        if np is not None and generation_supported(n):
+        vectorized = np is not None and generation_supported(n)
+        if vectorized:
             entries = _build_level_batched(n, parents, np)
         else:
             entries = _build_level(n, parents)
     _LEVELS[n] = entries
+    # No RunContext threads through the process-memoized generator, so
+    # level completions announce on the process-wide bus (free when
+    # nobody subscribed).  Memo hits stay silent — nothing was built.
+    GLOBAL_PROGRESS.emit(
+        "generation_level", n=n, graphs=len(entries), vectorized=vectorized
+    )
     return entries
 
 

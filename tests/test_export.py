@@ -1,0 +1,144 @@
+"""Metrics exposition: Prometheus text format round-trip and the flat
+JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    metric_name,
+    parse_prometheus,
+    to_flat_json,
+    to_prometheus,
+)
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.incr("instances_scanned", 1234)
+    registry.incr("disk_hits")
+    registry.set_gauge("views_at_exit", 42)
+    registry.set_gauge("load_factor", 0.625)
+    registry.observe("decide_seconds", 0.0004, buckets=(0.001, 0.01, 0.1))
+    registry.observe("decide_seconds", 0.05)
+    registry.observe("decide_seconds", 3.0)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Name sanitization
+# ----------------------------------------------------------------------
+
+
+def test_metric_name_prefix_and_sanitize():
+    assert metric_name("instances_scanned") == "repro_instances_scanned"
+    assert metric_name("decide.seconds/best") == "repro_decide_seconds_best"
+    assert metric_name("x", prefix="") == "x"
+    # A name that starts with a digit gets a leading underscore.
+    assert metric_name("9lives", prefix="")[0] == "_"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def test_prometheus_structure():
+    text = to_prometheus(_populated())
+    lines = text.splitlines()
+    assert "# TYPE repro_disk_hits counter" in lines
+    assert "repro_disk_hits 1" in lines
+    assert "# TYPE repro_views_at_exit gauge" in lines
+    assert "repro_views_at_exit 42" in lines
+    assert "# TYPE repro_decide_seconds histogram" in lines
+    # Cumulative buckets, closed by +Inf, then sum and count.
+    assert 'repro_decide_seconds_bucket{le="0.001"} 1' in lines
+    assert 'repro_decide_seconds_bucket{le="0.1"} 2' in lines
+    assert 'repro_decide_seconds_bucket{le="+Inf"}' in "\n".join(lines)
+    assert "repro_decide_seconds_count 3" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_bucket_series_is_cumulative_and_closed():
+    registry = MetricsRegistry()
+    for value in (0.5, 1.5, 1.5, 99.0):
+        registry.observe("lat", value, buckets=(1.0, 2.0))
+    parsed = parse_prometheus(to_prometheus(registry))
+    buckets = {
+        labels["le"]: value
+        for name, labels, value in parsed["samples"]
+        if name == "repro_lat_bucket"
+    }
+    assert buckets == {"1": 1, "2": 3, "+Inf": 4}
+    counts = [v for n, _l, v in parsed["samples"] if n == "repro_lat_count"]
+    assert counts == [4]
+
+
+def test_unset_gauges_are_skipped():
+    registry = MetricsRegistry()
+    registry.gauge("never_set")
+    assert to_prometheus(registry) == ""
+
+
+def test_empty_registry_renders_empty():
+    assert to_prometheus(MetricsRegistry()) == ""
+    assert to_flat_json(MetricsRegistry()) == {}
+
+
+def test_prometheus_output_is_deterministic():
+    assert to_prometheus(_populated()) == to_prometheus(_populated())
+
+
+# ----------------------------------------------------------------------
+# Round trip (the acceptance check: exposition parses)
+# ----------------------------------------------------------------------
+
+
+def test_round_trip_types_and_values():
+    registry = _populated()
+    parsed = parse_prometheus(to_prometheus(registry))
+    assert parsed["types"]["repro_instances_scanned"] == "counter"
+    assert parsed["types"]["repro_views_at_exit"] == "gauge"
+    assert parsed["types"]["repro_decide_seconds"] == "histogram"
+    flat = {
+        name: value for name, labels, value in parsed["samples"] if not labels
+    }
+    assert flat["repro_instances_scanned"] == 1234
+    assert flat["repro_load_factor"] == pytest.approx(0.625)
+    assert flat["repro_decide_seconds_count"] == 3
+    assert flat["repro_decide_seconds_sum"] == pytest.approx(0.0004 + 0.05 + 3.0)
+
+
+def test_round_trip_special_values():
+    registry = MetricsRegistry()
+    registry.set_gauge("inf_gauge", float("inf"))
+    registry.set_gauge("nan_gauge", float("nan"))
+    parsed = parse_prometheus(to_prometheus(registry))
+    values = {name: value for name, _labels, value in parsed["samples"]}
+    assert values["repro_inf_gauge"] == float("inf")
+    assert math.isnan(values["repro_nan_gauge"])
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus("this is { not an exposition line\n")
+
+
+# ----------------------------------------------------------------------
+# Flat JSON
+# ----------------------------------------------------------------------
+
+
+def test_flat_json_is_serializable_and_flat():
+    doc = to_flat_json(_populated())
+    json.dumps(doc)  # must be a plain JSON document
+    assert doc["repro_instances_scanned"] == 1234
+    assert doc["repro_decide_seconds_bucket_le_0.001"] == 1
+    assert doc["repro_decide_seconds_bucket_le_Inf"] == 3
+    assert doc["repro_decide_seconds_count"] == 3
+    assert list(doc) == sorted(doc)  # deterministic key order

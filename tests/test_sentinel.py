@@ -1,0 +1,272 @@
+"""The benchmark-regression sentinel: history persistence, trailing-
+median comparison, threshold and min-sample guards, and the CLI exit
+contract of ``repro bench check``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.obs import (
+    DEFAULT_MIN_SAMPLES,
+    DEFAULT_THRESHOLD,
+    SENTINEL_SCHEMA,
+    append_history,
+    check_regressions,
+    extract_rows,
+    history_path,
+    load_history,
+    render_verdicts,
+    verdict_block,
+)
+
+
+@pytest.fixture()
+def runs_dir(tmp_path, monkeypatch):
+    target = tmp_path / "runs"
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(target))
+    return target
+
+
+def _payload(**overrides) -> dict:
+    base = {
+        "benchmark": "hiding-sweep",
+        "cpu_count": 4,
+        "rows": [
+            {"regime": "cold", "scheme": "even-cycle", "n": 6, "seconds_best": 0.5,
+             "seconds_mean": 0.6},
+            {"regime": "warm", "scheme": "even-cycle", "n": 6, "seconds_best": 0.01},
+        ],
+        "kernel": {
+            "rows": [
+                {"regime": "batch", "scheme": "even-cycle", "n": 6,
+                 "seconds_best": 0.2},
+            ],
+            "note": "named section",
+        },
+        "summary": {"not_rows": True},
+    }
+    base.update(overrides)
+    return base
+
+
+def _history_rows(seconds: list[float], **key) -> list[dict]:
+    base_key = dict(
+        benchmark="hiding-sweep", section="main", regime="cold",
+        scheme="even-cycle", n=6, cpu_count=4,
+    )
+    base_key.update(key)
+    return [dict(base_key, seconds_best=s, schema=SENTINEL_SCHEMA) for s in seconds]
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+
+
+def test_extract_rows_flattens_sections_and_keys():
+    rows = extract_rows(_payload(), created=123.0)
+    assert len(rows) == 3  # two main rows + one kernel row; summary skipped
+    sections = sorted({row["section"] for row in rows})
+    assert sections == ["kernel", "main"]
+    for row in rows:
+        assert row["schema"] == SENTINEL_SCHEMA
+        assert row["created"] == 123.0
+        assert row["cpu_count"] == 4
+        assert isinstance(row["seconds_best"], float)
+
+
+def test_extract_rows_skips_non_timing_rows():
+    payload = _payload(rows=[{"regime": "parity", "match": True}])
+    rows = extract_rows(payload)
+    assert all(row["section"] != "main" for row in rows)
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+
+
+def test_history_roundtrip_and_append(runs_dir):
+    assert load_history() == []
+    first = extract_rows(_payload(), created=1.0)
+    file = append_history(first)
+    assert file == history_path() == runs_dir / "bench_history.jsonl"
+    append_history(extract_rows(_payload(), created=2.0))
+    records = load_history()
+    assert len(records) == 6
+    assert [r["created"] for r in records[:3]] == [1.0, 1.0, 1.0]
+
+
+def test_load_history_skips_torn_lines(runs_dir):
+    file = history_path()
+    file.parent.mkdir(parents=True)
+    good = json.dumps({"seconds_best": 0.5, "benchmark": "b"})
+    file.write_text(good + "\n" + '{"torn": tr' + "\n" + "\n" + good + "\n")
+    assert len(load_history()) == 2
+
+
+def test_history_path_override(tmp_path):
+    override = tmp_path / "elsewhere.jsonl"
+    assert history_path(override) == override
+
+
+# ----------------------------------------------------------------------
+# check_regressions
+# ----------------------------------------------------------------------
+
+
+def test_artificially_slowed_row_is_flagged():
+    history = _history_rows([0.50, 0.52, 0.48, 0.51])
+    fresh = _history_rows([0.50 * 2.0])  # injected 2x slowdown
+    (verdict,) = check_regressions(fresh, history)
+    assert verdict["status"] == "regression"
+    assert verdict["ratio"] > DEFAULT_THRESHOLD
+    assert verdict["samples"] == 4
+    assert verdict["baseline_median"] == pytest.approx(0.505, abs=1e-6)
+
+
+def test_steady_trajectory_passes():
+    history = _history_rows([0.50, 0.52, 0.48, 0.51])
+    fresh = _history_rows([0.53])  # within noise, below 1.4x
+    (verdict,) = check_regressions(fresh, history)
+    assert verdict["status"] == "ok"
+
+
+def test_speedup_is_not_a_regression():
+    history = _history_rows([0.50, 0.52, 0.48])
+    (verdict,) = check_regressions(_history_rows([0.1]), history)
+    assert verdict["status"] == "ok"
+
+
+def test_new_and_insufficient_history_statuses():
+    fresh = _history_rows([0.5])
+    (verdict,) = check_regressions(fresh, [])
+    assert verdict["status"] == "new"
+    history = _history_rows([0.5] * (DEFAULT_MIN_SAMPLES - 1))
+    (verdict,) = check_regressions(fresh, history)
+    assert verdict["status"] == "insufficient_history"
+
+
+def test_trailing_window_ages_out_old_baseline():
+    # Nine recent fast samples push the single ancient slow one out of
+    # the trailing window entirely.
+    history = _history_rows([5.0] + [0.5] * 9)
+    (verdict,) = check_regressions(_history_rows([0.55]), history)
+    assert verdict["status"] == "ok"
+    assert verdict["baseline_median"] == pytest.approx(0.5)
+
+
+def test_different_cpu_count_is_a_different_series():
+    history = _history_rows([0.5, 0.5, 0.5], cpu_count=16)
+    (verdict,) = check_regressions(_history_rows([5.0], cpu_count=2), history)
+    assert verdict["status"] == "new"  # no shared baseline across machines
+
+
+def test_zero_baseline_guard():
+    history = _history_rows([0.0, 0.0, 0.0])
+    (verdict,) = check_regressions(_history_rows([0.1]), history)
+    assert verdict["status"] == "regression"
+    assert verdict["ratio"] == float("inf")
+
+
+# ----------------------------------------------------------------------
+# Verdict block + rendering
+# ----------------------------------------------------------------------
+
+
+def test_verdict_block_shape_and_status():
+    history = _history_rows([0.5, 0.5, 0.5])
+    block = verdict_block(_history_rows([2.0]), history)
+    assert block["schema"] == SENTINEL_SCHEMA
+    assert block["threshold"] == DEFAULT_THRESHOLD
+    assert block["status"] == "regression"
+    assert block["counts"] == {"regression": 1}
+    json.dumps(block)  # embeddable in a BENCH payload
+
+    healthy = verdict_block(_history_rows([0.5]), history)
+    assert healthy["status"] == "ok"
+    assert healthy["counts"] == {"ok": 1}
+
+
+def test_render_verdicts_hides_healthy_unless_verbose():
+    history = _history_rows([0.5, 0.5, 0.5])
+    verdicts = check_regressions(_history_rows([0.5]), history)
+    short = render_verdicts(verdicts)
+    assert short.startswith("bench sentinel: 1 rows checked")
+    assert "ok" in short and "\n" not in short
+    verbose = render_verdicts(verdicts, verbose=True)
+    assert "even-cycle" in verbose
+    assert render_verdicts([]) == "bench sentinel: no timing rows to check"
+
+
+# ----------------------------------------------------------------------
+# CLI: repro bench check
+# ----------------------------------------------------------------------
+
+
+def _write_payload(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def test_bench_check_flags_injected_slowdown(tmp_path, runs_dir, capsys):
+    append_history(extract_rows(_payload(), created=1.0))
+    append_history(extract_rows(_payload(), created=2.0))
+    append_history(extract_rows(_payload(), created=3.0))
+    slowed = _payload()
+    slowed["rows"][0]["seconds_best"] = 0.5 * 3  # inject the slowdown
+    bench = _write_payload(tmp_path / "BENCH_hiding.json", slowed)
+    rc = cli.main(["bench", "check", str(bench)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "regression" in out
+
+
+def test_bench_check_passes_real_trajectory(tmp_path, runs_dir, capsys):
+    for created in (1.0, 2.0, 3.0):
+        append_history(extract_rows(_payload(), created=created))
+    bench = _write_payload(tmp_path / "BENCH_hiding.json", _payload())
+    rc = cli.main(["bench", "check", str(bench)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ok=3" in out
+
+
+def test_bench_check_advisory_never_fails(tmp_path, runs_dir, capsys):
+    append_history(extract_rows(_payload(), created=1.0))
+    append_history(extract_rows(_payload(), created=2.0))
+    append_history(extract_rows(_payload(), created=3.0))
+    slowed = _payload()
+    slowed["rows"][0]["seconds_best"] = 50.0
+    bench = _write_payload(tmp_path / "BENCH_hiding.json", slowed)
+    rc = cli.main(["bench", "check", "--advisory", str(bench)])
+    assert rc == 0
+    assert "advisory" in capsys.readouterr().err
+
+
+def test_bench_check_custom_history_and_threshold(tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    append_history(extract_rows(_payload(), created=1.0), path=history)
+    append_history(extract_rows(_payload(), created=2.0), path=history)
+    append_history(extract_rows(_payload(), created=3.0), path=history)
+    slowed = _payload()
+    slowed["rows"][0]["seconds_best"] = 0.5 * 1.2  # below default 1.4x
+    bench = _write_payload(tmp_path / "BENCH_hiding.json", slowed)
+    assert cli.main(
+        ["bench", "check", str(bench), "--history", str(history)]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(
+        ["bench", "check", str(bench), "--history", str(history),
+         "--threshold", "1.1"]
+    ) == 1
+
+
+def test_bench_check_requires_a_payload(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # no BENCH_*.json anywhere
+    with pytest.raises(SystemExit):
+        cli.main(["bench", "check"])
