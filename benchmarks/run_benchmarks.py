@@ -41,6 +41,16 @@ Writes two JSON reports:
   ``labelings_per_sec`` gauge).  Without numpy the kernel rows are
   recorded as *skipped* with a note.
 
+  A **sharding** section measures the sharded orderly sweep: per case a
+  ``serial`` reference row, a ``sharded_serial`` row (subtree work units
+  executed in-process — the pure shard-stage overhead), and
+  ``sharded_parallel_N`` rows on the work-stealing process pool.
+  Parallel rows run only on multi-core hosts (or under
+  ``REPRO_FORCE_WORKERS``, with an honest note); on a single-core host
+  they are recorded as *skipped* with a ``skip_reason``.  Every executed
+  sharded row is parity-checked against the serial reference and records
+  the ``shard_count`` / ``steal_count`` / ``shards_per_sec`` gauges.
+
   A **symmetry** section compares the legacy edge-subset enumerator with
   the symmetry-reduced sweep (orderly generation + automorphism-orbit
   pruning) on cold full sweeps: ``degree-one`` at ``n = 5, 6``,
@@ -89,6 +99,11 @@ numpy is unavailable.  ``--generation-kernel-smoke`` pins the orderly
 generator's emission stream: kernel vs scalar up to ``n = 7`` and both
 against the legacy edge-subset walk up to ``n = 6``; it fails the job
 on any divergence and checks the scalar fallback when numpy is absent.
+``--shard-smoke`` gates the sharded sweep: merged shard emission must be
+byte-identical to the serial orderly walk, and sharded decisions must
+reproduce the serial fingerprints, instance counts, and
+``SymmetryAccount`` totals for every registry scheme; with
+``REPRO_FORCE_WORKERS`` set it also exercises the process-pool path.
 """
 
 from __future__ import annotations
@@ -1417,6 +1432,303 @@ def smoke_frontier() -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Sharded orderly generation (subtree work units + work-stealing pool)
+# ----------------------------------------------------------------------
+
+#: Repeats for the sharding rows (cold full sweeps, same protocol as the
+#: symmetry section).
+SHARDING_REPEATS = SYMMETRY_REPEATS
+
+#: (scheme, n) for the sharding comparison.  Even-cycle at n = 6 is the
+#: generation-bound workload where the shard stage dominates wall time;
+#: degree-one at n = 5 is decode-bound, showing the knob's overhead on a
+#: sweep the shard stage does *not* dominate.
+SHARDING_CASES = [
+    ("even-cycle", 6),
+    ("degree-one", 5),
+]
+
+#: Prefix depth for the bench rows: the canonical-augmentation tree is
+#: split at size 3 (4 connected roots), giving enough subtrees for a
+#: 4-worker pool to balance.
+SHARDING_BENCH_DEPTH = 3
+
+#: Worker counts for the parallel sharding regimes.
+SHARDING_WORKER_COUNTS = (2, 4)
+
+
+def _sharding_plan(*, sharding: str, workers: int) -> ExecutionPlan:
+    return ExecutionPlan(
+        backend="streaming",
+        workers=workers,
+        early_exit=False,
+        warm_start=False,
+        memory_cache=False,
+        disk_cache=False,
+        symmetry="on",
+        sharding=sharding,
+        shard_depth=SHARDING_BENCH_DEPTH,
+    )
+
+
+def _timed_sharded_decision(lcp, n, plan, repeats=SHARDING_REPEATS):
+    """Best-of-*repeats* cold decision under *plan*; returns
+    ``(best, mean, verdict)`` of the last run."""
+    times = []
+    verdict = None
+    for _ in range(repeats):
+        _clear_everything()
+        start = time.perf_counter()
+        verdict = decide_hiding(lcp, n, plan)
+        times.append(time.perf_counter() - start)
+    return min(times), statistics.mean(times), verdict
+
+
+def run_sharding() -> dict:
+    """Sharded-sweep regimes per :data:`SHARDING_CASES`.
+
+    Per case: a ``serial`` reference row (``sharding="off"``), a
+    ``sharded_serial`` row (``sharding="on"``, in-process execution —
+    the pure shard-stage overhead), and ``sharded_parallel_N`` rows on
+    the work-stealing process pool.  Parallel rows run only when the
+    host can actually parallelize (``cpu_count > 1``) or when
+    ``REPRO_FORCE_WORKERS`` forces the pool; otherwise they are recorded
+    as *skipped* with ``skip_reason`` (the single-core convention of the
+    ``parallel_N`` pipeline rows).  Every executed sharded row is
+    parity-checked against the serial reference — identical decision
+    fingerprint and effective instance count — and records the
+    ``shard_count`` / ``steal_count`` / ``shards_per_sec`` provenance
+    gauges the sentinel tracks per ``(regime, …, cpu_count)`` key.
+    """
+    from repro.perf.config import forced_workers  # noqa: PLC0415
+
+    cpus = os.cpu_count() or 1
+    forced = forced_workers()
+    rows = []
+    for scheme, n in SHARDING_CASES:
+        lcp = make_lcp(scheme)
+        best, mean, reference = _timed_sharded_decision(
+            lcp, n, _sharding_plan(sharding="off", workers=0)
+        )
+        print(f"  sharding {scheme} n={n} serial: {best:.2f}s", file=sys.stderr)
+        serial_best = best
+        rows.append(
+            {
+                "regime": "serial",
+                "scheme": scheme,
+                "n": n,
+                "seconds_best": round(best, 6),
+                "seconds_mean": round(mean, 6),
+                "workers_effective": 1,
+                "cpu_count": cpus,
+                "instances_scanned": reference.provenance.instances_scanned,
+            }
+        )
+
+        def _sharded_row(regime, workers, workers_effective):
+            best, mean, verdict = _timed_sharded_decision(
+                lcp, n, _sharding_plan(sharding="on", workers=workers)
+            )
+            print(
+                f"  sharding {scheme} n={n} {regime}: {best:.2f}s "
+                f"(serial {serial_best:.2f}s)",
+                file=sys.stderr,
+            )
+            return {
+                "regime": regime,
+                "scheme": scheme,
+                "n": n,
+                "seconds_best": round(best, 6),
+                "seconds_mean": round(mean, 6),
+                "workers_effective": workers_effective,
+                "cpu_count": cpus,
+                "instances_scanned": verdict.provenance.instances_scanned,
+                "shard_count": verdict.provenance.shard_count,
+                "steal_count": verdict.provenance.steal_count,
+                "shards_per_sec": verdict.provenance.shards_per_sec,
+                "shard_depth": SHARDING_BENCH_DEPTH,
+                "speedup_vs_serial": round(serial_best / best, 3) if best else None,
+                "parity_with_serial": (
+                    verdict.decision_fingerprint()
+                    == reference.decision_fingerprint()
+                    and verdict.provenance.instances_scanned
+                    == reference.provenance.instances_scanned
+                ),
+            }
+
+        rows.append(_sharded_row("sharded_serial", 0, 1))
+        for workers in SHARDING_WORKER_COUNTS:
+            if cpus <= 1 and forced is None:
+                rows.append(
+                    {
+                        "regime": f"sharded_parallel_{workers}",
+                        "scheme": scheme,
+                        "n": n,
+                        "skipped": True,
+                        "skip_reason": "single_core_host",
+                        "cpu_count": cpus,
+                        "note": (
+                            "single-core host: a process pool would measure "
+                            "pure IPC overhead, not parallel speedup (set "
+                            "REPRO_FORCE_WORKERS to force the pool anyway)"
+                        ),
+                        "workers_effective": 1,
+                    }
+                )
+                continue
+            effective = workers if forced is not None else min(workers, cpus)
+            row = _sharded_row(f"sharded_parallel_{workers}", workers, effective)
+            if forced is not None and cpus < workers:
+                row["note"] = (
+                    f"REPRO_FORCE_WORKERS={forced}: pool forced on a "
+                    f"{cpus}-core host — the row demonstrates the pool "
+                    "path, not real parallel speedup"
+                )
+            rows.append(row)
+    return {
+        "repeats": SHARDING_REPEATS,
+        "shard_depth": SHARDING_BENCH_DEPTH,
+        "cpu_count": cpus,
+        "forced_workers": forced,
+        "rows": rows,
+        "parity_ok": all(r.get("parity_with_serial", True) for r in rows),
+    }
+
+
+def _shard_emission_parity(n: int, depth: int) -> bool:
+    """Merged shard emission must be byte-identical to the serial walk.
+
+    The serial side is :func:`emit_entries` over the memoized level; the
+    sharded side rebuilds every level from the depth-``depth`` prefix
+    roots, one independent subtree range at a time, then merges the
+    shard-local (already sorted) blocks by canonical mask — exactly the
+    executor's merge discipline."""
+    from repro.shard import plan_shards  # noqa: PLC0415
+    from repro.symmetry.orderly import (  # noqa: PLC0415
+        build_level,
+        emit_entries,
+        level_entries,
+    )
+
+    def encode(stream):
+        return [
+            (mask, tuple(sorted(graph.edges))) for mask, graph in stream
+        ]
+
+    spec = plan_shards(n, depth, workers=4)
+    roots = level_entries(depth)
+    for size in range(depth + 1, n + 1):
+        serial = encode(emit_entries(level_entries(size), size))
+        merged = []
+        for shard in spec.shards:
+            entries = roots[shard.start : shard.stop]
+            for level in range(depth + 1, size + 1):
+                entries = build_level(level, entries)
+            merged.extend(encode(emit_entries(entries, size)))
+        merged.sort(key=lambda pair: pair[0])
+        if merged != serial:
+            return False
+    return True
+
+
+#: Account counters a sharded sweep must reproduce exactly (the engine
+#: folds the merged ``SymmetryAccount`` into these stats names).
+_SHARD_ACCOUNT_COUNTERS = (
+    "instances_scanned",
+    "symmetry_labelings_total",
+    "symmetry_labelings_pruned",
+    "symmetry_bases_pruned",
+    "symmetry_instances_suppressed",
+)
+
+
+def smoke_shard() -> int:
+    """CI smoke for ``--shard-smoke``: the sharded sweep must be
+    indistinguishable from the serial walk.
+
+    Three gates: (1) merged shard emission byte-identical to the serial
+    orderly stream at n = 6; (2) per-scheme decision parity — identical
+    fingerprint, instance count, and folded ``SymmetryAccount`` counters
+    — for every registry scheme at n = 5 plus both Theorem 1.1 schemes
+    at n = 6, sharding on (in-process) vs off; (3) when the host has
+    multiple cores or ``REPRO_FORCE_WORKERS`` is set, one pool-path
+    check per Theorem scheme (workers = 2) against the same reference.
+    Nonzero exit on any divergence."""
+    from repro.perf.config import forced_workers  # noqa: PLC0415
+
+    failures = 0
+    _clear_everything()
+    if _shard_emission_parity(6, depth=3):
+        print("shard smoke: emission parity OK (n=6, depth=3)", file=sys.stderr)
+    else:
+        failures += 1
+        print(
+            "SHARD EMISSION PARITY FAILURE: merged shard stream diverges "
+            "from the serial orderly walk at n=6",
+            file=sys.stderr,
+        )
+
+    def decide(scheme, n, plan):
+        _clear_everything()
+        ctx = RunContext.isolated()
+        verdict = decide_hiding(make_lcp(scheme), n, plan, ctx=ctx)
+        counters = {
+            name: ctx.stats.get(name) for name in _SHARD_ACCOUNT_COUNTERS
+        }
+        return verdict, counters
+
+    cases = [(scheme, 5) for scheme in sorted(all_lcps())]
+    cases += [("degree-one", 6), ("even-cycle", 6)]
+    pool_capable = (os.cpu_count() or 1) > 1 or forced_workers() is not None
+    for scheme, n in cases:
+        reference, ref_counters = decide(
+            scheme, n, _sharding_plan(sharding="off", workers=0)
+        )
+        sharded, counters = decide(
+            scheme, n, _sharding_plan(sharding="on", workers=0)
+        )
+        checks = {
+            "fingerprint": sharded.decision_fingerprint()
+            == reference.decision_fingerprint(),
+            "instances_scanned": sharded.provenance.instances_scanned
+            == reference.provenance.instances_scanned,
+            "account": counters == ref_counters,
+        }
+        legs = ["in-process"]
+        if pool_capable and scheme in ("degree-one", "even-cycle"):
+            pooled, pooled_counters = decide(
+                scheme, n, _sharding_plan(sharding="on", workers=2)
+            )
+            checks["pool_fingerprint"] = (
+                pooled.decision_fingerprint() == reference.decision_fingerprint()
+            )
+            checks["pool_account"] = pooled_counters == ref_counters
+            legs.append("pool(2)")
+        if all(checks.values()):
+            print(
+                f"shard smoke: {scheme} n={n} parity OK ({', '.join(legs)})",
+                file=sys.stderr,
+            )
+        else:
+            failures += 1
+            bad = [name for name, ok in checks.items() if not ok]
+            print(
+                f"SHARD PARITY FAILURE: {scheme} n={n}: {', '.join(bad)} differ",
+                file=sys.stderr,
+            )
+    if not pool_capable:
+        print(
+            "shard smoke: pool leg skipped (single-core host, "
+            "REPRO_FORCE_WORKERS unset)",
+            file=sys.stderr,
+        )
+    if failures:
+        return 1
+    print("shard smoke: all parity checks passed", file=sys.stderr)
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument(
@@ -1463,6 +1775,15 @@ def main() -> int:
         "runs in both the numpy and no-numpy legs",
     )
     parser.add_argument(
+        "--shard-smoke",
+        action="store_true",
+        help="CI smoke mode: sharded sweeps (subtree work units) must be "
+        "indistinguishable from the serial walk — merged emission bytes, "
+        "decision fingerprints, instance counts, and SymmetryAccount "
+        "totals; set REPRO_FORCE_WORKERS to also exercise the process-"
+        "pool path on a single-core runner",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -1479,6 +1800,8 @@ def main() -> int:
         return smoke_generation()
     if args.frontier_smoke:
         return smoke_frontier()
+    if args.shard_smoke:
+        return smoke_shard()
 
     target = Path(args.output)
     rows = []
@@ -1494,6 +1817,8 @@ def main() -> int:
     generation = run_generation()
     print("benchmarking parameter frontier ...", file=sys.stderr)
     frontier = run_frontier()
+    print("benchmarking sharded sweeps ...", file=sys.stderr)
+    sharding = run_sharding()
 
     by_key = {(r["regime"], r["n"]): r for r in rows}
     cold_speedup = (
@@ -1517,12 +1842,14 @@ def main() -> int:
             and kernel["parity_ok"]
             and generation["parity_ok"]
             and frontier["valid"]
+            and sharding["parity_ok"]
         ),
         "rows": rows,
         "symmetry": symmetry,
         "kernel": kernel,
         "generation": generation,
         "frontier": frontier,
+        "sharding": sharding,
     }
     # Regression sentinel: judge this run's rows against the recorded
     # trajectory and embed the machine-readable verdict block before the

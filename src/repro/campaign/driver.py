@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable
 
@@ -23,6 +24,7 @@ from ..engine.context import RunContext
 from ..engine.core import decide_hiding
 from ..engine.plan import ExecutionPlan
 from ..obs.logs import get_logger
+from ..perf.pool import shared_pool
 from .spec import CampaignSpec, Cell
 
 log = get_logger("campaign")
@@ -41,6 +43,9 @@ _PROVENANCE_FIELDS = (
     "warm_witness_hit",
     "symmetry_pruned",
     "kernel",
+    "shard_count",
+    "steal_count",
+    "shards_per_sec",
     "wall_time_s",
     "trace_id",
 )
@@ -136,7 +141,17 @@ def run_campaign(
         schemes=list(spec.schemes),
         trace_id=ctx.tracer.trace_id if ctx.tracer.active else None,
     )
-    with ctx.tracer.span("campaign", schemes=",".join(spec.schemes)) as root:
+    # One process pool for the whole campaign: parallel cells (chunked
+    # builds, sharded sweeps) reuse it via repro.perf.pool.active_pool
+    # instead of paying pool spawn/teardown per cell.
+    pool_scope = (
+        shared_pool(base.workers)
+        if base.workers is not None and base.workers > 1
+        else nullcontext()
+    )
+    with pool_scope, ctx.tracer.span(
+        "campaign", schemes=",".join(spec.schemes)
+    ) as root:
         for cell in cells:
             bus.emit("cell_started", label=cell.label(), cell=cell.axes())
             result = _run_cell(cell, base, ctx)

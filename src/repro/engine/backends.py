@@ -292,6 +292,55 @@ def _apply_symmetry_account(ngraph, account: SymmetryAccount | None, ctx: RunCon
             ctx.stats.incr("symmetry_bases_pruned", account.bases_pruned)
 
 
+def _sharding_effective(lcp: LCP, plan: ExecutionPlan, n: int) -> bool:
+    """Whether this sweep takes the sharded route (lazy import keeps the
+    shard layer out of the engine's import graph until it is used)."""
+    from ..shard import sharding_effective  # noqa: PLC0415
+
+    return sharding_effective(lcp, plan, n)
+
+
+def _run_sharded(
+    lcp: LCP,
+    n: int,
+    plan: ExecutionPlan,
+    ctx: RunContext,
+    *,
+    symmetry: str,
+    consumer,
+    into,
+    account,
+    kernel: str | None,
+    flags: dict,
+    lo: int = 0,
+):
+    """Run the sharded sweep; fold its outcome into the provenance
+    *flags* dict; return the assembled neighborhood graph.  The sweep
+    key is the backend's own persistent identity, so shard checkpoints
+    can never cross sweeps."""
+    from ..shard import run_sharded_sweep  # noqa: PLC0415
+
+    outcome = run_sharded_sweep(
+        lcp,
+        n,
+        plan,
+        ctx,
+        bounds=_enumeration_bounds(plan),
+        symmetry=symmetry,
+        consumer=consumer,
+        into=into,
+        account=account,
+        lo=lo,
+        kernel=kernel,
+        sweep_key=disk_key(lcp, n, plan),
+    )
+    flags["shard_count"] = outcome.shard_count
+    flags["steal_count"] = outcome.steal_count
+    if outcome.shards_per_sec is not None:
+        flags["shards_per_sec"] = outcome.shards_per_sec
+    return outcome.ngraph
+
+
 class _ThroughputMeter:
     """Per-op throughput of one sweep: kernel labelings evaluated per
     second and canonical forms computed per second.
@@ -342,27 +391,24 @@ class MaterializedBackend(Backend):
         start = time.perf_counter()
         pruned = _symmetry_effective(lcp, plan)
         account = SymmetryAccount() if pruned else None
+        sharded = _sharding_effective(lcp, plan, n)
         meter = _ThroughputMeter(ctx)
         with CONFIG.overridden(
             symmetry=plan.symmetry, generation_kernel=plan.generation_kernel
         ):
-            with ctx.tracer.span("sweep", n=n) as sweep:
+            with ctx.tracer.span("sweep", n=n, sharded=sharded) as sweep:
                 with ctx.tracer.span(
                     "symmetry:generate", n=n, mode=plan.symmetry
                 ) as gen:
-                    gen.set_attributes(sizes_warmed=warm_graph_families(0, n))
-                instances = _with_progress(
-                    yes_instances_up_to(
-                        lcp,
-                        n,
-                        **_enumeration_bounds(plan),
-                        symmetry=plan.symmetry if pruned else "off",
-                        account=account,
-                    ),
-                    lcp,
-                    n,
-                    ctx,
-                )
+                    # Sharded sweeps must not pre-generate past the shard
+                    # depth: the deeper levels are exactly the work the
+                    # subtree shards expand in parallel.
+                    gen.set_attributes(
+                        sizes_warmed=warm_graph_families(
+                            0, min(plan.shard_depth, n) if sharded else n
+                        ),
+                        deferred=sharded,
+                    )
                 # The parity detector rides along (k = 2, near-free union-find)
                 # so this backend reports the same canonical stream witness as
                 # the streaming one; it never stops the scan (early_exit=False).
@@ -377,15 +423,42 @@ class MaterializedBackend(Backend):
                         stats=ctx.stats,
                     )
                     into = tracker.ngraph
-                ngraph = build_neighborhood_graph_auto(
-                    lcp,
-                    instances,
-                    workers=plan.workers,
-                    stats=ctx.stats,
-                    consumer=tracker,
-                    into=into,
-                    tracer=ctx.tracer,
-                )
+                shard_flags: dict = {}
+                if sharded:
+                    ngraph = _run_sharded(
+                        lcp,
+                        n,
+                        plan,
+                        ctx,
+                        symmetry=plan.symmetry if pruned else "off",
+                        consumer=tracker,
+                        into=into,
+                        account=account,
+                        kernel=None,
+                        flags=shard_flags,
+                    )
+                else:
+                    instances = _with_progress(
+                        yes_instances_up_to(
+                            lcp,
+                            n,
+                            **_enumeration_bounds(plan),
+                            symmetry=plan.symmetry if pruned else "off",
+                            account=account,
+                        ),
+                        lcp,
+                        n,
+                        ctx,
+                    )
+                    ngraph = build_neighborhood_graph_auto(
+                        lcp,
+                        instances,
+                        workers=plan.workers,
+                        stats=ctx.stats,
+                        consumer=tracker,
+                        into=into,
+                        tracer=ctx.tracer,
+                    )
                 _apply_symmetry_account(ngraph, account, ctx)
                 sweep.set_attributes(
                     instances_scanned=ngraph.instances_scanned,
@@ -405,6 +478,7 @@ class MaterializedBackend(Backend):
             elapsed,
             ctx,
             symmetry_pruned=pruned,
+            **shard_flags,
             **meter.flags(elapsed),
         )
 
@@ -502,42 +576,52 @@ class StreamingBackend(Backend):
         pruned = _symmetry_effective(lcp, plan)
         account = SymmetryAccount() if pruned else None
         symmetry = plan.symmetry if pruned else "off"
+        sharded = _sharding_effective(lcp, plan, n)
+        shard_flags: dict = {}
         meter = _ThroughputMeter(ctx)
         with CONFIG.overridden(
             symmetry=plan.symmetry, generation_kernel=plan.generation_kernel
         ), ctx.stats.time_stage("streaming_sweep"):
-            with ctx.tracer.span("sweep", n=n, early_exit=plan.early_exit) as sweep:
+            with ctx.tracer.span(
+                "sweep", n=n, early_exit=plan.early_exit, sharded=sharded
+            ) as sweep:
+                lo = 0
+                instances = None
                 if state is not None and state.n <= n:
                     ctx.stats.incr("warm_starts")
                     warm_started = True
+                    lo = state.n
                     engine = state.engine.clone()
                     engine.stats = ctx.stats
                     with ctx.tracer.span(
                         "symmetry:generate", n=n, mode=plan.symmetry
                     ) as gen:
                         # Early-exit sweeps generate lazily: pre-building
-                        # every family would waste the exit.
+                        # every family would waste the exit.  Sharded
+                        # sweeps never pre-generate past the shard depth —
+                        # the deeper levels are the shards' parallel work.
                         gen.set_attributes(
                             sizes_warmed=0
-                            if plan.early_exit
+                            if plan.early_exit or sharded
                             else warm_graph_families(state.n, n),
-                            deferred=plan.early_exit,
+                            deferred=plan.early_exit or sharded,
                         )
-                    instances = _with_progress(
-                        yes_instances_between(
+                    if not sharded:
+                        instances = _with_progress(
+                            yes_instances_between(
+                                lcp,
+                                state.n,
+                                n,
+                                **_enumeration_bounds(plan),
+                                symmetry=symmetry,
+                                account=account,
+                                kernel=self.kernel,
+                                stats=ctx.stats,
+                            ),
                             lcp,
-                            state.n,
                             n,
-                            **_enumeration_bounds(plan),
-                            symmetry=symmetry,
-                            account=account,
-                            kernel=self.kernel,
-                            stats=ctx.stats,
-                        ),
-                        lcp,
-                        n,
-                        ctx,
-                    )
+                            ctx,
+                        )
                 else:
                     engine = StreamingHidingEngine(
                         lcp.k,
@@ -551,34 +635,50 @@ class StreamingBackend(Backend):
                     ) as gen:
                         gen.set_attributes(
                             sizes_warmed=0
-                            if plan.early_exit
+                            if plan.early_exit or sharded
                             else warm_graph_families(0, n),
-                            deferred=plan.early_exit,
+                            deferred=plan.early_exit or sharded,
                         )
-                    instances = _with_progress(
-                        yes_instances_up_to(
+                    if not sharded:
+                        instances = _with_progress(
+                            yes_instances_up_to(
+                                lcp,
+                                n,
+                                **_enumeration_bounds(plan),
+                                symmetry=symmetry,
+                                account=account,
+                                kernel=self.kernel,
+                                stats=ctx.stats,
+                            ),
                             lcp,
                             n,
-                            **_enumeration_bounds(plan),
+                            ctx,
+                        )
+                with self._kernel_span(ctx):
+                    if sharded:
+                        _run_sharded(
+                            lcp,
+                            n,
+                            plan,
+                            ctx,
                             symmetry=symmetry,
+                            consumer=engine,
+                            into=engine.ngraph,
                             account=account,
                             kernel=self.kernel,
+                            flags=shard_flags,
+                            lo=lo,
+                        )
+                    else:
+                        build_neighborhood_graph_auto(
+                            lcp,
+                            instances,
+                            workers=plan.workers,
                             stats=ctx.stats,
-                        ),
-                        lcp,
-                        n,
-                        ctx,
-                    )
-                with self._kernel_span(ctx):
-                    build_neighborhood_graph_auto(
-                        lcp,
-                        instances,
-                        workers=plan.workers,
-                        stats=ctx.stats,
-                        consumer=engine,
-                        into=engine.ngraph,
-                        tracer=ctx.tracer,
-                    )
+                            consumer=engine,
+                            into=engine.ngraph,
+                            tracer=ctx.tracer,
+                        )
                 _apply_symmetry_account(engine.ngraph, account, ctx)
                 sweep.set_attributes(
                     warm_started=warm_started,
@@ -603,6 +703,7 @@ class StreamingBackend(Backend):
             warm_started=warm_started,
             symmetry_pruned=pruned,
             kernel=self.kernel,
+            **shard_flags,
             **meter.flags(elapsed),
         )
 

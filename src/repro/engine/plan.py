@@ -101,6 +101,21 @@ class ExecutionPlan:
       alphabet (the campaign layer's alphabet-size axis).  ``None`` (the
       default) uses the full alphabet.  Changes sweep content, so a set
       value is part of every cache identity (disk key: only when set).
+    * ``sharding`` — the sharded-generation mode (``"auto"`` | ``"on"``
+      | ``"off"``; ``None`` defers to ``CONFIG.sharding``): whether the
+      sweep splits the canonical-augmentation tree into subtree work
+      units drained by a work-stealing process pool
+      (:mod:`repro.shard`).  The merged emission stream, accounts, and
+      fingerprints are byte-identical to the serial walk, so this knob
+      never enters a cache identity.  ``"auto"`` engages only where it
+      can pay off (effective ``workers > 1``, full sweep, orderly
+      generation); ``"on"`` forces the sharded path — even single-
+      process, the deterministic test route — and is rejected at
+      resolve time with ``symmetry="off"`` (the legacy edge-subset walk
+      has no augmentation tree to shard); ``"off"`` disables it.
+    * ``shard_depth`` — the level at which the augmentation tree is
+      split (``None`` defers to ``CONFIG.shard_depth``).  Pure
+      granularity: unobservable in every output.
     """
 
     backend: str = BACKEND_AUTO
@@ -118,6 +133,8 @@ class ExecutionPlan:
     kernel_labeling_limit: int | None = None
     graph_family: str = "all"
     alphabet_limit: int | None = None
+    sharding: str | None = None
+    shard_depth: int | None = None
 
     @property
     def is_resolved(self) -> bool:
@@ -128,6 +145,8 @@ class ExecutionPlan:
             and self.disk_cache is not None
             and self.symmetry is not None
             and self.generation_kernel is not None
+            and self.sharding is not None
+            and self.shard_depth is not None
         )
 
     def resolve(self, config: PerfConfig | None = None) -> "ExecutionPlan":
@@ -201,6 +220,33 @@ class ExecutionPlan:
         if backend == BACKEND_MATERIALIZED:
             early_exit = False
             warm = False
+        sharding = self.sharding if self.sharding is not None else config.sharding
+        if sharding not in ("auto", "on", "off"):
+            raise ValueError(
+                f"unknown sharding mode {sharding!r}; known: auto, on, off"
+            )
+        if sharding == "on" and symmetry == "off":
+            raise ValueError(
+                "sharding='on' requires orderly generation — the legacy "
+                "edge-subset walk selected by symmetry='off' has no "
+                "augmentation tree to shard (use symmetry='auto'/'on', "
+                "or sharding='auto' for a silent fallback)"
+            )
+        if sharding == "auto" and symmetry == "off":
+            sharding = "off"
+        shard_depth = (
+            self.shard_depth if self.shard_depth is not None else config.shard_depth
+        )
+        if shard_depth < 1:
+            raise ValueError(f"shard_depth must be >= 1, got {shard_depth}")
+        # CI multi-core runners force parallelism past a conservative
+        # autodetection; an explicit plan.workers is never overridden.
+        if self.workers is None:
+            from ..perf.config import forced_workers  # noqa: PLC0415
+
+            forced = forced_workers()
+            if forced is not None:
+                workers = forced
         return replace(
             self,
             backend=backend,
@@ -211,6 +257,8 @@ class ExecutionPlan:
             symmetry=symmetry,
             generation_kernel=generation,
             kernel_labeling_limit=raised_limit,
+            sharding=sharding,
+            shard_depth=shard_depth,
         )
 
     def describe(self) -> str:
@@ -237,6 +285,9 @@ class ExecutionPlan:
             text += f" graph_family={self.graph_family}"
         if self.alphabet_limit is not None:
             text += f" alphabet_limit={self.alphabet_limit}"
+        if self.sharding not in (None, "off"):
+            depth = "auto" if self.shard_depth is None else self.shard_depth
+            text += f" sharding={self.sharding} shard_depth={depth}"
         return text
 
 
@@ -257,6 +308,8 @@ def resolve_plan(
     kernel_labeling_limit: int | None = None,
     graph_family: str = "all",
     alphabet_limit: int | None = None,
+    sharding: str | None = None,
+    shard_depth: int | None = None,
     config: PerfConfig | None = None,
 ) -> ExecutionPlan:
     """The plan resolver: legacy keyword vocabulary → resolved plan.
@@ -293,4 +346,6 @@ def resolve_plan(
         kernel_labeling_limit=kernel_labeling_limit,
         graph_family=graph_family,
         alphabet_limit=alphabet_limit,
+        sharding=sharding,
+        shard_depth=shard_depth,
     ).resolve(config)

@@ -69,6 +69,14 @@ class Provenance:
     #: names, so single-core hosts track per-op perf trajectory.
     labelings_per_sec: float | None = None
     canonicalizations_per_sec: float | None = None
+    #: Sharded-sweep gauges (``None`` when the sweep ran unsharded):
+    #: subtree work units executed/adopted, shards a pool worker pulled
+    #: beyond its fair share (the work-stealing smoothing of skewed
+    #: subtrees), and shard-stage throughput.  Mirrored into the context
+    #: metrics registry, so the bench sentinel tracks parallel regimes.
+    shard_count: int | None = None
+    steal_count: int | None = None
+    shards_per_sec: float | None = None
     wall_time_s: float = 0.0
     trace_id: str | None = None
 
@@ -95,6 +103,12 @@ class Provenance:
             text += f", {self.labelings_per_sec:,.0f} labelings/s"
         if self.canonicalizations_per_sec is not None:
             text += f", {self.canonicalizations_per_sec:,.0f} canon/s"
+        if self.shard_count is not None:
+            text += f", {self.shard_count} shards"
+            if self.steal_count:
+                text += f" ({self.steal_count} stolen)"
+            if self.shards_per_sec is not None:
+                text += f", {self.shards_per_sec:,.1f} shards/s"
         if self.trace_id is not None:
             text += f", trace {self.trace_id}"
         return text

@@ -30,10 +30,41 @@ from ..perf.stats import GLOBAL_STATS, PerfStats
 #: entry is mapped (same identity-key discipline as the decision memo).
 _TABLES = LRUCache(1024)
 
+#: Pre-seeded tables shipped into pool workers, keyed by
+#: ``(decoder.name, template, alphabet)``.  Object ids do not survive
+#: pickling, so the seed store keys by the registry name instead — sound
+#: because registry decoders are pure functions of their name.  Consulted
+#: only on an LRU miss; matches are promoted into :data:`_TABLES` under
+#: the local decoder's identity key.
+_SEED_TABLES: dict = {}
+
 
 def clear_kernel_tables() -> None:
     """Drop every cached acceptance table (benchmarks, test isolation)."""
     _TABLES.clear()
+    _SEED_TABLES.clear()
+
+
+def kernel_tables_snapshot() -> dict:
+    """Picklable snapshot of the warm acceptance tables.
+
+    Keys switch from the process-local ``id(decoder)`` to the decoder's
+    registry ``name`` so the snapshot survives the trip into a worker
+    process.  Decoders without a ``name`` attribute are skipped — they
+    cannot be re-identified on the far side.
+    """
+    snapshot = {}
+    for (_, template, alphabet), (decoder, table) in _TABLES.items():
+        name = getattr(decoder, "name", None)
+        if name is not None:
+            snapshot[(name, template, alphabet)] = table
+    return snapshot
+
+
+def prime_kernel_tables(snapshot: dict) -> None:
+    """Install a :func:`kernel_tables_snapshot` into this process's seed
+    store (pool-worker initializer; see :mod:`repro.perf.pool`)."""
+    _SEED_TABLES.update(snapshot)
 
 
 def _template_with_labels(template: View, labels: tuple) -> View:
@@ -64,6 +95,13 @@ def acceptance_table(
     if entry is not None:
         stats.incr("kernel_table_hits")
         return entry[1]
+    if _SEED_TABLES:
+        name = getattr(decoder, "name", None)
+        seeded = _SEED_TABLES.get((name, template, alphabet))
+        if seeded is not None:
+            stats.incr("kernel_table_seed_hits")
+            _TABLES.put(key, (decoder, seeded))
+            return seeded
     stats.incr("kernel_table_misses")
     decide = memoized_decide(decoder, stats)
     size = len(alphabet) ** template.size

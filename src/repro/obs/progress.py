@@ -57,6 +57,9 @@ EVENT_KINDS = (
     "generation_level",
     "experiment_started",
     "experiment_finished",
+    "shard_started",
+    "shard_finished",
+    "shard_checkpoint_hit",
 )
 
 Subscriber = Callable[[dict], None]

@@ -9,8 +9,30 @@ unoptimized baseline and so pathological workloads can opt out.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
+
+#: Environment override for the worker count (CI multi-core runners set
+#: this so parallel benchmark rows and shard smokes run even when the
+#: plan or config would autodetect conservatively).
+FORCE_WORKERS_ENV = "REPRO_FORCE_WORKERS"
+
+
+def forced_workers() -> int | None:
+    """The ``REPRO_FORCE_WORKERS`` override, or ``None`` when unset.
+
+    Non-integer and non-positive values are ignored rather than raised:
+    the variable is a CI affordance, not a user-facing API.
+    """
+    raw = os.environ.get(FORCE_WORKERS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 @dataclass
@@ -59,6 +81,24 @@ class PerfConfig:
       unobservable — the yielded stream and all accounting are
       block-size independent — so this is purely a memory/throughput
       trade.
+    * ``sharding`` — the sharded-generation mode (``"auto"`` | ``"on"``
+      | ``"off"``) plans resolve their ``sharding`` field against.
+      Sharding splits the canonical-augmentation tree at
+      ``shard_depth`` into independent subtree work units and drains
+      them on a work-stealing process pool (see :mod:`repro.shard`);
+      the merged emission stream and all accounting are byte-identical
+      to the serial walk, so this knob never enters a cache key.
+      ``"auto"`` engages it only when it can pay off (multiple
+      effective workers, full sweeps, orderly generation active);
+      ``"on"`` forces the sharded path even single-process (the
+      deterministic test route); ``"off"`` disables it.
+    * ``shard_depth`` — the prefix depth at which the augmentation tree
+      is split; subtree roots are the level-``shard_depth`` generation
+      entries.  Purely a granularity trade — never observable in any
+      output stream.
+    * ``shard_checkpoints`` — persist per-shard results under
+      ``.repro_cache/shards/`` so a killed sweep restarts from its
+      completed shards.
     * ``generation_kernel`` — the generation-side kernel mode
       (``"auto"`` | ``"on"`` | ``"off"``): whether the orderly
       generator and its emission labeling run the batched
@@ -86,6 +126,9 @@ class PerfConfig:
     symmetry: str = "auto"
     kernel_block_size: int = 4096
     generation_kernel: str = "auto"
+    sharding: str = "auto"
+    shard_depth: int = 4
+    shard_checkpoints: bool = True
 
     def apply(self, **kwargs) -> "PerfConfig":
         """Update fields in place (unknown names raise); returns self."""

@@ -28,6 +28,7 @@ import pickle
 from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 from ..obs.logs import get_logger
 from ..obs.trace import NULL_TRACER, Tracer, worker_span
@@ -40,19 +41,48 @@ log = get_logger("perf.parallel")
 _MIN_PARALLEL_INSTANCES = 8
 
 
-def _init_worker(snapshot: dict) -> None:
-    """Pool initializer: pre-seed the worker's family cache.
+class InstanceScanner:
+    """Per-worker scan state: one layout cache, one decision memo, and
+    the last-graph edge shortcut, shared across every instance a worker
+    scans (chunk scans here, shard sweeps in :mod:`repro.shard.worker`).
+    """
 
-    Workers are fresh processes with cold module state; shipping the
-    parent's enumerated family representatives once per worker (not per
-    chunk) means any worker-side enumeration — prover internals, promise
-    checks — hits a warm cache instead of re-running generation.  The
-    parent records the shipped volume under
-    ``family_cache_preload_entries`` / ``family_cache_preload_graphs``
-    (each shipped graph is a worker cache miss avoided)."""
-    from ..graphs.families import prime_family_cache  # noqa: PLC0415
+    __slots__ = ("lcp", "stats", "layout_cache", "memo", "_last_graph", "_last_edges")
 
-    prime_family_cache(snapshot)
+    def __init__(self, lcp, stats: PerfStats) -> None:
+        from .cache import DecisionMemo, ViewLayoutCache  # noqa: PLC0415
+
+        self.lcp = lcp
+        self.stats = stats
+        self.layout_cache = (
+            ViewLayoutCache(CONFIG.layout_cache_size) if CONFIG.layout_cache else None
+        )
+        self.memo = (
+            DecisionMemo(lcp.decoder, CONFIG.decision_memo_size)
+            if CONFIG.decision_memo
+            else None
+        )
+        self._last_graph = None
+        self._last_edges: list = []
+
+    def scan(self, instance) -> tuple[list, list]:
+        """``(accepting (node, view) pairs, accepted edges)`` for one
+        labeled instance, in the serial builder's visit order."""
+        views = _instance_views(self.lcp, instance, self.layout_cache, self.stats)
+        if self.memo is not None:
+            memo, stats = self.memo, self.stats
+            votes = {v: memo.decide(view, stats=stats) for v, view in views.items()}
+        else:
+            decide = self.lcp.decoder.decide
+            votes = {v: decide(view) for v, view in views.items()}
+        accepting = [(v, views[v]) for v, accepted in votes.items() if accepted]
+        if instance.graph is not self._last_graph:
+            self._last_graph = instance.graph
+            self._last_edges = instance.graph.edges
+        edges = [
+            (u, v) for u, v in self._last_edges if votes.get(u) and votes.get(v)
+        ]
+        return accepting, edges
 
 
 def _chunked(items: list, chunk_size: int) -> list[list]:
@@ -81,16 +111,11 @@ def _scan_chunk(payload: tuple) -> tuple[list, dict, list]:
     unless the parent run is traced), which the parent tracer adopts
     into its own tree.
     """
-    from .cache import DecisionMemo, ViewLayoutCache  # noqa: PLC0415
-
     lcp, chunk, chunk_index, traced = payload
     stats = PerfStats()
     spans: list[dict] = []
-    layout_cache = ViewLayoutCache(CONFIG.layout_cache_size) if CONFIG.layout_cache else None
-    memo = DecisionMemo(lcp.decoder, CONFIG.decision_memo_size) if CONFIG.decision_memo else None
+    scanner = InstanceScanner(lcp, stats)
     results = []
-    last_graph = None
-    last_edges: list = []
     with worker_span(
         "worker:scan-chunk",
         spans if traced else None,
@@ -99,15 +124,7 @@ def _scan_chunk(payload: tuple) -> tuple[list, dict, list]:
         instances=len(chunk),
     ):
         for instance in chunk:
-            views = _instance_views(lcp, instance, layout_cache, stats)
-            decide = (lambda view: memo.decide(view, stats=stats)) if memo else lcp.decoder.decide
-            votes = {v: decide(view) for v, view in views.items()}
-            accepting = [(v, views[v]) for v, accepted in votes.items() if accepted]
-            if instance.graph is not last_graph:
-                last_graph = instance.graph
-                last_edges = last_graph.edges
-            edges = [(u, v) for u, v in last_edges if votes.get(u) and votes.get(v)]
-            results.append((accepting, edges))
+            results.append(scanner.scan(instance))
     return results, stats.as_dict(), spans
 
 
@@ -186,19 +203,26 @@ def build_neighborhood_graph_parallel(
         "build:parallel", workers=workers, chunks=len(chunks), chunk_size=size
     ) as build_span:
         with stats.time_stage("parallel_scan"):
-            from ..graphs.families import family_cache_snapshot  # noqa: PLC0415
+            from .pool import active_pool, pool_initializer, warm_snapshots  # noqa: PLC0415
 
-            snapshot = family_cache_snapshot()
-            stats.incr("family_cache_preload_entries", len(snapshot))
-            stats.incr(
-                "family_cache_preload_graphs",
-                sum(len(graphs) for graphs in snapshot.values()),
-            )
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(snapshot,),
-            ) as pool:
+            shared = active_pool(workers)
+            if shared is not None:
+                stats.incr("shared_pool_hits")
+                pool_cm = nullcontext(shared)
+            else:
+                family_snapshot, table_snapshot = warm_snapshots()
+                stats.incr("family_cache_preload_entries", len(family_snapshot))
+                stats.incr(
+                    "family_cache_preload_graphs",
+                    sum(len(graphs) for graphs in family_snapshot.values()),
+                )
+                stats.incr("kernel_table_preload_entries", len(table_snapshot))
+                pool_cm = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=pool_initializer,
+                    initargs=(family_snapshot, table_snapshot),
+                )
+            with pool_cm as pool:
                 window = max(2, workers * 2)
                 pending: deque = deque()
                 for index, chunk in enumerate(chunks[:window]):
@@ -252,14 +276,22 @@ def build_neighborhood_graph_parallel(
     return ngraph
 
 
-def _replay_chunk(ngraph, chunk, chunk_results, stats: PerfStats, consumer) -> bool:
+def _replay_chunk(
+    ngraph, chunk, chunk_results, stats: PerfStats, consumer, deltas=None, account=None
+) -> bool:
     """Replay one chunk's scan into the parent graph, in serial order.
 
     Returns True when the consumer signalled ``done`` mid-replay; the
     replay stops at that exact event, so the assembled graph matches the
-    serial builder's early-exit prefix byte for byte.
+    serial builder's early-exit prefix byte for byte.  *deltas* (one
+    :meth:`SymmetryAccount.as_tuple`-format tuple per instance, from a
+    shard worker) are folded into *account* immediately before their
+    instance replays, so an early exit leaves the account exactly where
+    the serial sweep's abandoned generator would have.
     """
-    for instance, (accepting, edges) in zip(chunk, chunk_results):
+    for index, (instance, (accepting, edges)) in enumerate(zip(chunk, chunk_results)):
+        if deltas is not None and account is not None:
+            account.add_delta(deltas[index])
         ngraph.instances_scanned += 1
         stats.incr("instances_scanned")
         indices = {}

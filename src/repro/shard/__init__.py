@@ -1,0 +1,40 @@
+"""Sharded orderly generation: subtree work units over a process pool.
+
+The canonical-augmentation tree of :mod:`repro.symmetry.orderly` is
+embarrassingly shardable: split level ``d`` (the *shard depth*) into
+contiguous root ranges, and the descendants of each range — expanded
+with the same in-order level builder — are exactly the corresponding
+contiguous slice of every deeper level.  Each :class:`~.spec.Shard`
+therefore owns an independent subtree whose emission blocks, partial
+:class:`~repro.symmetry.prune.SymmetryAccount` deltas, and span data
+merge back into a stream byte-identical to the serial walk.
+
+Layout:
+
+* :mod:`~.spec` — :class:`ShardSpec` / :class:`Shard`: the
+  deterministic partition of a level into ordered work units;
+* :mod:`~.worker` — :func:`run_shard`: expand one subtree, sweep its
+  yes-instances, report scans + account deltas (runs in pool workers);
+* :mod:`~.executor` — :func:`run_sharded_sweep`: drain the shard stream
+  on a work-stealing pool, checkpoint, merge, and replay in serial
+  order;
+* :mod:`~.checkpoint` — resumable per-shard results in the
+  content-addressed ``.repro_cache/shards/`` store;
+* :mod:`~.queue` — the file-based claim/complete/lease queue that lets
+  multiple hosts drain one sweep directory.
+"""
+
+from .checkpoint import ShardCheckpointStore
+from .executor import run_sharded_sweep, sharding_effective
+from .queue import ShardQueue
+from .spec import Shard, ShardSpec, plan_shards
+
+__all__ = [
+    "Shard",
+    "ShardCheckpointStore",
+    "ShardQueue",
+    "ShardSpec",
+    "plan_shards",
+    "run_sharded_sweep",
+    "sharding_effective",
+]

@@ -1,0 +1,149 @@
+"""File-based shard queue: claim / complete / lease-expiry.
+
+Multiple hosts pointed at one shared sweep directory drain the same
+shard stream without a coordinator.  The protocol is three kinds of
+plain files under ``<dir>/``:
+
+* ``manifest.json`` — the sweep identity and shard count, written once
+  (first writer wins; later writers verify they plan the same spec);
+* ``claims/<shard-id>.claim`` — JSON ``{"owner", "ts", "lease_s"}``,
+  created with ``O_CREAT | O_EXCL`` so exactly one host wins a live
+  claim.  A claim older than its lease is *expired*: any host may steal
+  it by atomically replacing the file (write-tmp + ``os.replace``);
+* ``done/<shard-id>.done`` — completion marker, written after the
+  shard's checkpoint is durable.
+
+The queue provides **at-least-once** execution: a stolen lease can race
+its original owner, and both may compute the shard.  That is safe here
+because shard results are deterministic and completion is idempotent —
+the checkpoint store's atomic replace makes the last writer's
+byte-identical result the survivor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..obs.logs import get_logger
+
+log = get_logger("shard.queue")
+
+#: Default claim lease: generous for real shards, short enough that a
+#: crashed host's work is reassigned within one coffee refill.
+DEFAULT_LEASE_S = 300.0
+
+
+class ShardQueue:
+    """One host's handle on a shared sweep directory."""
+
+    def __init__(
+        self, directory: Path | str, owner: str | None = None, lease_s: float = DEFAULT_LEASE_S
+    ) -> None:
+        self.root = Path(directory)
+        self.owner = owner or f"{os.uname().nodename}:{os.getpid()}"
+        self.lease_s = lease_s
+        (self.root / "claims").mkdir(parents=True, exist_ok=True)
+        (self.root / "done").mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    def write_manifest(self, manifest: dict) -> dict:
+        """Publish (or verify) the sweep manifest; returns the effective
+        one.  First writer wins; a later writer whose manifest differs
+        raises — two hosts must never drain incompatible shard streams
+        into one directory."""
+        path = self.root / "manifest.json"
+        tmp = path.with_suffix(".tmp")
+        if not path.exists():
+            tmp.write_text(json.dumps(manifest, sort_keys=True), encoding="utf-8")
+            try:
+                # O_EXCL via link-like semantics is overkill here: a racing
+                # double-write of identical content is harmless, and a
+                # conflicting one is caught by the verify below.
+                if not path.exists():
+                    os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        effective = json.loads(path.read_text(encoding="utf-8"))
+        if effective != json.loads(json.dumps(manifest, sort_keys=True)):
+            raise ValueError(
+                f"sweep directory {self.root} holds a different manifest; "
+                "refusing to mix shard streams"
+            )
+        return effective
+
+    # ------------------------------------------------------------------
+    # Claim / complete / lease
+    # ------------------------------------------------------------------
+
+    def _claim_path(self, shard_id: str) -> Path:
+        return self.root / "claims" / f"{shard_id}.claim"
+
+    def _done_path(self, shard_id: str) -> Path:
+        return self.root / "done" / f"{shard_id}.done"
+
+    def claim(self, shard_id: str) -> bool:
+        """Try to own *shard_id*: a fresh claim, or a stolen expired one."""
+        if self.is_done(shard_id):
+            return False
+        path = self._claim_path(shard_id)
+        record = json.dumps(
+            {"owner": self.owner, "ts": time.time(), "lease_s": self.lease_s}
+        )
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return self._steal_if_expired(shard_id, path, record)
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(record)
+        return True
+
+    def _steal_if_expired(self, shard_id: str, path: Path, record: str) -> bool:
+        holder = self.claim_record(shard_id)
+        if holder is None:
+            # Unreadable claim: treat as expired — the writer crashed
+            # mid-write or the file is corrupt either way.
+            age, lease = float("inf"), 0.0
+        else:
+            age = time.time() - holder.get("ts", 0.0)
+            lease = holder.get("lease_s", self.lease_s)
+        if age <= lease:
+            return False
+        tmp = path.with_suffix(".steal")
+        tmp.write_text(record, encoding="utf-8")
+        os.replace(tmp, path)
+        log.info("stole expired claim on %s (age %.0fs > lease %.0fs)", shard_id, age, lease)
+        return True
+
+    def claim_record(self, shard_id: str) -> dict | None:
+        try:
+            return json.loads(self._claim_path(shard_id).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def complete(self, shard_id: str) -> None:
+        """Mark *shard_id* done (idempotent; call after the checkpoint
+        is durable, never before)."""
+        path = self._done_path(shard_id)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps({"owner": self.owner, "ts": time.time()}), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    def release(self, shard_id: str) -> None:
+        """Drop our claim without completing (shutdown mid-shard)."""
+        record = self.claim_record(shard_id)
+        if record is not None and record.get("owner") == self.owner:
+            self._claim_path(shard_id).unlink(missing_ok=True)
+
+    def is_done(self, shard_id: str) -> bool:
+        return self._done_path(shard_id).exists()
+
+    def done_ids(self) -> set[str]:
+        return {path.stem for path in (self.root / "done").glob("*.done")}

@@ -63,6 +63,12 @@ from .groups import AutomorphismGroup, seed_automorphisms
 #: graph's search is independent and blocks run in order).
 _GENERATION_BLOCK = 2048
 
+#: Version of the generation algorithm (levels, filters, emission
+#: labeling).  Folded into shard-checkpoint keys so persisted subtree
+#: results can never survive an algorithm change that would alter the
+#: emission stream they cache.
+GENERATION_VERSION = 1
+
 
 def _generation_np():
     """The numpy module when the generation kernel should engage, else
@@ -107,6 +113,37 @@ def _level(
         "generation_level", n=n, graphs=len(entries), vectorized=vectorized
     )
     return entries
+
+
+def level_entries(
+    n: int,
+) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    """Public accessor for the memoized level-*n* representatives.
+
+    Each entry is ``(adjacency rows, automorphism perms)`` for one
+    isomorphism class of *all* graphs (connected and not) on exactly
+    ``n`` nodes, in generation order.  The shard layer slices this tuple
+    into subtree roots: the descendants of a contiguous root range,
+    concatenated in range order, are exactly the corresponding contiguous
+    slice of every deeper level."""
+    return _level(n)
+
+
+def build_level(
+    k: int, parents: tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]
+) -> tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...]:
+    """One augmentation level from an *arbitrary* parent-entry tuple.
+
+    Unlike :func:`_level` this neither reads nor writes the level memo,
+    so shard workers can expand the subtree under any slice of a level's
+    entries.  Because both underlying builds process parents in order
+    (subsets ascending per parent), expanding a partition of level ``k-1``
+    slice by slice and concatenating the results reproduces the full
+    level entry for entry."""
+    np = _generation_np()
+    if np is not None and generation_supported(k):
+        return _build_level_batched(k, parents, np)
+    return _build_level(k, parents)
 
 
 def _build_level(
@@ -229,22 +266,24 @@ def _bitset_connected(rows: tuple[int, ...], n: int) -> bool:
     return reach == full
 
 
-def orderly_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
-    """All graphs on exactly *n* nodes up to isomorphism, emitted in the
-    legacy enumerator's exact order and labeling.
+def emit_entries(
+    entries: tuple[tuple[tuple[int, ...], tuple[tuple[int, ...], ...]], ...],
+    n: int,
+    connected_only: bool = True,
+) -> Iterator[tuple[int, Graph]]:
+    """Label and emit generation *entries* of size *n* as
+    ``(min_edge_mask, Graph)`` pairs in ascending mask order.
 
-    Drop-in replacement for the edge-subset walk of
-    :mod:`repro.graphs.families` — byte-identical stream — that visits
-    each isomorphism class once instead of all ``2^(n choose 2)`` masks.
-    Emitted graphs carry their automorphism group into the cache of
-    :mod:`repro.symmetry.groups`.
+    This is the emission half of :func:`orderly_graphs_exactly`, exposed
+    so shard workers can emit their subtree's slice of a level: distinct
+    classes have distinct minimal edge masks, so merging shard emissions
+    by mask reproduces the full level's globally sorted stream byte for
+    byte.  Emitted graphs carry their transported automorphism group
+    into the cache of :mod:`repro.symmetry.groups`.
     """
-    if n <= 0:
-        return
-    GLOBAL_STATS.incr("orderly_generations")
     possible_edges = list(combinations(range(n), 2))
     pending = []
-    for rows, auts in _level(n):
+    for rows, auts in entries:
         if connected_only and not _bitset_connected(rows, n):
             continue
         group = AutomorphismGroup(nodes=tuple(range(n)), perms=auts)
@@ -285,6 +324,23 @@ def orderly_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Grap
             tuple(pos[sigma[perm[p]]] for p in range(n)) for sigma in auts
         )
         seed_automorphisms(graph, emitted_auts)
+        yield mask, graph
+
+
+def orderly_graphs_exactly(n: int, connected_only: bool = True) -> Iterator[Graph]:
+    """All graphs on exactly *n* nodes up to isomorphism, emitted in the
+    legacy enumerator's exact order and labeling.
+
+    Drop-in replacement for the edge-subset walk of
+    :mod:`repro.graphs.families` — byte-identical stream — that visits
+    each isomorphism class once instead of all ``2^(n choose 2)`` masks.
+    Emitted graphs carry their automorphism group into the cache of
+    :mod:`repro.symmetry.groups`.
+    """
+    if n <= 0:
+        return
+    GLOBAL_STATS.incr("orderly_generations")
+    for _mask, graph in emit_entries(_level(n), n, connected_only=connected_only):
         yield graph
 
 

@@ -1,0 +1,279 @@
+"""Property suite: sharded sweeps are indistinguishable from serial ones.
+
+Sharding splits the canonical-augmentation tree at a fixed prefix depth
+into independent subtree work units and merges their emission blocks
+back into the exact serial order.  Like the symmetry layer, it is only
+allowed to change *how fast* a verdict is reached, never *what* is
+reached: for every registry scheme this suite runs the full sweep with
+``sharding="on"`` (in-process execution — the deterministic route) and
+``sharding="off"`` and demands byte-identical verdicts — same hiding
+decision, same canonical witness, same ``decision_fingerprint``, same
+effective instance/view/edge counts, and the same folded
+``SymmetryAccount`` totals.
+
+A second group pins the shard plumbing itself: the merged shard
+emission stream against the serial orderly walk, the work-unit
+partition properties of :func:`plan_shards`, the plan-resolution rules
+of the ``sharding`` knob, and the ``sharding_effective`` engagement
+predicate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_lcp
+from repro.core.registry import all_lcps
+from repro.engine import (
+    ExecutionPlan,
+    RunContext,
+    clear_engine_state,
+    decide_hiding,
+)
+from repro.perf.config import FORCE_WORKERS_ENV, forced_workers
+from repro.shard import plan_shards, sharding_effective
+from repro.symmetry.orderly import build_level, emit_entries, level_entries
+
+SCHEMES = sorted(all_lcps())
+
+#: Full-sweep ceiling per scheme; the two workhorse schemes get n = 5
+#: (every scheme's ceiling exceeds the depth-3 prefix, so the shard
+#: stage genuinely runs).
+DEPTH = {name: 4 for name in SCHEMES}
+DEPTH["degree-one"] = 5
+DEPTH["even-cycle"] = 5
+
+#: Account counters the engine folds the merged ``SymmetryAccount``
+#: into — a sharded sweep must reproduce them exactly.
+ACCOUNT_COUNTERS = (
+    "instances_scanned",
+    "symmetry_labelings_total",
+    "symmetry_labelings_pruned",
+    "symmetry_bases_pruned",
+    "symmetry_instances_suppressed",
+)
+
+
+def _full_sweep_plan(backend: str, sharding: str, **kwargs) -> ExecutionPlan:
+    """A deterministic cold sweep: serial, no early exit, no cache tiers."""
+    fields = {
+        "backend": backend,
+        "workers": 0,
+        "early_exit": False,
+        "warm_start": False,
+        "memory_cache": False,
+        "disk_cache": False,
+        "symmetry": "on",
+        "sharding": sharding,
+        "shard_depth": 3,
+    }
+    fields.update(kwargs)
+    return ExecutionPlan(**fields)
+
+
+def _sweep(scheme: str, backend: str, sharding: str, n: int | None = None, **kwargs):
+    clear_engine_state()
+    ctx = RunContext.isolated()
+    lcp = make_lcp(scheme)
+    verdict = decide_hiding(
+        lcp,
+        n if n is not None else DEPTH[scheme],
+        _full_sweep_plan(backend, sharding, **kwargs),
+        ctx=ctx,
+    )
+    counters = {name: ctx.stats.get(name) for name in ACCOUNT_COUNTERS}
+    return verdict, counters
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_sharded_sweep_matches_serial(scheme):
+    serial, serial_counters = _sweep(scheme, "streaming", "off")
+    sharded, sharded_counters = _sweep(scheme, "streaming", "on")
+
+    assert sharded.hiding == serial.hiding
+    assert sharded.witness == serial.witness
+    assert sharded.decision_fingerprint() == serial.decision_fingerprint()
+    assert (
+        sharded.provenance.instances_scanned
+        == serial.provenance.instances_scanned
+    )
+    assert sharded.provenance.views == serial.provenance.views
+    assert sharded.provenance.edges == serial.provenance.edges
+    assert sharded_counters == serial_counters
+    # Provenance reports the shard stage only when it actually ran.
+    assert sharded.provenance.shard_count
+    assert serial.provenance.shard_count is None
+
+
+@pytest.mark.parametrize("scheme", ["degree-one", "even-cycle"])
+def test_sharded_materialized_backend_matches_serial(scheme):
+    serial, serial_counters = _sweep(scheme, "materialized", "off")
+    sharded, sharded_counters = _sweep(scheme, "materialized", "on")
+    assert sharded.decision_fingerprint() == serial.decision_fingerprint()
+    assert (
+        sharded.provenance.instances_scanned
+        == serial.provenance.instances_scanned
+    )
+    assert sharded_counters == serial_counters
+
+
+@pytest.mark.parametrize("scheme", ["degree-one", "even-cycle"])
+def test_sharded_early_exit_matches_serial(scheme):
+    serial, _ = _sweep(scheme, "streaming", "off", early_exit=True)
+    sharded, _ = _sweep(scheme, "streaming", "on", early_exit=True)
+    assert sharded.hiding == serial.hiding
+    assert sharded.witness == serial.witness
+    assert sharded.decision_fingerprint() == serial.decision_fingerprint()
+    assert (
+        sharded.provenance.instances_scanned
+        == serial.provenance.instances_scanned
+    )
+
+
+# ----------------------------------------------------------------------
+# Emission parity: merged shard blocks == the serial orderly walk
+# ----------------------------------------------------------------------
+
+
+def _encode(stream):
+    return [(mask, tuple(sorted(graph.edges))) for mask, graph in stream]
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_merged_shard_emission_is_byte_identical(depth):
+    n = 6
+    spec = plan_shards(n, depth, workers=4)
+    roots = level_entries(depth)
+    assert spec.total_roots == len(roots)
+    for size in range(depth + 1, n + 1):
+        serial = _encode(emit_entries(level_entries(size), size))
+        merged = []
+        for shard in spec.shards:
+            entries = roots[shard.start : shard.stop]
+            for level in range(depth + 1, size + 1):
+                entries = build_level(level, entries)
+            merged.extend(_encode(emit_entries(entries, size)))
+        merged.sort(key=lambda pair: pair[0])
+        assert merged == serial
+
+
+# ----------------------------------------------------------------------
+# plan_shards partition properties
+# ----------------------------------------------------------------------
+
+
+def test_plan_shards_partitions_the_root_level():
+    for workers in (0, 1, 2, 4, 16):
+        spec = plan_shards(6, 3, workers)
+        assert len(spec) == len(spec.shards)
+        # Contiguous, ordered, nonempty ranges covering [0, total_roots).
+        cursor = 0
+        for index, shard in enumerate(spec.shards):
+            assert shard.index == index
+            assert shard.start == cursor
+            assert shard.stop > shard.start
+            cursor = shard.stop
+        assert cursor == spec.total_roots
+        assert len(spec.shards) <= max(1, workers) * 4 or len(spec.shards) == 1
+
+
+def test_plan_shards_is_deterministic():
+    assert plan_shards(7, 3, 4) == plan_shards(7, 3, 4)
+
+
+def test_plan_shards_rejects_empty_subtrees():
+    with pytest.raises(ValueError):
+        plan_shards(3, 3, 2)
+    with pytest.raises(ValueError):
+        plan_shards(2, 4, 2)
+
+
+def test_shard_key_fields_pin_the_generation_version():
+    spec = plan_shards(6, 3, 2)
+    for shard in spec.shards:
+        fields = shard.key_fields()
+        assert fields["generation_version"] == 1
+        assert fields["depth"] == 3
+        assert (fields["start"], fields["stop"]) == (shard.start, shard.stop)
+        assert shard.id == f"d3-{shard.start:06d}-{shard.stop:06d}"
+
+
+# ----------------------------------------------------------------------
+# Plan resolution and engagement rules
+# ----------------------------------------------------------------------
+
+
+def test_sharding_on_with_symmetry_off_is_rejected():
+    plan = ExecutionPlan(backend="streaming", symmetry="off", sharding="on")
+    with pytest.raises(ValueError):
+        plan.resolve()
+
+
+def test_sharding_auto_with_symmetry_off_degrades_to_off():
+    plan = ExecutionPlan(backend="streaming", symmetry="off", sharding="auto")
+    assert plan.resolve().sharding == "off"
+
+
+def test_invalid_sharding_mode_and_depth_are_rejected():
+    with pytest.raises(ValueError):
+        ExecutionPlan(backend="streaming", sharding="sometimes").resolve()
+    with pytest.raises(ValueError):
+        ExecutionPlan(backend="streaming", shard_depth=0).resolve()
+
+
+def test_forced_workers_env_applies_only_when_unset(monkeypatch):
+    monkeypatch.setenv(FORCE_WORKERS_ENV, "3")
+    assert forced_workers() == 3
+    assert ExecutionPlan(backend="streaming").resolve().workers == 3
+    assert ExecutionPlan(backend="streaming", workers=1).resolve().workers == 1
+    monkeypatch.setenv(FORCE_WORKERS_ENV, "not-a-number")
+    assert forced_workers() is None
+    monkeypatch.delenv(FORCE_WORKERS_ENV)
+    assert forced_workers() is None
+
+
+def test_sharding_effective_rules():
+    lcp = make_lcp("even-cycle")
+
+    def resolved(**kwargs):
+        return ExecutionPlan(backend="streaming", **kwargs).resolve()
+
+    on = resolved(sharding="on", shard_depth=3, symmetry="on", workers=0)
+    assert sharding_effective(lcp, on, 6)
+    assert not sharding_effective(lcp, on, 3)  # n <= depth: nothing to split
+    off = resolved(sharding="off", shard_depth=3, symmetry="on", workers=4)
+    assert not sharding_effective(lcp, off, 6)
+    # "auto" engages only where the pool can pay for itself.
+    auto = resolved(
+        sharding="auto", shard_depth=3, symmetry="on", workers=4,
+        early_exit=False,
+    )
+    assert sharding_effective(lcp, auto, 6)
+    assert not sharding_effective(
+        lcp,
+        resolved(
+            sharding="auto", shard_depth=3, symmetry="on", workers=0,
+            early_exit=False,
+        ),
+        6,
+    )
+    assert not sharding_effective(
+        lcp,
+        resolved(
+            sharding="auto", shard_depth=3, symmetry="on", workers=4,
+            early_exit=True,
+        ),
+        6,
+    )
+    # The legacy edge-subset walk has no augmentation tree to shard.
+    assert not sharding_effective(
+        lcp, resolved(sharding="auto", shard_depth=3, symmetry="off", workers=4), 6
+    )
+
+
+def test_describe_mentions_sharding_only_when_engaged():
+    plan = ExecutionPlan(backend="streaming", sharding="on", shard_depth=3)
+    assert "sharding=on" in plan.resolve().describe()
+    assert "shard_depth=3" in plan.resolve().describe()
+    plain = ExecutionPlan(backend="streaming", sharding="off")
+    assert "sharding" not in plain.resolve().describe()
